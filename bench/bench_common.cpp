@@ -1,0 +1,74 @@
+#include "bench_common.hpp"
+
+#include "core/charm.hpp"
+
+namespace bench {
+
+namespace {
+
+struct TypedEcho : cx::Chare {
+  long count = 0;
+  void hit(std::int64_t a, double b) {
+    count += a;
+    (void)b;
+  }
+  long get() { return count; }
+};
+
+void register_dyn_echo() {
+  static const bool once = [] {
+    cpy::DClass cls("bench.Echo");
+    cls.def("__init__", {}, [](cpy::DChare& self, cpy::Args&) {
+      self["count"] = cpy::Value(0);
+      return cpy::Value::none();
+    });
+    cls.def("hit", {"a", "b"}, [](cpy::DChare& self, cpy::Args& a) {
+      self["count"] = cpy::Value(self["count"].as_int() + a[0].as_int());
+      return cpy::Value::none();
+    });
+    cls.def("get", {}, [](cpy::DChare& self, cpy::Args&) {
+      return self["count"];
+    });
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace
+
+double measure_dispatch_overhead() {
+  register_dyn_echo();
+  constexpr int kMessages = 20000;
+  double typed_s = 0.0, dyn_s = 0.0;
+
+  cx::RuntimeConfig cfg;
+  cfg.machine.num_pes = 1;
+  cfg.machine.backend = cxm::Backend::Threaded;
+  cx::Runtime rt(cfg);
+  rt.run([&] {
+    auto typed = cx::create_chare<TypedEcho>(0);
+    (void)typed.call<&TypedEcho::get>().get();  // ensure created
+    cxu::Stopwatch sw;
+    for (int i = 0; i < kMessages; ++i) {
+      typed.send<&TypedEcho::hit>(1, 0.5);
+    }
+    while (typed.call<&TypedEcho::get>().get() < kMessages) {
+    }
+    typed_s = sw.elapsed();
+
+    auto dyn = cpy::create_chare("bench.Echo", 0);
+    (void)dyn.call("get").get();
+    sw.reset();
+    for (int i = 0; i < kMessages; ++i) {
+      dyn.send("hit", {cpy::Value(1), cpy::Value(0.5)});
+    }
+    while (dyn.call("get").get().as_int() < kMessages) {
+    }
+    dyn_s = sw.elapsed();
+    cx::exit();
+  });
+  const double per_msg = (dyn_s - typed_s) / kMessages;
+  return per_msg > 0 ? per_msg : 0.0;
+}
+
+}  // namespace bench

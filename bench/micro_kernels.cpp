@@ -1,0 +1,137 @@
+// Kernel-level microbenchmarks (google-benchmark): serialization, the
+// dynamic Value type, the condition-expression engine, and the numeric
+// kernels. These quantify the constant factors behind the model layer's
+// per-message overhead (paper §IV-B serialization and §IV-E Cython
+// discussion).
+
+#include <benchmark/benchmark.h>
+
+#include "apps/leanmd/leanmd_common.hpp"
+#include "apps/stencil/stencil_common.hpp"
+#include "model/expr.hpp"
+#include "model/value.hpp"
+#include "pup/pup.hpp"
+
+namespace {
+
+// ------------------------------------------------------------------ PUP
+
+void BM_PupPackVectorDouble(benchmark::State& state) {
+  std::vector<double> v(static_cast<std::size_t>(state.range(0)), 1.5);
+  for (auto _ : state) {
+    auto bytes = pup::to_bytes(v);
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 8);
+}
+BENCHMARK(BM_PupPackVectorDouble)->Arg(64)->Arg(1024)->Arg(16384);
+
+struct Record {
+  std::int64_t id = 7;
+  std::string name = "a-record-name";
+  std::vector<double> values = std::vector<double>(32, 2.0);
+  void pup(pup::Er& p) {
+    p | id;
+    p | name;
+    p | values;
+  }
+};
+
+void BM_PupRoundtripRecord(benchmark::State& state) {
+  Record r;
+  for (auto _ : state) {
+    auto bytes = pup::to_bytes(r);
+    auto back = pup::from_bytes<Record>(bytes);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_PupRoundtripRecord);
+
+// ---------------------------------------------------------------- Value
+
+void BM_ValueBoxScalars(benchmark::State& state) {
+  for (auto _ : state) {
+    cpy::Args args = {cpy::Value(1), cpy::Value(2.5),
+                      cpy::Value("method_name")};
+    benchmark::DoNotOptimize(args);
+  }
+}
+BENCHMARK(BM_ValueBoxScalars);
+
+void BM_ValuePupArrayFastPath(benchmark::State& state) {
+  cpy::Value v = cpy::Value::zeros(static_cast<std::uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    auto bytes = pup::to_bytes(v);
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 8);
+}
+BENCHMARK(BM_ValuePupArrayFastPath)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_ValuePupNestedDict(benchmark::State& state) {
+  cpy::Value v = cpy::Value::dict(
+      {{"xs", cpy::Value::list({cpy::Value(1), cpy::Value("two"),
+                                cpy::Value(3.5)})},
+       {"cfg", cpy::Value::dict({{"k", cpy::Value(5)}})}});
+  for (auto _ : state) {
+    auto bytes = pup::to_bytes(v);
+    benchmark::DoNotOptimize(bytes);
+  }
+}
+BENCHMARK(BM_ValuePupNestedDict);
+
+// ----------------------------------------------------------------- Expr
+
+void BM_ExprCompile(benchmark::State& state) {
+  for (auto _ : state) {
+    auto e = cpy::Expr::compile("self.msg_count == len(self.neighbors)");
+    benchmark::DoNotOptimize(e);
+  }
+}
+BENCHMARK(BM_ExprCompile);
+
+void BM_ExprEvalWhenCondition(benchmark::State& state) {
+  const auto expr = cpy::Expr::compile("self.iter == iter");
+  const cpy::Value self =
+      cpy::Value::dict({{"iter", cpy::Value(3)}});
+  const std::vector<std::string> params = {"iter", "data"};
+  const cpy::Args args = {cpy::Value(3), cpy::Value("payload")};
+  for (auto _ : state) {
+    const bool ok = expr.test(cpy::make_resolver(self, params, args));
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_ExprEvalWhenCondition);
+
+// -------------------------------------------------------------- kernels
+
+void BM_StencilKernel(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  stencil::Geometry g{1, 1, 1, n, n, n};
+  stencil::Block b(g, 0, 0, 0);
+  for (auto _ : state) {
+    b.compute();
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_StencilKernel)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_LJPairForces(benchmark::State& state) {
+  leanmd::PhysParams p;
+  p.ppc = static_cast<int>(state.range(0));
+  const leanmd::Atoms a = leanmd::init_cell(p, 0, 0, 0);
+  const leanmd::Atoms b = leanmd::init_cell(p, 1, 0, 0);
+  const double shift[3] = {0, 0, 0};
+  std::vector<double> fa, fb;
+  for (auto _ : state) {
+    const double pe = leanmd::lj_pair_forces(p, a.pos, b.pos, shift, fa, fb);
+    benchmark::DoNotOptimize(pe);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          state.range(0));
+}
+BENCHMARK(BM_LJPairForces)->Arg(32)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Messaging ablation (paper §II-D): the same-process by-reference
+// optimization. With the fast path ON, a same-PE send hands the argument
+// tuple over by reference — no serialization, no copy of array payloads
+// beyond the initial boxing. With the fast path OFF, every send packs
+// and unpacks (the general Charm++ behavior the paper contrasts with).
+// Both cases run entirely on one PE, so the comparison isolates the
+// serialization cost.
+//
+//   ./bench/micro_messaging [--messages 2000]
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/charm.hpp"
+
+namespace {
+
+struct VecSink : cx::Chare {
+  long count = 0;
+  void take(std::vector<double> v) { count += static_cast<long>(v.size()); }
+  long get() { return count; }
+};
+
+/// Seconds per message for same-PE sends of a `payload`-double vector,
+/// with or without the by-reference fast path.
+double time_same_pe(int payload, int messages, bool fastpath) {
+  double elapsed = 0.0;
+  cx::RuntimeConfig cfg;
+  cfg.machine.num_pes = 1;
+  cx::Runtime rt(cfg);
+  rt.run([&] {
+    cx::detail::set_local_fastpath(fastpath);
+    auto sink = cx::create_chare<VecSink>(0);
+    (void)sink.call<&VecSink::get>().get();
+    const long want = static_cast<long>(messages) * payload;
+    cxu::Stopwatch sw;
+    for (int i = 0; i < messages; ++i) {
+      // Fresh payload each send: the receiver takes ownership (the
+      // caller gives up the arguments, as the paper requires).
+      std::vector<double> v(static_cast<std::size_t>(payload), 1.0);
+      sink.send<&VecSink::take>(std::move(v));
+    }
+    while (sink.call<&VecSink::get>().get() < want) {
+    }
+    elapsed = sw.elapsed();
+    cx::detail::set_local_fastpath(true);
+    cx::exit();
+  });
+  return elapsed / messages;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cxu::Options opt(argc, argv);
+  const int messages = static_cast<int>(opt.get_int("messages", 1000));
+
+  std::printf(
+      "micro_messaging: same-PE sends with/without the by-reference\n"
+      "fast path (paper SecII-D), %d msgs/case\n\n",
+      messages);
+  cxu::Table table({"payload doubles", "by-reference us/msg",
+                    "serialized us/msg", "speedup"});
+  for (int payload : {16, 256, 4096, 65536}) {
+    const double fast = time_same_pe(payload, messages, true) * 1e6;
+    const double slow = time_same_pe(payload, messages, false) * 1e6;
+    table.add_row({std::to_string(payload), cxu::Table::num(fast, 2),
+                   cxu::Table::num(slow, 2),
+                   cxu::Table::num(slow / fast, 2)});
+  }
+  table.print();
+  std::printf(
+      "\nThe by-reference path avoids pack+unpack entirely (zero-copy of\n"
+      "the payload, verified by pointer identity in the test suite); its\n"
+      "envelope bookkeeping costs more than a small memcpy, so the win\n"
+      "shows for large payloads -- the NumPy-array case the paper's\n"
+      "optimization targets.\n");
+  return 0;
+}

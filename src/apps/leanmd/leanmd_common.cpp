@@ -1,0 +1,193 @@
+#include "apps/leanmd/leanmd_common.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace leanmd {
+
+Atoms init_cell(const PhysParams& p, int i, int j, int k) {
+  Atoms atoms;
+  cxu::Rng rng(0x1ea0 + static_cast<std::uint64_t>(
+                            (i * p.cy + j) * p.cz + k) *
+                            2654435761ULL);
+  const double lo[3] = {i * p.cell_size, j * p.cell_size, k * p.cell_size};
+  // Jittered lattice: ceil(cbrt(ppc)) points per side.
+  int side = 1;
+  while (side * side * side < p.ppc) ++side;
+  const double spacing = p.cell_size / side;
+  int placed = 0;
+  for (int a = 0; a < side && placed < p.ppc; ++a) {
+    for (int b = 0; b < side && placed < p.ppc; ++b) {
+      for (int c = 0; c < side && placed < p.ppc; ++c) {
+        const double jx = rng.uniform(-0.05, 0.05) * spacing;
+        const double jy = rng.uniform(-0.05, 0.05) * spacing;
+        const double jz = rng.uniform(-0.05, 0.05) * spacing;
+        atoms.pos.push_back(lo[0] + (a + 0.5) * spacing + jx);
+        atoms.pos.push_back(lo[1] + (b + 0.5) * spacing + jy);
+        atoms.pos.push_back(lo[2] + (c + 0.5) * spacing + jz);
+        atoms.vel.push_back(rng.uniform(-0.1, 0.1));
+        atoms.vel.push_back(rng.uniform(-0.1, 0.1));
+        atoms.vel.push_back(rng.uniform(-0.1, 0.1));
+        ++placed;
+      }
+    }
+  }
+  return atoms;
+}
+
+const std::vector<cx::Index>& canonical_dirs() {
+  static const std::vector<cx::Index> dirs = [] {
+    std::vector<cx::Index> out;
+    for (int dx = -1; dx <= 1; ++dx)
+      for (int dy = -1; dy <= 1; ++dy)
+        for (int dz = -1; dz <= 1; ++dz)
+          if (is_canonical(dx, dy, dz)) out.push_back({dx, dy, dz});
+    return out;
+  }();
+  return dirs;
+}
+
+bool is_canonical(int dx, int dy, int dz) {
+  if (dx != 0) return dx > 0;
+  if (dy != 0) return dy > 0;
+  return dz > 0;
+}
+
+cx::Index compute_index(int x, int y, int z, int dx, int dy, int dz) {
+  return {x, y, z, dx + 1, dy + 1, dz + 1};
+}
+
+namespace {
+
+double lj_accumulate(const PhysParams& p, double dx, double dy, double dz,
+                     double& fx, double& fy, double& fz) {
+  // Outputs must be defined on every path: pairs beyond the cutoff
+  // contribute zero force (not stale stack contents).
+  fx = fy = fz = 0.0;
+  const double r2 = dx * dx + dy * dy + dz * dz;
+  if (r2 >= p.cutoff * p.cutoff || r2 == 0.0) return 0.0;
+  const double s2 = p.sigma * p.sigma / r2;
+  const double s6 = s2 * s2 * s2;
+  const double s12 = s6 * s6;
+  // F/r: 24 eps (2 s12 - s6) / r^2
+  const double f_over_r = 24.0 * p.epsilon * (2.0 * s12 - s6) / r2;
+  fx = f_over_r * dx;
+  fy = f_over_r * dy;
+  fz = f_over_r * dz;
+  return 4.0 * p.epsilon * (s12 - s6);
+}
+
+}  // namespace
+
+double lj_pair_forces(const PhysParams& p, const std::vector<double>& pos_a,
+                      const std::vector<double>& pos_b,
+                      const double shift[3], std::vector<double>& f_a,
+                      std::vector<double>& f_b) {
+  f_a.assign(pos_a.size(), 0.0);
+  f_b.assign(pos_b.size(), 0.0);
+  double pe = 0.0;
+  const std::size_t na = pos_a.size() / 3, nb = pos_b.size() / 3;
+  for (std::size_t i = 0; i < na; ++i) {
+    const double ax = pos_a[3 * i], ay = pos_a[3 * i + 1],
+                 az = pos_a[3 * i + 2];
+    for (std::size_t j = 0; j < nb; ++j) {
+      const double bx = pos_b[3 * j] + shift[0];
+      const double by = pos_b[3 * j + 1] + shift[1];
+      const double bz = pos_b[3 * j + 2] + shift[2];
+      double fx, fy, fz;
+      pe += lj_accumulate(p, ax - bx, ay - by, az - bz, fx, fy, fz);
+      f_a[3 * i] += fx;
+      f_a[3 * i + 1] += fy;
+      f_a[3 * i + 2] += fz;
+      f_b[3 * j] -= fx;
+      f_b[3 * j + 1] -= fy;
+      f_b[3 * j + 2] -= fz;
+    }
+  }
+  return pe;
+}
+
+double lj_self_forces(const PhysParams& p, const std::vector<double>& pos,
+                      std::vector<double>& f) {
+  f.assign(pos.size(), 0.0);
+  double pe = 0.0;
+  const std::size_t n = pos.size() / 3;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double fx, fy, fz;
+      pe += lj_accumulate(p, pos[3 * i] - pos[3 * j],
+                          pos[3 * i + 1] - pos[3 * j + 1],
+                          pos[3 * i + 2] - pos[3 * j + 2], fx, fy, fz);
+      f[3 * i] += fx;
+      f[3 * i + 1] += fy;
+      f[3 * i + 2] += fz;
+      f[3 * j] -= fx;
+      f[3 * j + 1] -= fy;
+      f[3 * j + 2] -= fz;
+    }
+  }
+  return pe;
+}
+
+void integrate(const PhysParams& p, Atoms& atoms,
+               const std::vector<double>& forces) {
+  if (forces.size() != atoms.pos.size()) {
+    throw std::invalid_argument("leanmd: force/position size mismatch");
+  }
+  const double scale = p.dt / p.mass;
+  for (std::size_t i = 0; i < atoms.pos.size(); ++i) {
+    atoms.vel[i] += forces[i] * scale;
+    atoms.pos[i] += atoms.vel[i] * p.dt;
+  }
+}
+
+void partition_atoms(const PhysParams& p, int i, int j, int k, Atoms& atoms,
+                     std::vector<Atoms>& leaving) {
+  leaving.assign(27, Atoms{});
+  Atoms staying;
+  const double lo[3] = {i * p.cell_size, j * p.cell_size, k * p.cell_size};
+  const double box[3] = {p.box(0), p.box(1), p.box(2)};
+  const std::size_t n = atoms.count();
+  for (std::size_t a = 0; a < n; ++a) {
+    int d[3];
+    double pos[3];
+    for (int dim = 0; dim < 3; ++dim) {
+      pos[dim] = atoms.pos[3 * a + dim];
+      const double rel = pos[dim] - lo[dim];
+      int delta = rel < 0.0 ? -1 : (rel >= p.cell_size ? 1 : 0);
+      // dt is small: an atom moves at most one cell per migration; clamp
+      // pathological velocities to the adjacent cell.
+      d[dim] = delta;
+      // Wrap across the periodic box.
+      if (pos[dim] < 0.0) pos[dim] += box[dim];
+      if (pos[dim] >= box[dim]) pos[dim] -= box[dim];
+    }
+    Atoms& dst = (d[0] == 0 && d[1] == 0 && d[2] == 0)
+                     ? staying
+                     : leaving[static_cast<std::size_t>(
+                           (d[0] + 1) * 9 + (d[1] + 1) * 3 + (d[2] + 1))];
+    dst.pos.push_back(pos[0]);
+    dst.pos.push_back(pos[1]);
+    dst.pos.push_back(pos[2]);
+    dst.vel.push_back(atoms.vel[3 * a]);
+    dst.vel.push_back(atoms.vel[3 * a + 1]);
+    dst.vel.push_back(atoms.vel[3 * a + 2]);
+  }
+  atoms = std::move(staying);
+}
+
+void kinetic_stats(const PhysParams& p, const Atoms& atoms, double& ke,
+                   double mom[3]) {
+  ke = 0.0;
+  mom[0] = mom[1] = mom[2] = 0.0;
+  const std::size_t n = atoms.count();
+  for (std::size_t a = 0; a < n; ++a) {
+    for (int dim = 0; dim < 3; ++dim) {
+      const double v = atoms.vel[3 * a + dim];
+      ke += 0.5 * p.mass * v * v;
+      mom[dim] += p.mass * v;
+    }
+  }
+}
+
+}  // namespace leanmd

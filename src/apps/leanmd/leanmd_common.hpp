@@ -1,0 +1,130 @@
+#pragma once
+// LeanMD mini-app (paper §V-C): molecular dynamics with the Lennard-Jones
+// potential, mimicking the short-range non-bonded force computation of
+// NAMD. The decomposition follows Charm++'s LeanMD:
+//
+//   * Cells — a 3D chare array; each cell owns the atoms inside its box
+//     (cell side >= cutoff, periodic boundaries).
+//   * Computes — one chare per interacting cell pair (13 unique neighbor
+//     directions + 1 self-interaction per cell), a 6D sparse chare array
+//     indexed (cell_x, cell_y, cell_z, dx+1, dy+1, dz+1). This is the
+//     fine-grained decomposition that puts hundreds of chares on a PE.
+//
+// Each step: cells send positions to their 27 computes; computes send
+// back per-atom forces; cells integrate; every `migrate_every` steps
+// atoms that left their box move to the neighboring cell.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/index.hpp"
+#include "pup/pup.hpp"
+#include "util/rng.hpp"
+
+namespace leanmd {
+
+struct PhysParams {
+  int cx = 3, cy = 3, cz = 3;  ///< cell grid (each dim >= 3, periodic)
+  int ppc = 10;                ///< initial particles per cell
+  double cell_size = 4.0;     ///< box side per cell (>= cutoff)
+  double cutoff = 4.0;
+  double epsilon = 1.0;
+  double sigma = 1.0;
+  double dt = 2.0e-3;
+  double mass = 1.0;
+  int steps = 10;
+  int migrate_every = 5;
+
+  bool real = true;            ///< false: modeled cost, no particle data
+  double pair_cost = 1.0e-8;  ///< modeled seconds per atom pair
+
+  [[nodiscard]] std::int64_t num_cells() const {
+    return static_cast<std::int64_t>(cx) * cy * cz;
+  }
+  [[nodiscard]] double box(int dim) const {
+    return cell_size * (dim == 0 ? cx : dim == 1 ? cy : cz);
+  }
+
+  void pup(pup::Er& p) {
+    p | cx;
+    p | cy;
+    p | cz;
+    p | ppc;
+    p | cell_size;
+    p | cutoff;
+    p | epsilon;
+    p | sigma;
+    p | dt;
+    p | mass;
+    p | steps;
+    p | migrate_every;
+    p | real;
+    p | pair_cost;
+  }
+};
+
+/// Flat particle state: pos and vel are 3N arrays (x0,y0,z0,x1,...).
+struct Atoms {
+  std::vector<double> pos;
+  std::vector<double> vel;
+
+  [[nodiscard]] std::size_t count() const { return pos.size() / 3; }
+  void pup(pup::Er& p) {
+    p | pos;
+    p | vel;
+  }
+};
+
+/// Deterministic initial atoms of cell (i, j, k): jittered lattice with
+/// small random velocities (zero net momentum is NOT enforced per cell).
+Atoms init_cell(const PhysParams& p, int i, int j, int k);
+
+/// The 13 canonical neighbor directions (lexicographically positive) —
+/// a pair (A, A+d) is owned by the compute (A, d) iff d is canonical.
+const std::vector<cx::Index>& canonical_dirs();
+
+/// True if direction (dx, dy, dz) is canonical.
+bool is_canonical(int dx, int dy, int dz);
+
+/// Compute index for the pair (cell, dir): (x, y, z, dx+1, dy+1, dz+1).
+cx::Index compute_index(int x, int y, int z, int dx, int dy, int dz);
+
+/// Periodic wrap of a cell coordinate.
+inline int wrap(int c, int n) { return ((c % n) + n) % n; }
+
+/// LJ forces between two atom sets; `shift` is added to B's positions
+/// (periodic image offset). Writes per-atom forces (3N each) and returns
+/// the pair potential energy.
+double lj_pair_forces(const PhysParams& p, const std::vector<double>& pos_a,
+                      const std::vector<double>& pos_b, const double shift[3],
+                      std::vector<double>& f_a, std::vector<double>& f_b);
+
+/// LJ forces within one atom set (self interaction of a cell).
+double lj_self_forces(const PhysParams& p, const std::vector<double>& pos,
+                      std::vector<double>& f);
+
+/// Velocity-Verlet-style update (symplectic Euler): v += f/m dt; x += v dt.
+void integrate(const PhysParams& p, Atoms& atoms,
+               const std::vector<double>& forces);
+
+/// Partition atoms that left the cell box of (i, j, k): `leaving[d]`
+/// receives atoms whose new owner is neighbor direction d (0..26,
+/// encoded (dx+1)*9+(dy+1)*3+(dz+1), 13 == stay). Positions are wrapped
+/// into the global box when crossing the periodic boundary.
+void partition_atoms(const PhysParams& p, int i, int j, int k, Atoms& atoms,
+                     std::vector<Atoms>& leaving);
+
+/// Kinetic energy and momentum of an atom set.
+void kinetic_stats(const PhysParams& p, const Atoms& atoms, double& ke,
+                   double mom[3]);
+
+/// Result of one run (any variant).
+struct Result {
+  double elapsed = 0.0;
+  double time_per_step = 0.0;
+  double kinetic_energy = 0.0;
+  double momentum[3] = {0, 0, 0};
+  std::int64_t atoms = 0;
+};
+
+}  // namespace leanmd

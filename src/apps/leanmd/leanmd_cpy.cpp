@@ -1,0 +1,404 @@
+#include "apps/leanmd/leanmd_cpy.hpp"
+
+#include "core/charm.hpp"
+#include "model/cpy.hpp"
+#include "util/timer.hpp"
+
+namespace leanmd {
+
+using cpy::Args;
+using cpy::DChare;
+using cpy::DClass;
+using cpy::Value;
+
+namespace {
+
+PhysParams params_of(DChare& self) {
+  PhysParams p;
+  p.cx = static_cast<int>(self["cx"].as_int());
+  p.cy = static_cast<int>(self["cy"].as_int());
+  p.cz = static_cast<int>(self["cz"].as_int());
+  p.ppc = static_cast<int>(self["ppc"].as_int());
+  p.cell_size = self["cell_size"].as_real();
+  p.cutoff = self["cutoff"].as_real();
+  p.epsilon = self["epsilon"].as_real();
+  p.sigma = self["sigma"].as_real();
+  p.dt = self["dt"].as_real();
+  p.mass = self["mass"].as_real();
+  p.steps = static_cast<int>(self["steps"].as_int());
+  p.migrate_every = static_cast<int>(self["migrate_every"].as_int());
+  p.real = self["is_real"].truthy();
+  p.pair_cost = self["pair_cost"].as_real();
+  return p;
+}
+
+Args params_args(const PhysParams& p) {
+  return {Value(p.cx),        Value(p.cy),       Value(p.cz),
+          Value(p.ppc),       Value(p.cell_size), Value(p.cutoff),
+          Value(p.epsilon),   Value(p.sigma),    Value(p.dt),
+          Value(p.mass),      Value(p.steps),    Value(p.migrate_every),
+          Value(p.real),      Value(p.pair_cost)};
+}
+
+const std::vector<std::string>& params_names() {
+  static const std::vector<std::string> names = {
+      "cx",   "cy",    "cz",    "ppc",          "cell_size",
+      "cutoff", "epsilon", "sigma", "dt",       "mass",
+      "steps", "migrate_every", "is_real",      "pair_cost"};
+  return names;
+}
+
+void store_params(DChare& self, Args& a) {
+  const auto& names = params_names();
+  for (std::size_t i = 0; i < a.size() && i < names.size(); ++i) {
+    self[names[i]] = a[i];
+  }
+}
+
+int coord(DChare& self, int d) {
+  return static_cast<int>(self["thisIndex"].item(Value(d)).as_int());
+}
+
+std::uint64_t nominal_payload(const PhysParams& p) {
+  return static_cast<std::uint64_t>(p.ppc) * 3 * sizeof(double);
+}
+
+void send_positions(DChare& self) {
+  const PhysParams p = params_of(self);
+  self["forces"] =
+      p.real ? Value::zeros(self["pos"].length()) : Value::zeros(0);
+  self["got_forces"] = Value(0);
+  const int x = coord(self, 0), y = coord(self, 1), z = coord(self, 2);
+  auto computes = cpy::collection_from(self["computes"]);
+  const std::int64_t step = self["step"].as_int();
+  for (int dx = -1; dx <= 1; ++dx) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dz = -1; dz <= 1; ++dz) {
+        cx::Index target;
+        int role;
+        if (dx == 0 && dy == 0 && dz == 0) {
+          target = compute_index(x, y, z, 0, 0, 0);
+          role = 0;
+        } else if (is_canonical(dx, dy, dz)) {
+          target = compute_index(x, y, z, dx, dy, dz);
+          role = 0;
+        } else {
+          target = compute_index(wrap(x + dx, p.cx), wrap(y + dy, p.cy),
+                                 wrap(z + dz, p.cz), -dx, -dy, -dz);
+          role = 1;
+        }
+        if (p.real) {
+          computes[target].send("recvPositions",
+                                {Value(step), Value(role), self["pos"]});
+        } else {
+          computes[target].send_sized(
+              "recvPositions", {Value(step), Value(role), Value::none()},
+              nominal_payload(p));
+        }
+      }
+    }
+  }
+}
+
+void after_step(DChare& self);
+
+void begin_migration(DChare& self) {
+  const PhysParams p = params_of(self);
+  self["migrating"] = Value(true);
+  self["got_atoms"] = Value(0);
+  const int x = coord(self, 0), y = coord(self, 1), z = coord(self, 2);
+  std::vector<Atoms> leaving;
+  if (p.real) {
+    Atoms atoms;
+    atoms.pos = self["pos"].as_f64_array()->data;
+    atoms.vel = self["vel"].as_f64_array()->data;
+    partition_atoms(p, x, y, z, atoms, leaving);
+    self["pos"] = Value::array(std::move(atoms.pos));
+    self["vel"] = Value::array(std::move(atoms.vel));
+  } else {
+    leaving.assign(27, Atoms{});
+  }
+  auto arr = cpy::collection_proxy_of(self);
+  const std::int64_t step = self["step"].as_int();
+  for (int dx = -1; dx <= 1; ++dx) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dz = -1; dz <= 1; ++dz) {
+        if (dx == 0 && dy == 0 && dz == 0) continue;
+        const auto slot = static_cast<std::size_t>((dx + 1) * 9 +
+                                                   (dy + 1) * 3 + (dz + 1));
+        auto nb = arr[{wrap(x + dx, p.cx), wrap(y + dy, p.cy),
+                       wrap(z + dz, p.cz)}];
+        nb.send("recvAtoms",
+                {Value(step), Value::array(std::move(leaving[slot].pos)),
+                 Value::array(std::move(leaving[slot].vel))});
+      }
+    }
+  }
+}
+
+void finish(DChare& self) {
+  const PhysParams p = params_of(self);
+  double ke = 0.0, mom[3] = {0, 0, 0};
+  std::size_t n = 0;
+  if (p.real) {
+    Atoms atoms;
+    atoms.pos = self["pos"].as_f64_array()->data;
+    atoms.vel = self["vel"].as_f64_array()->data;
+    kinetic_stats(p, atoms, ke, mom);
+    n = atoms.count();
+  }
+  self.contribute_value(
+      Value::array({ke, static_cast<double>(n), mom[0], mom[1], mom[2]}),
+      "sum",
+      cpy::DTarget::to_future(cpy::future_from(self["done"]).slot()));
+}
+
+void after_step(DChare& self) {
+  const PhysParams p = params_of(self);
+  const std::int64_t step = self["step"].as_int();
+  if (step >= p.steps) {
+    finish(self);
+    return;
+  }
+  if (p.migrate_every > 0 && step % p.migrate_every == 0) {
+    begin_migration(self);
+    return;
+  }
+  send_positions(self);
+}
+
+}  // namespace
+
+void register_cpy_classes() {
+  static const bool once = [] {
+    // -------------------------------------------------------------- Cell
+    DClass cell("leanmd.Cell");
+    cell.def("__init__", params_names(), [](DChare& self, Args& a) {
+      store_params(self, a);
+      self["step"] = Value(0);
+      self["got_forces"] = Value(0);
+      self["got_atoms"] = Value(0);
+      self["migrating"] = Value(false);
+      const PhysParams p = params_of(self);
+      if (p.real) {
+        Atoms atoms = init_cell(p, coord(self, 0), coord(self, 1),
+                                coord(self, 2));
+        self["pos"] = Value::array(std::move(atoms.pos));
+        self["vel"] = Value::array(std::move(atoms.vel));
+      } else {
+        self["pos"] = Value::zeros(0);
+        self["vel"] = Value::zeros(0);
+      }
+      self["forces"] = Value::zeros(0);
+      return Value::none();
+    });
+
+    cell.def("start", {"computes", "done"}, [](DChare& self, Args& a) {
+      self["computes"] = a[0];
+      self["done"] = a[1];
+      send_positions(self);
+      return Value::none();
+    });
+
+    cell.def("recvForces", {"step", "f", "pe"}, [](DChare& self, Args& a) {
+      const PhysParams p = params_of(self);
+      if (p.real) {
+        auto& acc = self["forces"].as_f64_array()->data;
+        const auto& f = a[1].as_f64_array()->data;
+        for (std::size_t i = 0; i < acc.size() && i < f.size(); ++i) {
+          acc[i] += f[i];
+        }
+      }
+      self["got_forces"] = Value(self["got_forces"].as_int() + 1);
+      if (self["got_forces"].as_int() < 27) return Value::none();
+      if (p.real) {
+        const double w0 = cxu::wall_time();
+        Atoms atoms;
+        atoms.pos = std::move(self["pos"].as_f64_array()->data);
+        atoms.vel = std::move(self["vel"].as_f64_array()->data);
+        integrate(p, atoms, self["forces"].as_f64_array()->data);
+        self["pos"].as_f64_array()->data = std::move(atoms.pos);
+        self["vel"].as_f64_array()->data = std::move(atoms.vel);
+        cx::charge(cxu::wall_time() - w0);
+      }
+      self["step"] = Value(self["step"].as_int() + 1);
+      after_step(self);
+      return Value::none();
+    });
+    cell.when("recvForces", "self.step == step and not self.migrating");
+
+    cell.def("recvAtoms", {"step", "pos", "vel"}, [](DChare& self, Args& a) {
+      const PhysParams p = params_of(self);
+      if (p.real) {
+        auto& pos = self["pos"].as_f64_array()->data;
+        auto& vel = self["vel"].as_f64_array()->data;
+        const auto& ipos = a[1].as_f64_array()->data;
+        const auto& ivel = a[2].as_f64_array()->data;
+        pos.insert(pos.end(), ipos.begin(), ipos.end());
+        vel.insert(vel.end(), ivel.begin(), ivel.end());
+      }
+      self["got_atoms"] = Value(self["got_atoms"].as_int() + 1);
+      if (self["got_atoms"].as_int() < 26) return Value::none();
+      self["migrating"] = Value(false);
+      send_positions(self);
+      return Value::none();
+    });
+    cell.when("recvAtoms", "self.step == step and self.migrating");
+
+    // ----------------------------------------------------------- Compute
+    DClass cmp("leanmd.Compute");
+    cmp.def("__init__", params_names(), [](DChare& self, Args& a) {
+      store_params(self, a);
+      self["step"] = Value(0);
+      self["got"] = Value(0);
+      self["pos0"] = Value::zeros(0);
+      self["pos1"] = Value::zeros(0);
+      return Value::none();
+    });
+
+    cmp.def("setCells", {"cells"}, [](DChare& self, Args& a) {
+      self["cells"] = a[0];
+      return Value::none();
+    });
+
+    cmp.def("recvPositions", {"step", "role", "pos"},
+            [](DChare& self, Args& a) {
+              const PhysParams p = params_of(self);
+              if (a[1].as_int() == 0) {
+                self["pos0"] = a[2];
+              } else {
+                self["pos1"] = a[2];
+              }
+              const int ix3 = static_cast<int>(
+                  self["thisIndex"].item(Value(3)).as_int());
+              const int ix4 = static_cast<int>(
+                  self["thisIndex"].item(Value(4)).as_int());
+              const int ix5 = static_cast<int>(
+                  self["thisIndex"].item(Value(5)).as_int());
+              const bool self_pair = ix3 == 1 && ix4 == 1 && ix5 == 1;
+              const int expected = self_pair ? 1 : 2;
+              self["got"] = Value(self["got"].as_int() + 1);
+              if (self["got"].as_int() < expected) return Value::none();
+
+              const int x = coord(self, 0), y = coord(self, 1),
+                        z = coord(self, 2);
+              const int dx = ix3 - 1, dy = ix4 - 1, dz = ix5 - 1;
+              auto cells = cpy::collection_from(self["cells"]);
+              const std::int64_t step = self["step"].as_int();
+              const std::uint64_t nominal = nominal_payload(p);
+              auto base = cells[{x, y, z}];
+              if (self_pair) {
+                if (p.real) {
+                  std::vector<double> f;
+                  const double w0 = cxu::wall_time();
+                  const double pe = lj_self_forces(
+                      p, self["pos0"].as_f64_array()->data, f);
+                  cx::charge(cxu::wall_time() - w0);
+                  base.send("recvForces",
+                            {Value(step), Value::array(std::move(f)),
+                             Value(pe)});
+                } else {
+                  cx::compute(p.pair_cost * 0.5 * p.ppc * p.ppc);
+                  base.send_sized("recvForces",
+                                  {Value(step), Value::none(), Value(0.0)},
+                                  nominal);
+                }
+              } else {
+                auto nbr = cells[{wrap(x + dx, p.cx), wrap(y + dy, p.cy),
+                                  wrap(z + dz, p.cz)}];
+                if (p.real) {
+                  double shift[3];
+                  const int raw[3] = {x + dx, y + dy, z + dz};
+                  const int wrapped[3] = {wrap(x + dx, p.cx),
+                                          wrap(y + dy, p.cy),
+                                          wrap(z + dz, p.cz)};
+                  for (int d = 0; d < 3; ++d) {
+                    shift[d] = (raw[d] - wrapped[d]) * p.cell_size;
+                  }
+                  std::vector<double> f0, f1;
+                  const double w0 = cxu::wall_time();
+                  const double pe = lj_pair_forces(
+                      p, self["pos0"].as_f64_array()->data,
+                      self["pos1"].as_f64_array()->data, shift, f0, f1);
+                  cx::charge(cxu::wall_time() - w0);
+                  base.send("recvForces",
+                            {Value(step), Value::array(std::move(f0)),
+                             Value(pe)});
+                  nbr.send("recvForces",
+                           {Value(step), Value::array(std::move(f1)),
+                            Value(pe)});
+                } else {
+                  cx::compute(p.pair_cost * p.ppc * p.ppc);
+                  base.send_sized("recvForces",
+                                  {Value(step), Value::none(), Value(0.0)},
+                                  nominal);
+                  nbr.send_sized("recvForces",
+                                 {Value(step), Value::none(), Value(0.0)},
+                                 nominal);
+                }
+              }
+              self["got"] = Value(0);
+              self["pos0"] = Value::zeros(0);
+              self["pos1"] = Value::zeros(0);
+              self["step"] = Value(step + 1);
+              return Value::none();
+            });
+    cmp.when("recvPositions", "self.step == step");
+    return true;
+  }();
+  (void)once;
+}
+
+Result run_cpy(const PhysParams& p, const cxm::MachineConfig& machine,
+               double dispatch_overhead) {
+  register_cpy_classes();
+  cx::RuntimeConfig cfg;
+  cfg.machine = machine;
+  cx::Runtime rt(cfg);
+  DChare::set_sim_dispatch_overhead(dispatch_overhead);
+  Result result;
+  double wall0 = 0.0, wall1 = 0.0;
+  rt.run([&] {
+    auto cells =
+        cpy::create_array("leanmd.Cell", {p.cx, p.cy, p.cz}, params_args(p));
+    auto computes = cpy::create_sparse_array("leanmd.Compute", 6);
+    cx::CollectionInfo cell_info;
+    cell_info.kind = cx::CollectionKind::Array;
+    cell_info.dims = cx::Index(p.cx, p.cy, p.cz);
+    cell_info.map_name = "block";
+    for (int x = 0; x < p.cx; ++x) {
+      for (int y = 0; y < p.cy; ++y) {
+        for (int z = 0; z < p.cz; ++z) {
+          const int pe = cx::home_pe(cell_info, cx::Index(x, y, z),
+                                     cx::num_pes());
+          computes.insert_on(pe, compute_index(x, y, z, 0, 0, 0),
+                             params_args(p));
+          for (const auto& d : canonical_dirs()) {
+            computes.insert_on(pe, compute_index(x, y, z, d[0], d[1], d[2]),
+                               params_args(p));
+          }
+        }
+      }
+    }
+    computes.done_inserting().get();
+    computes.broadcast_done("setCells", {cpy::to_value(cells)}).get();
+    auto f = cx::make_future<Value>();
+    wall0 = cxu::wall_time();
+    cells.broadcast("start", {cpy::to_value(computes), cpy::to_value(f)});
+    const Value stats = f.get();
+    wall1 = cxu::wall_time();
+    result.kinetic_energy = stats.item(Value(0)).as_real();
+    result.atoms =
+        static_cast<std::int64_t>(stats.item(Value(1)).as_real());
+    result.momentum[0] = stats.item(Value(2)).as_real();
+    result.momentum[1] = stats.item(Value(3)).as_real();
+    result.momentum[2] = stats.item(Value(4)).as_real();
+    cx::exit();
+  });
+  DChare::set_sim_dispatch_overhead(0.0);
+  result.elapsed = rt.is_simulated() ? rt.sim_makespan() : (wall1 - wall0);
+  result.time_per_step = result.elapsed / p.steps;
+  return result;
+}
+
+}  // namespace leanmd

@@ -1,0 +1,19 @@
+#pragma once
+// LeanMD on the dynamic model layer — the "CharmPy" series of Fig. 4.
+// The full port of the mini-app to the dynamic model, as the paper fully
+// ported LeanMD to Python: cells and computes are dynamic classes, atom
+// state lives in array attributes, force kernels are plain functions
+// applied to those buffers, and delivery ordering uses when-strings.
+
+#include "apps/leanmd/leanmd_common.hpp"
+#include "machine/machine.hpp"
+
+namespace leanmd {
+
+/// Register the dynamic classes "leanmd.Cell" / "leanmd.Compute".
+void register_cpy_classes();
+
+Result run_cpy(const PhysParams& p, const cxm::MachineConfig& machine,
+               double dispatch_overhead = 0.0);
+
+}  // namespace leanmd

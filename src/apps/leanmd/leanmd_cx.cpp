@@ -1,0 +1,302 @@
+#include "apps/leanmd/leanmd_cx.hpp"
+
+#include "util/timer.hpp"
+
+namespace leanmd {
+
+namespace {
+
+constexpr int kForcesPerStep = 27;  // 26 neighbor computes + 1 self
+constexpr int kAtomMsgs = 26;
+
+struct Registrar {
+  Registrar() {
+    cx::set_when<&Cell::recv_forces>(
+        [](Cell& self, const int& s, const std::vector<double>&,
+           const double&) { return s == self.step && !self.migrating; });
+    cx::set_when<&Cell::recv_atoms>(
+        [](Cell& self, const int& s, const Atoms&) {
+          return s == self.step && self.migrating;
+        });
+    cx::set_when<&Compute::recv_positions>(
+        [](Compute& self, const int& s, const int&,
+           const std::vector<double>&) { return s == self.step; });
+  }
+};
+const Registrar registrar;
+
+/// Nominal bytes of a positions/forces message in modeled mode.
+std::uint64_t nominal_payload(const PhysParams& p) {
+  return static_cast<std::uint64_t>(p.ppc) * 3 * sizeof(double);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Cell
+
+Cell::Cell(PhysParams p) : params(p) {
+  const cx::Index& me = this_index();
+  if (params.real) {
+    atoms = init_cell(params, me[0], me[1], me[2]);
+  }
+}
+
+void Cell::start(cx::CollectionProxy<Compute> cmp, cx::Callback done) {
+  computes = cmp;
+  done_cb = done;
+  send_positions();
+}
+
+void Cell::send_positions() {
+  forces.assign(params.real ? atoms.pos.size() : 0, 0.0);
+  got_forces = 0;
+  const cx::Index& me = this_index();
+  const int x = me[0], y = me[1], z = me[2];
+  for (int dx = -1; dx <= 1; ++dx) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dz = -1; dz <= 1; ++dz) {
+        cx::Index target;
+        int role;
+        if (dx == 0 && dy == 0 && dz == 0) {
+          target = compute_index(x, y, z, 0, 0, 0);
+          role = 0;
+        } else if (is_canonical(dx, dy, dz)) {
+          target = compute_index(x, y, z, dx, dy, dz);
+          role = 0;
+        } else {
+          target = compute_index(wrap(x + dx, params.cx),
+                                 wrap(y + dy, params.cy),
+                                 wrap(z + dz, params.cz), -dx, -dy, -dz);
+          role = 1;
+        }
+        if (params.real) {
+          computes[target].send<&Compute::recv_positions>(step, role,
+                                                          atoms.pos);
+        } else {
+          computes[target].send_sized<&Compute::recv_positions>(
+              nominal_payload(params), step, role, std::vector<double>{});
+        }
+      }
+    }
+  }
+}
+
+void Cell::recv_forces(int, std::vector<double> f, double) {
+  if (params.real) {
+    for (std::size_t i = 0; i < forces.size() && i < f.size(); ++i) {
+      forces[i] += f[i];
+    }
+  }
+  if (++got_forces < kForcesPerStep) return;
+  // All forces in: integrate and advance.
+  if (params.real) {
+    const double w0 = cxu::wall_time();
+    integrate(params, atoms, forces);
+    cx::charge(cxu::wall_time() - w0);
+  }
+  ++step;
+  after_step();
+}
+
+void Cell::after_step() {
+  if (step >= params.steps) {
+    finish();
+    return;
+  }
+  if (params.migrate_every > 0 && step % params.migrate_every == 0) {
+    begin_migration();
+    return;
+  }
+  send_positions();
+}
+
+void Cell::begin_migration() {
+  migrating = true;
+  got_atoms = 0;
+  const cx::Index& me = this_index();
+  std::vector<Atoms> leaving;
+  if (params.real) {
+    partition_atoms(params, me[0], me[1], me[2], atoms, leaving);
+  } else {
+    leaving.assign(27, Atoms{});
+  }
+  auto arr = cx::collection_of<Cell>(*this);
+  for (int dx = -1; dx <= 1; ++dx) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dz = -1; dz <= 1; ++dz) {
+        if (dx == 0 && dy == 0 && dz == 0) continue;
+        const auto slot = static_cast<std::size_t>((dx + 1) * 9 +
+                                                   (dy + 1) * 3 + (dz + 1));
+        auto nb = arr[{wrap(me[0] + dx, params.cx),
+                       wrap(me[1] + dy, params.cy),
+                       wrap(me[2] + dz, params.cz)}];
+        nb.send<&Cell::recv_atoms>(step, std::move(leaving[slot]));
+      }
+    }
+  }
+}
+
+void Cell::recv_atoms(int, Atoms incoming) {
+  if (params.real) {
+    atoms.pos.insert(atoms.pos.end(), incoming.pos.begin(),
+                     incoming.pos.end());
+    atoms.vel.insert(atoms.vel.end(), incoming.vel.begin(),
+                     incoming.vel.end());
+  }
+  if (++got_atoms < kAtomMsgs) return;
+  migrating = false;
+  send_positions();
+}
+
+void Cell::finish() {
+  double ke = 0.0, mom[3] = {0, 0, 0};
+  if (params.real) kinetic_stats(params, atoms, ke, mom);
+  std::vector<double> stats = {
+      ke, static_cast<double>(params.real ? atoms.count() : 0), mom[0],
+      mom[1], mom[2]};
+  contribute(stats, cx::reducer::sum<std::vector<double>>(), done_cb);
+}
+
+void Cell::pup(pup::Er& p) {
+  p | params;
+  atoms.pup(p);
+  p | forces;
+  p | step;
+  p | got_forces;
+  p | got_atoms;
+  p | migrating;
+  computes.pup(p);
+  done_cb.pup(p);
+}
+
+// ---------------------------------------------------------------------------
+// Compute
+
+Compute::Compute(PhysParams p) : params(p) {}
+
+void Compute::set_cells(cx::CollectionProxy<Cell> c) { cells = c; }
+
+void Compute::recv_positions(int, int role, std::vector<double> pos) {
+  if (role == 0) {
+    pos0 = std::move(pos);
+  } else {
+    pos1 = std::move(pos);
+  }
+  const int expected = is_self() ? 1 : 2;
+  if (++got < expected) return;
+  run_interaction();
+  got = 0;
+  pos0.clear();
+  pos1.clear();
+  ++step;
+}
+
+void Compute::run_interaction() {
+  const cx::Index& ix = this_index();
+  const int x = ix[0], y = ix[1], z = ix[2];
+  const int dx = ix[3] - 1, dy = ix[4] - 1, dz = ix[5] - 1;
+  auto base = cells[{x, y, z}];
+  const std::uint64_t nominal = nominal_payload(params);
+
+  if (is_self()) {
+    if (params.real) {
+      std::vector<double> f;
+      const double w0 = cxu::wall_time();
+      const double pe = lj_self_forces(params, pos0, f);
+      cx::charge(cxu::wall_time() - w0);
+      base.send<&Cell::recv_forces>(step, std::move(f), pe);
+    } else {
+      cx::compute(params.pair_cost * 0.5 * params.ppc * params.ppc);
+      base.send_sized<&Cell::recv_forces>(nominal, step,
+                                          std::vector<double>{}, 0.0);
+    }
+    return;
+  }
+
+  auto nbr = cells[{wrap(x + dx, params.cx), wrap(y + dy, params.cy),
+                    wrap(z + dz, params.cz)}];
+  if (params.real) {
+    // Periodic image shift of the neighbor cell relative to the base.
+    double shift[3];
+    const int raw[3] = {x + dx, y + dy, z + dz};
+    const int wrapped[3] = {wrap(x + dx, params.cx),
+                            wrap(y + dy, params.cy),
+                            wrap(z + dz, params.cz)};
+    for (int d = 0; d < 3; ++d) {
+      shift[d] = (raw[d] - wrapped[d]) * params.cell_size;
+    }
+    std::vector<double> f0, f1;
+    const double w0 = cxu::wall_time();
+    const double pe = lj_pair_forces(params, pos0, pos1, shift, f0, f1);
+    cx::charge(cxu::wall_time() - w0);
+    base.send<&Cell::recv_forces>(step, std::move(f0), pe);
+    nbr.send<&Cell::recv_forces>(step, std::move(f1), pe);
+  } else {
+    cx::compute(params.pair_cost * params.ppc * params.ppc);
+    base.send_sized<&Cell::recv_forces>(nominal, step,
+                                        std::vector<double>{}, 0.0);
+    nbr.send_sized<&Cell::recv_forces>(nominal, step, std::vector<double>{},
+                                       0.0);
+  }
+}
+
+void Compute::pup(pup::Er& p) {
+  p | params;
+  cells.pup(p);
+  p | step;
+  p | got;
+  p | pos0;
+  p | pos1;
+}
+
+// ---------------------------------------------------------------------------
+
+Result run_cx(const PhysParams& p, const cxm::MachineConfig& machine) {
+  cx::RuntimeConfig cfg;
+  cfg.machine = machine;
+  cx::Runtime rt(cfg);
+  Result result;
+  double wall0 = 0.0, wall1 = 0.0;
+  rt.run([&] {
+    auto cells = cx::create_array<Cell>({p.cx, p.cy, p.cz}, p);
+    auto computes = cx::create_sparse<Compute>(6);
+    // Insert one compute per canonical pair + one self per cell, placed
+    // on the home PE of the pair's base cell (locality, as in LeanMD).
+    cx::CollectionInfo cell_info;
+    cell_info.kind = cx::CollectionKind::Array;
+    cell_info.dims = cx::Index(p.cx, p.cy, p.cz);
+    cell_info.map_name = "block";
+    for (int x = 0; x < p.cx; ++x) {
+      for (int y = 0; y < p.cy; ++y) {
+        for (int z = 0; z < p.cz; ++z) {
+          const int pe = cx::home_pe(cell_info, cx::Index(x, y, z),
+                                     cx::num_pes());
+          computes.insert_on(pe, compute_index(x, y, z, 0, 0, 0), p);
+          for (const auto& d : canonical_dirs()) {
+            computes.insert_on(pe, compute_index(x, y, z, d[0], d[1], d[2]),
+                               p);
+          }
+        }
+      }
+    }
+    computes.done_inserting().get();
+    computes.broadcast_done<&Compute::set_cells>(cells).get();
+    auto f = cx::make_future<std::vector<double>>();
+    wall0 = cxu::wall_time();
+    cells.broadcast<&Cell::start>(computes, cx::cb(f));
+    const auto stats = f.get();
+    wall1 = cxu::wall_time();
+    result.kinetic_energy = stats[0];
+    result.atoms = static_cast<std::int64_t>(stats[1]);
+    result.momentum[0] = stats[2];
+    result.momentum[1] = stats[3];
+    result.momentum[2] = stats[4];
+    cx::exit();
+  });
+  result.elapsed = rt.is_simulated() ? rt.sim_makespan() : (wall1 - wall0);
+  result.time_per_step = result.elapsed / p.steps;
+  return result;
+}
+
+}  // namespace leanmd

@@ -1,0 +1,78 @@
+#pragma once
+// LeanMD on the typed core runtime — the "Charm++" series of Fig. 4.
+// See leanmd_common.hpp for the decomposition.
+
+#include <string>
+#include <vector>
+
+#include "apps/leanmd/leanmd_common.hpp"
+#include "core/charm.hpp"
+
+namespace leanmd {
+
+class Compute;
+
+/// A cell of the 3D space decomposition; owns its atoms.
+class Cell : public cx::Chare {
+ public:
+  Cell() = default;
+  explicit Cell(PhysParams p);
+
+  /// Broadcast entry: begin stepping; on completion contribute
+  /// {ke, natoms, px, py, pz} (sum) to `done`.
+  void start(cx::CollectionProxy<Compute> computes, cx::Callback done);
+  /// Per-atom forces from one compute, guarded by when(step == mine).
+  void recv_forces(int step, std::vector<double> forces, double pe);
+  /// Atoms arriving from a neighbor during migration, same guard.
+  void recv_atoms(int step, Atoms incoming);
+
+  void pup(pup::Er& p) override;
+
+  PhysParams params;
+  Atoms atoms;
+  std::vector<double> forces;
+  int step = 0;
+  int got_forces = 0;
+  int got_atoms = 0;
+  bool migrating = false;
+  cx::CollectionProxy<Compute> computes;
+  cx::Callback done_cb;
+
+ private:
+  void send_positions();
+  void begin_migration();
+  void after_step();
+  void finish();
+};
+
+/// A pairwise interaction; element (x,y,z,dx+1,dy+1,dz+1) of a sparse
+/// 6D array handles cell (x,y,z) against cell (x+dx, y+dy, z+dz)
+/// (periodic); (1,1,1) encodes the self interaction.
+class Compute : public cx::Chare {
+ public:
+  Compute() = default;
+  explicit Compute(PhysParams p);
+
+  void set_cells(cx::CollectionProxy<Cell> cells);
+  /// Positions from one side (`role` 0 = base cell, 1 = neighbor).
+  void recv_positions(int step, int role, std::vector<double> pos);
+
+  void pup(pup::Er& p) override;
+
+  PhysParams params;
+  cx::CollectionProxy<Cell> cells;
+  int step = 0;
+  int got = 0;
+  std::vector<double> pos0, pos1;
+
+ private:
+  void run_interaction();
+  [[nodiscard]] bool is_self() const {
+    const cx::Index& ix = this_index();
+    return ix[3] == 1 && ix[4] == 1 && ix[5] == 1;
+  }
+};
+
+Result run_cx(const PhysParams& p, const cxm::MachineConfig& machine);
+
+}  // namespace leanmd

@@ -1,0 +1,207 @@
+#include "apps/stencil/stencil_common.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace stencil {
+
+namespace kern {
+
+namespace {
+inline std::size_t at(int ny, int nz, int i, int j, int k) {
+  return (static_cast<std::size_t>(i) * static_cast<std::size_t>(ny + 2) +
+          static_cast<std::size_t>(j)) *
+             static_cast<std::size_t>(nz + 2) +
+         static_cast<std::size_t>(k);
+}
+}  // namespace
+
+std::size_t field_size(int nx, int ny, int nz) {
+  return static_cast<std::size_t>(nx + 2) * static_cast<std::size_t>(ny + 2) *
+         static_cast<std::size_t>(nz + 2);
+}
+
+void init_field(const Geometry& g, int bx_i, int by_i, int bz_i,
+                std::vector<double>& cur) {
+  cur.assign(field_size(g.nx, g.ny, g.nz), 0.0);
+  for (int i = 1; i <= g.nx; ++i) {
+    for (int j = 1; j <= g.ny; ++j) {
+      for (int k = 1; k <= g.nz; ++k) {
+        cur[at(g.ny, g.nz, i, j, k)] =
+            initial_value(bx_i * g.nx + i - 1, by_i * g.ny + j - 1,
+                          bz_i * g.nz + k - 1);
+      }
+    }
+  }
+}
+
+void compute(int nx, int ny, int nz, const std::vector<double>& cur,
+             std::vector<double>& next) {
+  for (int i = 1; i <= nx; ++i) {
+    for (int j = 1; j <= ny; ++j) {
+      for (int k = 1; k <= nz; ++k) {
+        next[at(ny, nz, i, j, k)] =
+            (cur[at(ny, nz, i, j, k)] + cur[at(ny, nz, i - 1, j, k)] +
+             cur[at(ny, nz, i + 1, j, k)] + cur[at(ny, nz, i, j - 1, k)] +
+             cur[at(ny, nz, i, j + 1, k)] + cur[at(ny, nz, i, j, k - 1)] +
+             cur[at(ny, nz, i, j, k + 1)]) /
+            7.0;
+      }
+    }
+  }
+}
+
+std::vector<double> extract_face(int nx, int ny, int nz,
+                                 const std::vector<double>& cur, int face) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(face_cells(nx, ny, nz, face)));
+  switch (face) {
+    case 0:
+    case 1: {
+      const int i = face == 0 ? 1 : nx;
+      for (int j = 1; j <= ny; ++j)
+        for (int k = 1; k <= nz; ++k) out.push_back(cur[at(ny, nz, i, j, k)]);
+      break;
+    }
+    case 2:
+    case 3: {
+      const int j = face == 2 ? 1 : ny;
+      for (int i = 1; i <= nx; ++i)
+        for (int k = 1; k <= nz; ++k) out.push_back(cur[at(ny, nz, i, j, k)]);
+      break;
+    }
+    case 4:
+    case 5: {
+      const int k = face == 4 ? 1 : nz;
+      for (int i = 1; i <= nx; ++i)
+        for (int j = 1; j <= ny; ++j) out.push_back(cur[at(ny, nz, i, j, k)]);
+      break;
+    }
+    default: throw std::invalid_argument("bad face");
+  }
+  return out;
+}
+
+void inject_face(int nx, int ny, int nz, std::vector<double>& cur, int face,
+                 const std::vector<double>& data) {
+  std::size_t n = 0;
+  switch (face) {
+    case 0:
+    case 1: {
+      const int i = face == 0 ? 0 : nx + 1;
+      for (int j = 1; j <= ny; ++j)
+        for (int k = 1; k <= nz; ++k) cur[at(ny, nz, i, j, k)] = data[n++];
+      break;
+    }
+    case 2:
+    case 3: {
+      const int j = face == 2 ? 0 : ny + 1;
+      for (int i = 1; i <= nx; ++i)
+        for (int k = 1; k <= nz; ++k) cur[at(ny, nz, i, j, k)] = data[n++];
+      break;
+    }
+    case 4:
+    case 5: {
+      const int k = face == 4 ? 0 : nz + 1;
+      for (int i = 1; i <= nx; ++i)
+        for (int j = 1; j <= ny; ++j) cur[at(ny, nz, i, j, k)] = data[n++];
+      break;
+    }
+    default: throw std::invalid_argument("bad face");
+  }
+}
+
+double checksum(int nx, int ny, int nz, const std::vector<double>& cur) {
+  double sum = 0.0;
+  for (int i = 1; i <= nx; ++i)
+    for (int j = 1; j <= ny; ++j)
+      for (int k = 1; k <= nz; ++k) sum += cur[at(ny, nz, i, j, k)];
+  return sum;
+}
+
+std::int64_t face_cells(int nx, int ny, int nz, int face) {
+  switch (face / 2) {
+    case 0: return static_cast<std::int64_t>(ny) * nz;
+    case 1: return static_cast<std::int64_t>(nx) * nz;
+    default: return static_cast<std::int64_t>(nx) * ny;
+  }
+}
+
+}  // namespace kern
+
+// ---------------------------------------------------------------------------
+
+Block::Block(const Geometry& g, int bx_i, int by_i, int bz_i)
+    : nx_(g.nx), ny_(g.ny), nz_(g.nz) {
+  kern::init_field(g, bx_i, by_i, bz_i, cur_);
+  next_.assign(cur_.size(), 0.0);
+}
+
+void Block::compute() {
+  kern::compute(nx_, ny_, nz_, cur_, next_);
+  cur_.swap(next_);
+}
+
+std::vector<double> Block::extract_face(int face) const {
+  return kern::extract_face(nx_, ny_, nz_, cur_, face);
+}
+
+void Block::inject_face(int face, const std::vector<double>& data) {
+  kern::inject_face(nx_, ny_, nz_, cur_, face, data);
+}
+
+void Block::zero_face(int face) {
+  const std::vector<double> zeros(
+      static_cast<std::size_t>(face_cells(face)), 0.0);
+  inject_face(face, zeros);
+}
+
+double Block::checksum() const {
+  return kern::checksum(nx_, ny_, nz_, cur_);
+}
+
+std::int64_t Block::face_cells(int face) const {
+  return kern::face_cells(nx_, ny_, nz_, face);
+}
+
+double initial_value(int gi, int gj, int gk) {
+  // Smooth but non-trivial: distinguishable per cell, bounded.
+  return std::sin(0.7 * gi) + std::cos(1.3 * gj) + std::sin(2.1 * gk + 0.5);
+}
+
+int neighbor_count(const Geometry& g, int x, int y, int z) {
+  int n = 0;
+  for_each_neighbor(g, x, y, z, [&](int, int, int, int) { ++n; });
+  return n;
+}
+
+double alpha_factor(std::int64_t i, std::int64_t n, int iter) {
+  if (n <= 0) return 0.0;
+  const auto lo = static_cast<std::int64_t>(0.2 * static_cast<double>(n));
+  const auto hi = static_cast<std::int64_t>(0.8 * static_cast<double>(n));
+  if (i < lo || i >= hi) return 10.0;
+  const std::int64_t phase = (static_cast<std::int64_t>(iter) + i) % n;
+  return 100.0 *
+         (1.0 + 5.0 * static_cast<double>(phase) / static_cast<double>(n));
+}
+
+std::int64_t load_group(const Params& p, int x, int y, int z) {
+  const Geometry& g = p.geo;
+  const std::int64_t lin =
+      (static_cast<std::int64_t>(x) * g.by + y) * g.bz + z;
+  return lin * p.num_load_groups / g.num_blocks();
+}
+
+double serial_checksum(const Geometry& g, int iterations) {
+  const Geometry whole{1, 1, 1, g.bx * g.nx, g.by * g.ny, g.bz * g.nz};
+  std::vector<double> cur;
+  kern::init_field(whole, 0, 0, 0, cur);
+  std::vector<double> next(cur.size(), 0.0);
+  for (int it = 0; it < iterations; ++it) {
+    kern::compute(whole.nx, whole.ny, whole.nz, cur, next);
+    cur.swap(next);
+  }
+  return kern::checksum(whole.nx, whole.ny, whole.nz, cur);
+}
+
+}  // namespace stencil

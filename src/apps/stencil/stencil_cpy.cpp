@@ -1,0 +1,230 @@
+#include "apps/stencil/stencil_cpy.hpp"
+
+#include <algorithm>
+
+#include "core/charm.hpp"
+#include "model/cpy.hpp"
+#include "util/timer.hpp"
+
+namespace stencil {
+
+using cpy::Args;
+using cpy::DChare;
+using cpy::DClass;
+using cpy::Value;
+
+namespace {
+
+int iattr(DChare& self, const char* name) {
+  return static_cast<int>(self[name].as_int());
+}
+
+std::int64_t block_coord(DChare& self, int d) {
+  return self["thisIndex"].item(Value(d)).as_int();
+}
+
+Geometry geo_of(DChare& self) {
+  Geometry g;
+  g.bx = iattr(self, "bx");
+  g.by = iattr(self, "by");
+  g.bz = iattr(self, "bz");
+  g.nx = iattr(self, "nx");
+  g.ny = iattr(self, "ny");
+  g.nz = iattr(self, "nz");
+  return g;
+}
+
+double do_kernel(DChare& self) {
+  const Geometry g = geo_of(self);
+  if (self["real"].truthy()) {
+    const double w0 = cxu::wall_time();
+    auto& cur = self["cur"].as_f64_array()->data;
+    auto& next = self["next"].as_f64_array()->data;
+    kern::compute(g.nx, g.ny, g.nz, cur, next);
+    cur.swap(next);
+    const double tk = cxu::wall_time() - w0;
+    cx::charge(tk);
+    return tk;
+  }
+  const double tk = self["cell_cost"].as_real() *
+                    static_cast<double>(g.cells_per_block());
+  cx::compute(tk);
+  return tk;
+}
+
+void begin_iteration(DChare& self) {
+  const Geometry g = geo_of(self);
+  const int x = static_cast<int>(block_coord(self, 0));
+  const int y = static_cast<int>(block_coord(self, 1));
+  const int z = static_cast<int>(block_coord(self, 2));
+  const bool real = self["real"].truthy();
+  const std::int64_t it = self["iter"].as_int();
+  auto arr = cpy::collection_proxy_of(self);
+  const std::uint64_t nominal =
+      static_cast<std::uint64_t>(kern::face_cells(g.nx, g.ny, g.nz, 0)) *
+      sizeof(double);
+  for_each_neighbor(g, x, y, z, [&](int face, int nx, int ny, int nz) {
+    auto nb = arr[{nx, ny, nz}];
+    if (real) {
+      nb.send("recvGhost",
+              {Value(it), Value(face ^ 1),
+               Value::array(kern::extract_face(
+                   g.nx, g.ny, g.nz, self["cur"].as_f64_array()->data,
+                   face))});
+    } else {
+      nb.send_sized("recvGhost",
+                    {Value(it), Value(face ^ 1), Value::none()}, nominal);
+    }
+  });
+  if (self["expected"].as_int() == 0) {
+    // Single block: no neighbors; advance immediately.
+    Args none;
+    (void)self.dyn_call("advance", std::move(none));
+  }
+}
+
+}  // namespace
+
+void register_cpy_classes() {
+  static const bool once = [] {
+    DClass cls("stencil.Block");
+
+    cls.def("__init__",
+            {"bx", "by", "bz", "nx", "ny", "nz", "iterations", "real",
+             "cell_cost", "imb", "ngroups", "drift", "lb_period"},
+            [](DChare& self, Args& a) {
+              const char* names[] = {"bx", "by", "bz", "nx", "ny", "nz",
+                                     "iterations", "real", "cell_cost",
+                                     "imb", "ngroups", "drift", "lb_period"};
+              for (std::size_t i = 0; i < a.size() && i < 13; ++i) {
+                self[names[i]] = a[i];
+              }
+              self["iter"] = Value(0);
+              self["got"] = Value(0);
+              const Geometry g = geo_of(self);
+              const int x = static_cast<int>(block_coord(self, 0));
+              const int y = static_cast<int>(block_coord(self, 1));
+              const int z = static_cast<int>(block_coord(self, 2));
+              self["expected"] = Value(neighbor_count(g, x, y, z));
+              if (self["real"].truthy()) {
+                std::vector<double> cur;
+                kern::init_field(g, x, y, z, cur);
+                std::vector<double> next(cur.size(), 0.0);
+                self["cur"] = Value::array(std::move(cur));
+                self["next"] = Value::array(std::move(next));
+              }
+              return Value::none();
+            });
+
+    cls.def("start", {"done"}, [](DChare& self, Args& a) {
+      self["done"] = a[0];
+      begin_iteration(self);
+      return Value::none();
+    });
+
+    cls.def("recvGhost", {"iter", "face", "data"},
+            [](DChare& self, Args& a) {
+              if (self["real"].truthy()) {
+                const Geometry g = geo_of(self);
+                kern::inject_face(g.nx, g.ny, g.nz,
+                                  self["cur"].as_f64_array()->data,
+                                  static_cast<int>(a[1].as_int()),
+                                  a[2].as_f64_array()->data);
+              }
+              self["got"] = Value(self["got"].as_int() + 1);
+              if (self["got"].as_int() >= self["expected"].as_int()) {
+                Args none;
+                (void)self.dyn_call("advance", std::move(none));
+              }
+              return Value::none();
+            });
+    // The paper's message-ordering construct, verbatim (§II-E).
+    cls.when("recvGhost", "self.iter == iter");
+
+    cls.def("advance", {}, [](DChare& self, Args&) {
+      const double tk = do_kernel(self);
+      if (self["imb"].truthy()) {
+        Params p;  // only the grouping is needed
+        p.geo = geo_of(self);
+        p.num_load_groups = iattr(self, "ngroups");
+        const int drift = std::max(1, iattr(self, "drift"));
+        const double alpha = alpha_factor(
+            load_group(p, static_cast<int>(block_coord(self, 0)),
+                       static_cast<int>(block_coord(self, 1)),
+                       static_cast<int>(block_coord(self, 2))),
+            p.num_load_groups,
+            static_cast<int>(self["iter"].as_int()) / drift);
+        cx::compute(tk * alpha);
+      }
+      self["got"] = Value(0);
+      self["iter"] = Value(self["iter"].as_int() + 1);
+      if (self["iter"].as_int() >= self["iterations"].as_int()) {
+        const Geometry g = geo_of(self);
+        const double sum =
+            self["real"].truthy()
+                ? kern::checksum(g.nx, g.ny, g.nz,
+                                 self["cur"].as_f64_array()->data)
+                : 0.0;
+        self.contribute_value(
+            Value(sum), "sum",
+            cpy::DTarget::to_future(
+                cpy::future_from(self["done"]).slot()));
+        return Value::none();
+      }
+      const std::int64_t period = self["lb_period"].as_int();
+      if (period > 0 && self["iter"].as_int() % period == 0) {
+        self.sync();
+        return Value::none();
+      }
+      begin_iteration(self);
+      return Value::none();
+    });
+
+    cls.def("resumeFromSync", {}, [](DChare& self, Args&) {
+      begin_iteration(self);
+      return Value::none();
+    });
+    return true;
+  }();
+  (void)once;
+}
+
+Result run_cpy(const Params& p, const cxm::MachineConfig& machine,
+               const std::string& lb_strategy, double dispatch_overhead) {
+  register_cpy_classes();
+  cx::RuntimeConfig cfg;
+  cfg.machine = machine;
+  cfg.lb_strategy = lb_strategy;
+  cx::Runtime rt(cfg);
+  DChare::set_sim_dispatch_overhead(dispatch_overhead);
+  Result result;
+  double wall0 = 0.0, wall1 = 0.0;
+  rt.run([&] {
+    Args ctor = {Value(p.geo.bx),     Value(p.geo.by),
+                 Value(p.geo.bz),     Value(p.geo.nx),
+                 Value(p.geo.ny),     Value(p.geo.nz),
+                 Value(p.iterations), Value(p.real_kernel),
+                 Value(p.cell_cost),  Value(p.imbalance),
+                 Value(p.num_load_groups), Value(p.imb_drift),
+                 Value(p.lb_period)};
+    auto arr = cpy::create_array("stencil.Block",
+                                 {p.geo.bx, p.geo.by, p.geo.bz}, ctor);
+    auto f = cx::make_future<Value>();
+    wall0 = cxu::wall_time();
+    arr.broadcast("start", {cpy::to_value(f)});
+    result.checksum = f.get().as_real();
+    wall1 = cxu::wall_time();
+    cx::exit();
+  });
+  DChare::set_sim_dispatch_overhead(0.0);
+  result.elapsed =
+      rt.is_simulated() ? rt.sim_makespan() : (wall1 - wall0);
+  result.time_per_iter = result.elapsed / p.iterations;
+  const auto lb = rt.lb_stats();
+  result.lb_migrations = lb.migrations;
+  result.imbalance_before = lb.last_imbalance_before;
+  result.imbalance_after = lb.last_imbalance_after;
+  return result;
+}
+
+}  // namespace stencil

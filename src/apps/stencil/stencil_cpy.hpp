@@ -1,0 +1,33 @@
+#pragma once
+// stencil3d on the dynamic model layer — the "CharmPy" series of the
+// paper's Figs. 1-3. Same algorithm as the typed variant, but written
+// the way the paper writes it: a dynamic class, state in attributes,
+// fields as array attributes (the NumPy analogue), ghost delivery
+// guarded by the condition string "self.iter == iter", and the kernel a
+// plain ("numba-compiled") function applied to the attribute buffers.
+//
+// The extra per-message cost of this layer (method-name dispatch, value
+// boxing, generic serialization) is what reproduces the CharmPy-vs-
+// Charm++ gap of the paper. On the simulated backend an additional
+// calibrated per-dispatch overhead is charged (see
+// DChare::set_sim_dispatch_overhead and bench/micro_dispatch).
+
+#include <string>
+
+#include "apps/stencil/stencil_common.hpp"
+#include "machine/machine.hpp"
+
+namespace stencil {
+
+/// Register the dynamic class "stencil.Block" (idempotent).
+void register_cpy_classes();
+
+/// Run one configuration on a fresh runtime. `dispatch_overhead` is the
+/// per-entry-method cost charged to the simulated clock for the dynamic
+/// layer (ignored by the threaded backend; measured, not guessed — see
+/// bench/micro_dispatch).
+Result run_cpy(const Params& p, const cxm::MachineConfig& machine,
+               const std::string& lb_strategy = "greedy",
+               double dispatch_overhead = 0.0);
+
+}  // namespace stencil

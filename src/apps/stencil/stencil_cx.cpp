@@ -1,0 +1,142 @@
+#include "apps/stencil/stencil_cx.hpp"
+
+#include <algorithm>
+
+#include "util/timer.hpp"
+
+namespace stencil {
+
+namespace {
+
+/// One-time when-predicate registration (paper §II-E): a ghost message
+/// is delivered only in its own iteration; earlier arrivals buffer.
+struct CxRegistrar {
+  CxRegistrar() {
+    cx::set_when<&CxBlock::recv_ghost>(
+        [](CxBlock& self, const int& msg_iter, const int&,
+           const std::vector<double>&) { return msg_iter == self.iter; });
+  }
+};
+const CxRegistrar registrar;
+
+}  // namespace
+
+CxBlock::CxBlock(Params p) : params(std::move(p)) {
+  const cx::Index& me = this_index();
+  if (params.real_kernel) {
+    block = Block(params.geo, me[0], me[1], me[2]);
+  }
+  expected = neighbor_count(params.geo, me[0], me[1], me[2]);
+}
+
+void CxBlock::start(cx::Callback done) {
+  done_cb = done;
+  begin_iteration();
+}
+
+void CxBlock::begin_iteration() {
+  const cx::Index& me = this_index();
+  auto arr = cx::collection_of<CxBlock>(*this);
+  const std::uint64_t nominal_face =
+      static_cast<std::uint64_t>(
+          kern::face_cells(params.geo.nx, params.geo.ny, params.geo.nz, 0)) *
+      sizeof(double);
+  for_each_neighbor(params.geo, me[0], me[1], me[2],
+                    [&](int face, int nx, int ny, int nz) {
+                      auto nb = arr[{nx, ny, nz}];
+                      // The neighbor receives this face on its opposite
+                      // side (face ^ 1).
+                      if (params.real_kernel) {
+                        nb.send<&CxBlock::recv_ghost>(
+                            iter, face ^ 1, block.extract_face(face));
+                      } else {
+                        nb.send_sized<&CxBlock::recv_ghost>(
+                            nominal_face, iter, face ^ 1,
+                            std::vector<double>{});
+                      }
+                    });
+  if (expected == 0) advance();
+}
+
+void CxBlock::recv_ghost(int, int face, std::vector<double> data) {
+  if (params.real_kernel) block.inject_face(face, data);
+  if (++got == expected) advance();
+}
+
+void CxBlock::advance() {
+  // Kernel: real (measured, charged to the virtual clock when simulated)
+  // or modeled (cost charged analytically).
+  double tk;
+  if (params.real_kernel) {
+    const double w0 = cxu::wall_time();
+    block.compute();
+    tk = cxu::wall_time() - w0;
+    cx::charge(tk);
+  } else {
+    tk = modeled_block_cost(params);
+    cx::compute(tk);
+  }
+  if (params.imbalance) {
+    const cx::Index& me = this_index();
+    const double alpha = alpha_factor(
+        load_group(params, me[0], me[1], me[2]), params.num_load_groups,
+        iter / std::max(1, params.imb_drift));
+    cx::compute(tk * alpha);  // paper: wait t_k * alpha_i seconds
+  }
+  got = 0;
+  ++iter;
+  if (iter >= params.iterations) {
+    contribute(block_checksum(), cx::reducer::sum<double>(), done_cb);
+    return;
+  }
+  if (params.lb_period > 0 && iter % params.lb_period == 0) {
+    at_sync();  // resume_from_sync() continues the iteration
+    return;
+  }
+  begin_iteration();
+}
+
+double CxBlock::block_checksum() const {
+  return params.real_kernel ? block.checksum() : 0.0;
+}
+
+void CxBlock::resume_from_sync() { begin_iteration(); }
+
+void CxBlock::pup(pup::Er& p) {
+  p | params;
+  block.pup(p);
+  p | iter;
+  p | got;
+  p | expected;
+  done_cb.pup(p);
+}
+
+Result run_cx(const Params& p, const cxm::MachineConfig& machine,
+              const std::string& lb_strategy) {
+  cx::RuntimeConfig cfg;
+  cfg.machine = machine;
+  cfg.lb_strategy = lb_strategy;
+  cx::Runtime rt(cfg);
+  Result result;
+  double wall0 = 0.0, wall1 = 0.0;
+  rt.run([&] {
+    auto arr = cx::create_array<CxBlock>(
+        {p.geo.bx, p.geo.by, p.geo.bz}, p);
+    auto f = cx::make_future<double>();
+    wall0 = cxu::wall_time();
+    arr.broadcast<&CxBlock::start>(cx::cb(f));
+    result.checksum = f.get();
+    wall1 = cxu::wall_time();
+    cx::exit();
+  });
+  result.elapsed =
+      rt.is_simulated() ? rt.sim_makespan() : (wall1 - wall0);
+  result.time_per_iter = result.elapsed / p.iterations;
+  const auto lb = rt.lb_stats();
+  result.lb_migrations = lb.migrations;
+  result.imbalance_before = lb.last_imbalance_before;
+  result.imbalance_after = lb.last_imbalance_after;
+  return result;
+}
+
+}  // namespace stencil

@@ -1,0 +1,47 @@
+#pragma once
+// stencil3d on the typed core runtime — the "Charm++" series of the
+// paper's Figs. 1-3. Blocks are chares in a 3D array; ghost exchange is
+// event-driven with a `when` predicate matching the iteration number, so
+// no explicit synchronization is needed (paper §II-E).
+
+#include <string>
+
+#include "apps/stencil/stencil_common.hpp"
+#include "core/charm.hpp"
+
+namespace stencil {
+
+class CxBlock : public cx::Chare {
+ public:
+  CxBlock() = default;
+  explicit CxBlock(Params p);
+
+  /// Broadcast entry: begin iterating; contribute the final checksum sum
+  /// to `done` after the last iteration.
+  void start(cx::Callback done);
+
+  /// Ghost-face delivery, guarded by when(iter == this->iter).
+  void recv_ghost(int iter, int face, std::vector<double> data);
+
+  void pup(pup::Er& p) override;
+  void resume_from_sync() override;
+
+  // State is public so the when-predicate (a free lambda) can read it.
+  Params params;
+  Block block;       // unused when params.real_kernel is false
+  int iter = 0;
+  int got = 0;
+  int expected = 0;
+  cx::Callback done_cb;
+
+ private:
+  void begin_iteration();
+  void advance();
+  [[nodiscard]] double block_checksum() const;
+};
+
+/// Run one configuration; creates (and tears down) its own runtime.
+Result run_cx(const Params& p, const cxm::MachineConfig& machine,
+              const std::string& lb_strategy = "greedy");
+
+}  // namespace stencil

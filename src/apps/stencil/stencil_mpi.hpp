@@ -1,0 +1,17 @@
+#pragma once
+// stencil3d on the mini-MPI baseline — the "mpi4py" series of the
+// paper's Figs. 1-3. One block per rank (the paper's MPI decomposition),
+// bulk-synchronous: post irecvs, isend faces, waitall, compute. No
+// over-decomposition and no migration, so the imbalanced configuration
+// cannot be healed — the Fig. 3 contrast.
+
+#include "apps/stencil/stencil_common.hpp"
+#include "machine/machine.hpp"
+
+namespace stencil {
+
+/// Run one configuration with one rank per PE. The block grid in
+/// `p.geo` must have bx*by*bz == machine.num_pes.
+Result run_mpi(const Params& p, const cxm::MachineConfig& machine);
+
+}  // namespace stencil

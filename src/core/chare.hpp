@@ -1,0 +1,123 @@
+#pragma once
+// Chare — the distributed migratable object (paper §II-B).
+//
+// Users define distributed types by inheriting from cx::Chare. Any method
+// becomes remotely invocable through a proxy (see proxy.hpp); no interface
+// files or preprocessing are involved. A single chare class can be used
+// for singleton chares, Groups and Arrays of any dimension — the paper's
+// key flexibility point over Charm++.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/index.hpp"
+#include "core/reduction.hpp"
+#include "core/runtime.hpp"
+#include "pup/pup.hpp"
+
+namespace cxf {
+class Fiber;
+}
+
+namespace cx {
+
+class Runtime;
+
+/// A buffered entry-method delivery (used by `when` predicates and by
+/// messages that arrive before their target element exists).
+struct PendingInvoke {
+  EpId ep = 0;
+  std::shared_ptr<void> args;  ///< unpacked argument tuple
+  ReplyTo reply;
+  ReplyTo bcast_done;  ///< broadcast-completion slot (if part of a bcast)
+};
+
+/// A fiber suspended in wait(cond) until the chare reaches a state.
+struct PendingWait {
+  std::function<bool()> cond;
+  cxf::Fiber* fiber = nullptr;
+  bool scheduled = false;  ///< resume already enqueued
+};
+
+class Chare {
+ public:
+  /// Adopts the identity (collection, index) staged by the runtime, so
+  /// thisIndex is available inside user constructors (as in CharmPy).
+  Chare();
+  virtual ~Chare() = default;
+
+  Chare(const Chare&) = delete;
+  Chare& operator=(const Chare&) = delete;
+
+  /// Serialize user state for migration (override in migratable chares).
+  virtual void pup(pup::Er&) {}
+
+  /// Called after dynamic load balancing completes (AtSync protocol).
+  virtual void resume_from_sync() {}
+
+  /// Called on the destination PE right after a migration lands.
+  virtual void on_migrated() {}
+
+  /// This chare's index within its collection (thisIndex in the paper).
+  [[nodiscard]] const Index& this_index() const noexcept { return idx_; }
+
+  /// Id of the collection this chare belongs to.
+  [[nodiscard]] CollectionId collection() const noexcept { return coll_; }
+
+ protected:
+  // --- services available to entry-method bodies (defined in runtime.cpp
+  //     or charm.hpp; they operate on the current Runtime) ---
+
+  /// Suspend the current (threaded) entry method until cond() is true.
+  /// cond is re-evaluated after every entry method executed on this chare
+  /// (paper §II-H2).
+  void wait(std::function<bool()> cond);
+
+  /// Move this chare to another PE once the current entry method returns
+  /// (paper §II-I).
+  void migrate(int to_pe);
+
+  /// Tell the runtime this chare is ready for load balancing; the runtime
+  /// collects measured loads, rebalances, migrates, then calls
+  /// resume_from_sync() on every element (paper §II-J).
+  void at_sync();
+
+  /// Measured load (seconds of entry-method execution) since last LB.
+  [[nodiscard]] double measured_load() const noexcept { return load_; }
+
+  /// Contribute to the current reduction of this chare's collection
+  /// (paper §II-F). `target` receives the combined result.
+  /// Defined in charm.hpp.
+  template <typename T>
+  void contribute(const T& value, CombineId reducer, const Callback& target);
+
+  /// Empty reduction: synchronization only (data=None, reducer=None).
+  void contribute(const Callback& target);
+
+  /// Gather contribution: target receives all values sorted by index.
+  template <typename T>
+  void contribute_gather(const T& value, const Callback& target);
+
+ private:
+  friend class Runtime;
+  friend struct Runtime::Impl;
+
+  CollectionId coll_ = kInvalidCollection;
+  Index idx_;
+  std::uint32_t red_no_ = 0;      ///< this element's next reduction number
+  double load_ = 0.0;             ///< accumulated EM time since last LB
+  bool migrate_pending_ = false;
+  bool migrate_for_lb_ = false;
+  int migrate_to_ = -1;
+  bool sync_pending_ = false;
+  bool post_active_ = false;  ///< re-entrancy guard for delivery rescans
+  int active_fibers_ = 0;  ///< threaded EMs in flight (blocks migration)
+  std::deque<PendingInvoke> buffered_;   ///< `when`-buffered deliveries
+  std::vector<PendingWait> waits_;       ///< suspended wait() fibers
+};
+
+}  // namespace cx

@@ -1,0 +1,137 @@
+#pragma once
+// charm.hpp — the public umbrella header of the CharmX core runtime.
+//
+// This is the C++ rendering of the CharmPy programming model
+// (Galvez, Senthil, Kale — IEEE CLUSTER 2018): distributed migratable
+// objects (chares) with asynchronous remote method invocation, futures,
+// `when` conditions, reductions, migration and dynamic load balancing,
+// on top of a message-driven runtime.
+//
+// Quick map from the paper's Python API to this header:
+//
+//   class MyChare(Chare)            class MyChare : public cx::Chare
+//   Chare(MyChare, onPE=-1)         cx::create_chare<MyChare>(-1, ...)
+//   Group(ChareClass, args=[...])   cx::create_group<ChareClass>(...)
+//   Array(C, (20,20))               cx::create_array<C>({20, 20})
+//   proxy.method(args)              proxy.send<&C::method>(args)
+//   proxy.method(args, ret=True)    proxy.call<&C::method>(args) -> Future
+//   charm.createFuture()            cx::make_future<T>()
+//   @when('self.x == x')            cx::set_when<&C::m>(pred)
+//   @threaded                       cx::set_threaded<&C::m>()
+//   self.wait('cond')               this->wait([&]{ return cond; })
+//   self.contribute(d, R.sum, t)    this->contribute(d, cx::reducer::sum<T>(), t)
+//   self.migrate(pe)                this->migrate(pe)
+//   charm.exit()                    cx::exit()
+//   charm.start(main)               cx::Runtime rt(cfg); rt.run(main)
+
+#include "core/chare.hpp"
+#include "core/collection.hpp"
+#include "core/future.hpp"
+#include "core/index.hpp"
+#include "core/lb.hpp"
+#include "core/proxy.hpp"
+#include "core/reduction.hpp"
+#include "core/registry.hpp"
+#include "core/runtime.hpp"
+
+namespace cx {
+
+// ---------------------------------------------------------------------------
+// Collection creation (paper §II-B/C/G)
+
+/// Create a single chare on `on_pe` (-1 lets the runtime choose), passing
+/// `args` to the constructor. Paper: Chare(MyChare, onPE=...).
+template <typename C, typename... Us>
+ElementProxy<C> create_chare(int on_pe, Us&&... us) {
+  auto args = std::make_tuple(std::decay_t<Us>(std::forward<Us>(us))...);
+  const CollectionId id = detail::create_collection(
+      CollectionKind::Singleton, Index(0), 1,
+      factory_id<C, std::decay_t<Us>...>(), pup::to_bytes(args), "block",
+      on_pe);
+  return ElementProxy<C>(id, Index(0));
+}
+
+/// Create a Group: one element per PE, indexed by PE number.
+template <typename C, typename... Us>
+CollectionProxy<C> create_group(Us&&... us) {
+  auto args = std::make_tuple(std::decay_t<Us>(std::forward<Us>(us))...);
+  const CollectionId id = detail::create_collection(
+      CollectionKind::Group, Index(0), 1,
+      factory_id<C, std::decay_t<Us>...>(), pup::to_bytes(args), "block",
+      -1);
+  return CollectionProxy<C>(id);
+}
+
+struct ArrayOptions {
+  std::string map = "block";  ///< placement map name (see register_map)
+};
+
+/// Create a dense array with explicit options (e.g. a custom ArrayMap).
+template <typename C, typename... Us>
+CollectionProxy<C> create_array_opts(const Index& dims,
+                                     const ArrayOptions& opts, Us&&... us) {
+  auto args = std::make_tuple(std::decay_t<Us>(std::forward<Us>(us))...);
+  const CollectionId id = detail::create_collection(
+      CollectionKind::Array, dims, dims.ndims(),
+      factory_id<C, std::decay_t<Us>...>(), pup::to_bytes(args), opts.map,
+      -1);
+  return CollectionProxy<C>(id);
+}
+
+/// Create a dense n-dimensional chare array of shape `dims`.
+template <typename C, typename... Us>
+CollectionProxy<C> create_array(const Index& dims, Us&&... us) {
+  return create_array_opts<C>(dims, ArrayOptions{},
+                              std::forward<Us>(us)...);
+}
+
+/// Create a sparse array: elements are added later with proxy.insert()
+/// and finalized with proxy.done_inserting() (paper §II-G).
+template <typename C>
+CollectionProxy<C> create_sparse(int ndims,
+                                 const std::string& map = "hash") {
+  std::tuple<> no_args;
+  const CollectionId id = detail::create_collection(
+      CollectionKind::SparseArray, Index(0), ndims, factory_id<C>(),
+      pup::to_bytes(no_args), map, -1);
+  return CollectionProxy<C>(id);
+}
+
+// ---------------------------------------------------------------------------
+// Self proxies (thisProxy of the paper)
+
+template <typename C>
+ElementProxy<C> proxy_to(const C& chare) {
+  return ElementProxy<C>(chare.collection(), chare.this_index());
+}
+
+template <typename C>
+CollectionProxy<C> collection_of(const C& chare) {
+  return CollectionProxy<C>(chare.collection());
+}
+
+// ---------------------------------------------------------------------------
+// Reduction contribute (member template definitions; see chare.hpp)
+
+template <typename T>
+void Chare::contribute(const T& value, CombineId reducer,
+                       const Callback& target) {
+  T copy = value;
+  detail::contribute_bytes(*this, pup::to_bytes(copy), reducer, target);
+}
+
+template <typename T>
+void Chare::contribute_gather(const T& value, const Callback& target) {
+  std::vector<std::pair<Index, T>> one;
+  one.emplace_back(this_index(), value);
+  detail::contribute_bytes(*this, pup::to_bytes(one), reducer::gather<T>(),
+                           target);
+}
+
+/// Callback targeting a future (usable as reduction target).
+template <typename T>
+Callback cb(const Future<T>& f) {
+  return Callback::to_future(f.slot());
+}
+
+}  // namespace cx

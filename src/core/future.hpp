@@ -1,0 +1,85 @@
+#pragma once
+// Futures (paper §II-D, §II-H3).
+//
+// A Future is a proxy for a value that will arrive later. Futures are
+// created explicitly (cx::make_future<T>()), returned by proxy call<>()
+// (the `ret=True` keyword of the paper), can be sent to other chares as
+// entry-method arguments, and can be reduction targets.
+//
+// get() suspends the calling fiber — the PE keeps scheduling other work
+// while waiting, so blocking a future never blocks the process (§II-D).
+// get() must run on the creating PE inside a threaded entry method.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "pup/pup.hpp"
+
+namespace cx {
+
+namespace detail {
+// Implemented in runtime.cpp.
+ReplyTo make_future_slot();
+std::vector<std::byte> future_get_bytes(const ReplyTo& f);
+bool future_ready(const ReplyTo& f);
+void future_send_bytes(const ReplyTo& f, std::vector<std::byte>&& bytes);
+}  // namespace detail
+
+template <typename T>
+class Future {
+ public:
+  Future() = default;
+  explicit Future(const ReplyTo& slot) : slot_(slot) {}
+
+  /// Block (the current fiber) until the value arrives, then return it.
+  [[nodiscard]] T get() const {
+    auto bytes = detail::future_get_bytes(slot_);
+    return pup::from_bytes<T>(bytes);
+  }
+
+  /// Fulfill the future from anywhere (routed to the creating PE).
+  void send(const T& value) const {
+    T copy = value;
+    detail::future_send_bytes(slot_, pup::to_bytes(copy));
+  }
+
+  /// True once a value is available (non-blocking; creator PE only).
+  [[nodiscard]] bool ready() const { return detail::future_ready(slot_); }
+
+  /// The raw delivery slot (used to build reduction callbacks).
+  [[nodiscard]] const ReplyTo& slot() const noexcept { return slot_; }
+
+  [[nodiscard]] bool valid() const noexcept { return slot_.valid(); }
+
+  void pup(pup::Er& p) { p | slot_; }
+
+ private:
+  ReplyTo slot_;
+};
+
+/// Future with no payload (broadcast completions, empty reductions).
+template <>
+class Future<void> {
+ public:
+  Future() = default;
+  explicit Future(const ReplyTo& slot) : slot_(slot) {}
+
+  void get() const { (void)detail::future_get_bytes(slot_); }
+  void send() const { detail::future_send_bytes(slot_, {}); }
+  [[nodiscard]] bool ready() const { return detail::future_ready(slot_); }
+  [[nodiscard]] const ReplyTo& slot() const noexcept { return slot_; }
+  [[nodiscard]] bool valid() const noexcept { return slot_.valid(); }
+  void pup(pup::Er& p) { p | slot_; }
+
+ private:
+  ReplyTo slot_;
+};
+
+/// Create a future on the calling PE (paper: charm.createFuture()).
+template <typename T>
+Future<T> make_future() {
+  return Future<T>(detail::make_future_slot());
+}
+
+}  // namespace cx

@@ -1,0 +1,40 @@
+#pragma once
+// Small identifier/value types shared across the core runtime.
+
+#include <cstdint>
+
+#include "pup/pup.hpp"
+
+namespace cx {
+
+using CollectionId = std::uint32_t;
+using EpId = std::uint32_t;        ///< entry-method id (global registry)
+using FactoryId = std::uint32_t;   ///< constructor-factory id
+using FutureId = std::uint64_t;
+
+constexpr CollectionId kInvalidCollection = 0xffffffffu;
+
+/// Where to deliver an entry method's return value (the `ret=True`
+/// future of the paper, §II-D). Invalid reply = fire-and-forget.
+struct ReplyTo {
+  std::int32_t pe = -1;
+  FutureId fid = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return pe >= 0; }
+
+  void pup(pup::Er& p) {
+    p | pe;
+    p | fid;
+  }
+};
+
+/// Collection kinds (paper §II-C): one chare class can be used for any of
+/// these — unlike Charm++, where the kind is fixed at declaration time.
+enum class CollectionKind : std::uint8_t {
+  Singleton = 0,  ///< a single chare (Chare(...) in the paper)
+  Group = 1,      ///< one element per PE
+  Array = 2,      ///< dense n-dimensional array
+  SparseArray = 3 ///< dynamic insertion (ckInsert/ckDoneInserting)
+};
+
+}  // namespace cx

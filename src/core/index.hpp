@@ -1,0 +1,104 @@
+#pragma once
+// N-dimensional chare array index (paper §II-C, §II-G).
+//
+// Arrays in CharmPy are indexed by integer n-tuples (and custom keys that
+// hash to an integer). Index holds up to kMaxDims dimensions inline; 1-D
+// indexes convert implicitly from int. Groups use the PE number as index.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <string>
+
+#include "pup/pup.hpp"
+
+namespace cx {
+
+class Index {
+ public:
+  static constexpr int kMaxDims = 6;
+
+  Index() = default;
+  Index(int i) : nd_(1) { d_[0] = i; }  // NOLINT: implicit by design
+  Index(int i, int j) : nd_(2) {
+    d_[0] = i;
+    d_[1] = j;
+  }
+  Index(int i, int j, int k) : nd_(3) {
+    d_[0] = i;
+    d_[1] = j;
+    d_[2] = k;
+  }
+  Index(std::initializer_list<int> dims) : nd_(0) {
+    for (int v : dims) {
+      if (nd_ >= kMaxDims) break;
+      d_[static_cast<std::size_t>(nd_++)] = v;
+    }
+  }
+
+  [[nodiscard]] int ndims() const noexcept { return nd_; }
+  [[nodiscard]] int operator[](int i) const noexcept {
+    return d_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] int& operator[](int i) noexcept {
+    return d_[static_cast<std::size_t>(i)];
+  }
+
+  bool operator==(const Index& o) const noexcept {
+    if (nd_ != o.nd_) return false;
+    for (int i = 0; i < nd_; ++i) {
+      if (d_[static_cast<std::size_t>(i)] != o.d_[static_cast<std::size_t>(i)])
+        return false;
+    }
+    return true;
+  }
+  bool operator!=(const Index& o) const noexcept { return !(*this == o); }
+  bool operator<(const Index& o) const noexcept {
+    if (nd_ != o.nd_) return nd_ < o.nd_;
+    for (int i = 0; i < nd_; ++i) {
+      const auto a = d_[static_cast<std::size_t>(i)];
+      const auto b = o.d_[static_cast<std::size_t>(i)];
+      if (a != b) return a < b;
+    }
+    return false;
+  }
+
+  /// Stable 64-bit hash (FNV-1a over the used dims).
+  [[nodiscard]] std::uint64_t hash() const noexcept {
+    std::uint64_t h = 1469598103934665603ULL;
+    h = (h ^ static_cast<std::uint64_t>(nd_)) * 1099511628211ULL;
+    for (int i = 0; i < nd_; ++i) {
+      h = (h ^ static_cast<std::uint64_t>(
+                   static_cast<std::uint32_t>(d_[static_cast<std::size_t>(i)]))) *
+          1099511628211ULL;
+    }
+    return h;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s = "(";
+    for (int i = 0; i < nd_; ++i) {
+      if (i) s += ',';
+      s += std::to_string(d_[static_cast<std::size_t>(i)]);
+    }
+    return s + ")";
+  }
+
+  void pup(pup::Er& p) {
+    p | nd_;
+    p | d_;
+  }
+
+ private:
+  std::array<int, kMaxDims> d_{};
+  int nd_ = 0;
+};
+
+struct IndexHash {
+  std::size_t operator()(const Index& i) const noexcept {
+    return static_cast<std::size_t>(i.hash());
+  }
+};
+
+}  // namespace cx

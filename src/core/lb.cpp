@@ -1,0 +1,176 @@
+#include "core/lb.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/rng.hpp"
+
+namespace cx {
+
+namespace {
+
+std::vector<double> pe_loads(const std::vector<ChareLoadRecord>& records,
+                             int num_pes) {
+  std::vector<double> loads(static_cast<std::size_t>(num_pes), 0.0);
+  for (const auto& r : records) {
+    loads[static_cast<std::size_t>(r.pe)] += r.load;
+  }
+  return loads;
+}
+
+/// GreedyLB: place chares heaviest-first onto the least-loaded PE.
+std::vector<LbMove> greedy(const std::vector<ChareLoadRecord>& records,
+                           int num_pes, std::uint64_t) {
+  std::vector<std::size_t> order(records.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return records[a].load > records[b].load;
+  });
+  using Slot = std::pair<double, int>;  // (load, pe)
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<Slot>> heap;
+  for (int pe = 0; pe < num_pes; ++pe) heap.push({0.0, pe});
+  std::vector<LbMove> moves;
+  for (std::size_t i : order) {
+    auto [load, pe] = heap.top();
+    heap.pop();
+    heap.push({load + records[i].load, pe});
+    if (pe != records[i].pe) {
+      moves.push_back({records[i].idx, records[i].pe, pe});
+    }
+  }
+  return moves;
+}
+
+/// RefineLB: only offload from PEs above (1+tol) * average.
+std::vector<LbMove> refine(const std::vector<ChareLoadRecord>& records,
+                           int num_pes, std::uint64_t) {
+  constexpr double kTol = 0.05;
+  auto loads = pe_loads(records, num_pes);
+  double total = 0.0;
+  for (double l : loads) total += l;
+  const double avg = total / static_cast<double>(num_pes);
+  const double ceiling = avg * (1.0 + kTol);
+
+  // Chares grouped per PE, heaviest first.
+  std::unordered_map<int, std::vector<std::size_t>> by_pe;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    by_pe[records[i].pe].push_back(i);
+  }
+  for (auto& [pe, v] : by_pe) {
+    std::sort(v.begin(), v.end(), [&](std::size_t a, std::size_t b) {
+      return records[a].load > records[b].load;
+    });
+  }
+
+  std::vector<LbMove> moves;
+  for (int pe = 0; pe < num_pes; ++pe) {
+    auto it = by_pe.find(pe);
+    if (it == by_pe.end()) continue;
+    auto& mine = it->second;
+    std::size_t next = 0;
+    while (loads[static_cast<std::size_t>(pe)] > ceiling &&
+           next < mine.size()) {
+      const auto i = mine[next++];
+      const double l = records[i].load;
+      // Skip chares whose removal would overshoot below average.
+      if (loads[static_cast<std::size_t>(pe)] - l < avg * 0.95) continue;
+      // Receiver: least-loaded PE that stays under the ceiling.
+      int best = -1;
+      double best_load = ceiling;
+      for (int q = 0; q < num_pes; ++q) {
+        if (q == pe) continue;
+        const double ql = loads[static_cast<std::size_t>(q)];
+        if (ql + l <= best_load) {
+          best_load = ql + l;
+          best = q;
+        }
+      }
+      if (best < 0) break;
+      moves.push_back({records[i].idx, pe, best});
+      loads[static_cast<std::size_t>(pe)] -= l;
+      loads[static_cast<std::size_t>(best)] += l;
+    }
+  }
+  return moves;
+}
+
+std::vector<LbMove> rotate(const std::vector<ChareLoadRecord>& records,
+                           int num_pes, std::uint64_t) {
+  std::vector<LbMove> moves;
+  if (num_pes < 2) return moves;
+  for (const auto& r : records) {
+    moves.push_back({r.idx, r.pe, (r.pe + 1) % num_pes});
+  }
+  return moves;
+}
+
+std::vector<LbMove> random_lb(const std::vector<ChareLoadRecord>& records,
+                              int num_pes, std::uint64_t seed) {
+  cxu::Rng rng(seed ^ 0xdecafbadULL);
+  std::vector<LbMove> moves;
+  for (const auto& r : records) {
+    const int to = static_cast<int>(
+        rng.below(static_cast<std::uint64_t>(num_pes)));
+    if (to != r.pe) moves.push_back({r.idx, r.pe, to});
+  }
+  return moves;
+}
+
+std::vector<LbMove> none(const std::vector<ChareLoadRecord>&, int,
+                         std::uint64_t) {
+  return {};
+}
+
+struct StrategyRegistry {
+  std::mutex mutex;
+  std::unordered_map<std::string, LbStrategy> strategies;
+
+  StrategyRegistry() {
+    strategies["greedy"] = greedy;
+    strategies["refine"] = refine;
+    strategies["rotate"] = rotate;
+    strategies["random"] = random_lb;
+    strategies["none"] = none;
+  }
+
+  static StrategyRegistry& instance() {
+    static StrategyRegistry r;
+    return r;
+  }
+};
+
+}  // namespace
+
+void register_lb_strategy(const std::string& name, LbStrategy fn) {
+  auto& r = StrategyRegistry::instance();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.strategies[name] = std::move(fn);
+}
+
+const LbStrategy& lookup_lb_strategy(const std::string& name) {
+  auto& r = StrategyRegistry::instance();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const auto it = r.strategies.find(name);
+  if (it == r.strategies.end()) {
+    throw std::out_of_range("unknown LB strategy: " + name);
+  }
+  return it->second;
+}
+
+double imbalance_ratio(const std::vector<ChareLoadRecord>& records,
+                       int num_pes) {
+  if (records.empty() || num_pes <= 0) return 1.0;
+  auto loads = pe_loads(records, num_pes);
+  double total = 0.0, max = 0.0;
+  for (double l : loads) {
+    total += l;
+    max = std::max(max, l);
+  }
+  const double avg = total / static_cast<double>(num_pes);
+  return avg > 0.0 ? max / avg : 1.0;
+}
+
+}  // namespace cx

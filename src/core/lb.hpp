@@ -1,0 +1,63 @@
+#pragma once
+// Load-balancing strategies (paper §II-J, §V-B).
+//
+// The runtime measures per-chare load (entry-method execution time; in
+// the simulated backend this is virtual time, so figure-scale LB studies
+// are exact). At an AtSync point the coordinator collects all records of
+// a collection, runs a strategy, and migrates chares accordingly.
+//
+// Strategies (registered by name, selectable via RuntimeConfig):
+//   greedy — heaviest chare to least-loaded PE (Charm++ GreedyLB)
+//   refine — move chares off overloaded PEs only (Charm++ RefineLB)
+//   rotate — shift every chare to PE+1 (testing/ablation)
+//   random — random placement (ablation baseline)
+//   none   — measure but never move
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/index.hpp"
+#include "pup/pup.hpp"
+
+namespace cx {
+
+struct ChareLoadRecord {
+  CollectionId coll = kInvalidCollection;
+  Index idx;
+  std::int32_t pe = 0;
+  double load = 0.0;
+
+  void pup(pup::Er& p) {
+    p | coll;
+    p | idx;
+    p | pe;
+    p | load;
+  }
+};
+
+struct LbMove {
+  Index idx;
+  std::int32_t from_pe = 0;
+  std::int32_t to_pe = 0;
+};
+
+/// A strategy maps measured loads to migrations.
+using LbStrategy = std::function<std::vector<LbMove>(
+    const std::vector<ChareLoadRecord>& records, int num_pes,
+    std::uint64_t seed)>;
+
+/// Register a strategy under `name` (process-global).
+void register_lb_strategy(const std::string& name, LbStrategy fn);
+
+/// Look up a strategy; throws std::out_of_range for unknown names.
+const LbStrategy& lookup_lb_strategy(const std::string& name);
+
+/// Max-load / average-load ratio of an assignment — the imbalance metric
+/// used in evaluations (1.0 = perfectly balanced).
+double imbalance_ratio(const std::vector<ChareLoadRecord>& records,
+                       int num_pes);
+
+}  // namespace cx

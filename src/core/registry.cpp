@@ -1,0 +1,37 @@
+#include "core/registry.hpp"
+
+namespace cx {
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+EpId Registry::add_ep(EpInfo info) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  eps_.push_back(std::move(info));
+  return static_cast<EpId>(eps_.size() - 1);
+}
+
+FactoryId Registry::add_factory(FactoryInfo info) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  factories_.push_back(std::move(info));
+  return static_cast<FactoryId>(factories_.size() - 1);
+}
+
+const EpInfo& Registry::ep(EpId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return eps_.at(id);
+}
+
+EpInfo& Registry::mutable_ep(EpId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return eps_.at(id);
+}
+
+const FactoryInfo& Registry::factory(FactoryId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.at(id);
+}
+
+}  // namespace cx

@@ -1,0 +1,197 @@
+#pragma once
+// Entry-method and constructor registration.
+//
+// Charm++ requires interface (.ci) files processed by a translator; the
+// paper's model removes that step. Here, C++17 `template<auto>` plays the
+// role of Python reflection: the first use of `ep_id<&MyChare::foo>()`
+// registers an invoker able to (a) unpack the argument tuple from a
+// message and (b) apply the member function, sending the return value to
+// a reply future when requested (the `ret=True` path).
+//
+// Per-entry-method attributes (paper §II-E, §II-H):
+//   set_threaded<&C::m>()      — run in a fiber; may block on futures/wait
+//   set_when<&C::m>(predicate) — deliver only when predicate(chare, args)
+//                                holds; otherwise buffer at the receiver.
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <tuple>
+#include <type_traits>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "pup/pup.hpp"
+
+namespace cx {
+
+class Chare;
+
+namespace detail {
+
+/// Deliver a packed return value to a future (defined in runtime.cpp).
+void reply_with_bytes(const ReplyTo& reply, std::vector<std::byte>&& bytes);
+
+template <typename T>
+void send_reply(const ReplyTo& reply, T& value) {
+  if (!reply.valid()) return;
+  reply_with_bytes(reply, pup::to_bytes(value));
+}
+
+inline void send_empty_reply(const ReplyTo& reply) {
+  if (!reply.valid()) return;
+  reply_with_bytes(reply, {});
+}
+
+template <typename T>
+struct MethodTraits;
+
+template <typename C, typename R, typename... As>
+struct MethodTraits<R (C::*)(As...)> {
+  using Class = C;
+  using Ret = R;
+  using ArgsTuple = std::tuple<std::decay_t<As>...>;
+};
+
+}  // namespace detail
+
+/// Type-erased registered entry method.
+struct EpInfo {
+  /// Unpack the serialized argument tuple into a heap allocation.
+  std::shared_ptr<void> (*unpack)(pup::Unpacker& u) = nullptr;
+  /// Re-serialize an argument tuple (used to forward buffered messages
+  /// when their target chare migrates).
+  std::vector<std::byte> (*pack_args)(void* args_tuple) = nullptr;
+  /// Apply the method; consumes the tuple's contents (move).
+  void (*invoke)(Chare* obj, void* args_tuple, const ReplyTo& reply) = nullptr;
+  /// Run inside a fiber so the method may suspend.
+  bool threaded = false;
+  /// Optional delivery predicate (the `when` decorator).
+  std::function<bool(Chare*, void*)> when;
+};
+
+/// Type-erased chare factories.
+struct FactoryInfo {
+  /// Construct from packed constructor arguments.
+  Chare* (*construct)(const void* data, std::size_t len) = nullptr;
+  /// Default-construct (for migration; null if not default-constructible).
+  Chare* (*construct_default)() = nullptr;
+};
+
+/// Global append-only registry (process-wide; ids are stable across
+/// Runtime instances, which matters for tests running many runtimes).
+/// Deque storage keeps references valid under concurrent lazy
+/// registration from PE threads.
+class Registry {
+ public:
+  static Registry& instance();
+
+  EpId add_ep(EpInfo info);
+  FactoryId add_factory(FactoryInfo info);
+
+  [[nodiscard]] const EpInfo& ep(EpId id) const;
+  [[nodiscard]] EpInfo& mutable_ep(EpId id);
+  [[nodiscard]] const FactoryInfo& factory(FactoryId id) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<EpInfo> eps_;
+  std::deque<FactoryInfo> factories_;
+};
+
+namespace detail {
+
+template <auto M>
+EpId register_ep() {
+  using Traits = MethodTraits<decltype(M)>;
+  using C = typename Traits::Class;
+  using Ret = typename Traits::Ret;
+  using Tuple = typename Traits::ArgsTuple;
+  EpInfo info;
+  info.unpack = +[](pup::Unpacker& u) -> std::shared_ptr<void> {
+    auto t = std::make_shared<Tuple>();
+    u | *t;
+    return t;
+  };
+  info.pack_args = +[](void* args_tuple) {
+    return pup::to_bytes(*static_cast<Tuple*>(args_tuple));
+  };
+  info.invoke = +[](Chare* obj, void* args_tuple, const ReplyTo& reply) {
+    auto& t = *static_cast<Tuple*>(args_tuple);
+    C* self = static_cast<C*>(obj);
+    if constexpr (std::is_void_v<Ret>) {
+      std::apply(
+          [&](auto&... as) { (self->*M)(std::move(as)...); }, t);
+      send_empty_reply(reply);
+    } else {
+      Ret r = std::apply(
+          [&](auto&... as) { return (self->*M)(std::move(as)...); }, t);
+      send_reply(reply, r);
+    }
+  };
+  return Registry::instance().add_ep(std::move(info));
+}
+
+template <typename C, typename... CArgs>
+FactoryId register_factory() {
+  FactoryInfo info;
+  info.construct = +[](const void* data, std::size_t len) -> Chare* {
+    using Tuple = std::tuple<std::decay_t<CArgs>...>;
+    pup::Unpacker u(data, len);
+    Tuple t;
+    u | t;
+    return std::apply(
+        [](auto&... as) -> Chare* { return new C(std::move(as)...); }, t);
+  };
+  if constexpr (std::is_default_constructible_v<C>) {
+    info.construct_default = +[]() -> Chare* { return new C(); };
+  }
+  return Registry::instance().add_factory(info);
+}
+
+}  // namespace detail
+
+/// Stable id for entry method M; registers it on first use.
+template <auto M>
+EpId ep_id() {
+  static const EpId id = detail::register_ep<M>();
+  return id;
+}
+
+/// Stable id for constructing C from (CArgs...); registers on first use.
+template <typename C, typename... CArgs>
+FactoryId factory_id() {
+  static const FactoryId id = detail::register_factory<C, CArgs...>();
+  return id;
+}
+
+/// Mark entry method M as threaded (may call Future::get(), wait(), ...).
+template <auto M>
+void set_threaded(bool on = true) {
+  Registry::instance().mutable_ep(ep_id<M>()).threaded = on;
+}
+
+/// Attach a `when` delivery predicate to entry method M. The predicate
+/// sees the chare and the (already unpacked) arguments; the message is
+/// buffered at the receiver until it returns true (paper §II-E).
+template <auto M, typename F>
+void set_when(F&& f) {
+  using Traits = detail::MethodTraits<decltype(M)>;
+  using C = typename Traits::Class;
+  using Tuple = typename Traits::ArgsTuple;
+  Registry::instance().mutable_ep(ep_id<M>()).when =
+      [fn = std::forward<F>(f)](Chare* obj, void* args_tuple) -> bool {
+    auto& t = *static_cast<Tuple*>(args_tuple);
+    return std::apply(
+        [&](auto&... as) { return fn(static_cast<C&>(*obj), as...); }, t);
+  };
+}
+
+/// Remove a previously attached `when` predicate.
+template <auto M>
+void clear_when() {
+  Registry::instance().mutable_ep(ep_id<M>()).when = nullptr;
+}
+
+}  // namespace cx

@@ -1,0 +1,77 @@
+#pragma once
+// Internal interface between the header-only proxy/creation templates and
+// the Runtime (implemented in runtime.cpp). Applications use proxy.hpp
+// and charm.hpp, never this header directly.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/index.hpp"
+#include "core/reduction.hpp"
+
+namespace cx {
+
+class Chare;
+
+namespace detail {
+
+/// Arguments in transit: the live tuple plus a packer used only if the
+/// message leaves the process-local fast path (paper §II-D: same-PE sends
+/// pass arguments by reference and skip serialization entirely).
+struct ArgsCarrier {
+  std::shared_ptr<void> tuple;
+  std::vector<std::byte> (*pack)(void* tuple) = nullptr;
+
+  [[nodiscard]] std::vector<std::byte> packed() const {
+    return pack(tuple.get());
+  }
+};
+
+/// Enable/disable the same-PE by-reference fast path (paper §II-D);
+/// disabling forces serialization on every send (ablation studies).
+bool local_fastpath_enabled() noexcept;
+void set_local_fastpath(bool on) noexcept;
+
+/// Point-to-point entry-method send. `nominal_bytes`, when nonzero, is
+/// the payload size charged to cost models regardless of actual size.
+void proxy_send(CollectionId coll, const Index& idx, EpId ep,
+                ArgsCarrier args, const ReplyTo& reply,
+                std::uint64_t nominal_bytes = 0);
+
+/// Broadcast an entry method to every element of a collection. If `reply`
+/// is valid it is fulfilled (empty) once every element has executed.
+void proxy_broadcast(CollectionId coll, EpId ep, ArgsCarrier args,
+                     const ReplyTo& reply);
+
+/// Create a collection; returns its id immediately (creation is async).
+CollectionId create_collection(CollectionKind kind, const Index& dims,
+                               int ndims, FactoryId ctor,
+                               std::vector<std::byte> ctor_args,
+                               const std::string& map_name, int fixed_pe);
+
+/// Insert one element into a sparse array (paper §II-G: ckInsert).
+void sparse_insert(CollectionId coll, const Index& idx, FactoryId ctor,
+                   std::vector<std::byte> ctor_args, int on_pe);
+
+/// Finish sparse insertion (ckDoneInserting): waits (via quiescence) for
+/// all in-flight inserts, establishes the final size on every PE, then
+/// fulfills `reply`.
+void sparse_done_inserting(CollectionId coll, const ReplyTo& reply);
+
+ReplyTo make_future_slot();
+
+/// Contribute packed data to the current reduction of `chare`'s
+/// collection (paper §II-F).
+void contribute_bytes(Chare& chare, std::vector<std::byte> value,
+                      CombineId combiner, const Callback& target);
+
+/// Argument-tuple packer instantiated per tuple type.
+template <typename Tuple>
+std::vector<std::byte> pack_tuple(void* t) {
+  return pup::to_bytes(*static_cast<Tuple*>(t));
+}
+
+}  // namespace detail
+}  // namespace cx

@@ -1,0 +1,117 @@
+#include "fiber/fiber.hpp"
+
+#include <sys/mman.h>
+#include <ucontext.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace cxf {
+
+namespace {
+thread_local Fiber* t_current = nullptr;
+thread_local Fiber* t_starting = nullptr;  // handoff into trampoline
+
+std::size_t page_size() {
+  static const std::size_t ps =
+      static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return ps;
+}
+
+std::size_t round_up_pages(std::size_t n) {
+  const std::size_t ps = page_size();
+  return (n + ps - 1) / ps * ps;
+}
+}  // namespace
+
+struct Fiber::Impl {
+  ucontext_t ctx{};
+  ucontext_t ret_ctx{};  // context to return to on yield/finish
+  void* stack = nullptr;
+  std::size_t stack_total = 0;  // including guard page
+  Fn fn;
+};
+
+std::size_t Fiber::default_stack_size() noexcept {
+  static const std::size_t sz = [] {
+    if (const char* env = std::getenv("CHARMX_FIBER_STACK_KB")) {
+      const long kb = std::atol(env);
+      if (kb >= 16) return static_cast<std::size_t>(kb) * 1024;
+    }
+    return static_cast<std::size_t>(256 * 1024);
+  }();
+  return sz;
+}
+
+Fiber::Fiber(Fn fn, std::size_t stack_bytes) : impl_(new Impl) {
+  impl_->fn = std::move(fn);
+  const std::size_t usable = round_up_pages(stack_bytes);
+  const std::size_t total = usable + page_size();  // +1 guard page
+  void* mem = ::mmap(nullptr, total, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) throw std::bad_alloc();
+  // Guard page at the low end (stacks grow down on all targets we support).
+  if (::mprotect(mem, page_size(), PROT_NONE) != 0) {
+    ::munmap(mem, total);
+    throw std::runtime_error("fiber: mprotect guard page failed");
+  }
+  impl_->stack = mem;
+  impl_->stack_total = total;
+
+  if (::getcontext(&impl_->ctx) != 0) {
+    throw std::runtime_error("fiber: getcontext failed");
+  }
+  impl_->ctx.uc_stack.ss_sp = static_cast<char*>(mem) + page_size();
+  impl_->ctx.uc_stack.ss_size = usable;
+  impl_->ctx.uc_link = nullptr;  // we swap back explicitly in trampoline
+  ::makecontext(&impl_->ctx, reinterpret_cast<void (*)()>(&Fiber::trampoline),
+                0);
+}
+
+Fiber::~Fiber() {
+  if (impl_ && impl_->stack) {
+    ::munmap(impl_->stack, impl_->stack_total);
+  }
+}
+
+void Fiber::trampoline() {
+  Fiber* self = t_starting;
+  t_starting = nullptr;
+  self->impl_->fn();
+  self->done_ = true;
+  // Return to the resumer; this context is never entered again.
+  Fiber* prev = t_current;
+  t_current = nullptr;
+  (void)prev;
+  ::swapcontext(&self->impl_->ctx, &self->impl_->ret_ctx);
+  // unreachable
+}
+
+void Fiber::resume() {
+  if (done_) throw std::logic_error("fiber: resume after completion");
+  if (t_current != nullptr) {
+    throw std::logic_error("fiber: nested resume from inside a fiber");
+  }
+  t_current = this;
+  if (!started_) {
+    started_ = true;
+    t_starting = this;
+  }
+  ::swapcontext(&impl_->ret_ctx, &impl_->ctx);
+  t_current = nullptr;
+}
+
+void Fiber::yield() {
+  Fiber* self = t_current;
+  if (self == nullptr) {
+    throw std::logic_error("fiber: yield outside of a fiber");
+  }
+  t_current = nullptr;
+  ::swapcontext(&self->impl_->ctx, &self->impl_->ret_ctx);
+  t_current = self;
+}
+
+Fiber* Fiber::current() noexcept { return t_current; }
+
+}  // namespace cxf

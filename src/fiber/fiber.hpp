@@ -1,0 +1,61 @@
+#pragma once
+// Cooperative user-level threads (fibers) built on ucontext.
+//
+// The runtime uses fibers to implement "threaded entry methods": an entry
+// method that may suspend (Future::get(), wait(cond), blocking MPI recv)
+// runs inside a fiber so the PE scheduler thread can keep delivering other
+// messages while it is suspended — the mechanism behind the paper's
+// automatic communication/computation overlap in direct-style code.
+//
+// Fibers are strictly per-OS-thread: a fiber is created, resumed and
+// finished on one thread (the PE scheduler), so no synchronization is
+// needed inside.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace cxf {
+
+class Fiber {
+ public:
+  using Fn = std::function<void()>;
+
+  /// Create a suspended fiber that will run `fn` when first resumed.
+  /// `stack_bytes` is rounded up to whole pages; a guard page is added.
+  explicit Fiber(Fn fn, std::size_t stack_bytes = default_stack_size());
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Switch from the calling (scheduler) context into this fiber.
+  /// Returns when the fiber yields or its function returns.
+  /// Must not be called from inside another fiber's context on this thread
+  /// (no nested resume), and must not be called once done().
+  void resume();
+
+  /// True once the fiber's function has returned.
+  [[nodiscard]] bool done() const noexcept { return done_; }
+
+  /// Suspend the currently running fiber, returning control to its
+  /// resumer. Must be called from within a fiber.
+  static void yield();
+
+  /// The fiber currently executing on this thread, or nullptr when the
+  /// scheduler (main) context is running.
+  static Fiber* current() noexcept;
+
+  /// Default stack size (overridable via CHARMX_FIBER_STACK_KB env var).
+  static std::size_t default_stack_size() noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  bool done_ = false;
+  bool started_ = false;
+
+  static void trampoline();
+};
+
+}  // namespace cxf

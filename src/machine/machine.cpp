@@ -1,0 +1,18 @@
+#include "machine/machine.hpp"
+
+#include "machine/sim_machine.hpp"
+#include "machine/threaded_machine.hpp"
+
+namespace cxm {
+
+std::unique_ptr<Machine> make_machine(const MachineConfig& cfg) {
+  switch (cfg.backend) {
+    case Backend::Threaded:
+      return std::make_unique<ThreadedMachine>(cfg);
+    case Backend::Sim:
+      return std::make_unique<SimMachine>(cfg);
+  }
+  return nullptr;
+}
+
+}  // namespace cxm

@@ -1,0 +1,89 @@
+#pragma once
+// Machine — the execution substrate under the runtime.
+//
+// A Machine owns a set of PEs (processing elements), a handler table, and
+// the transport between PEs. Two implementations exist:
+//
+//   * ThreadedMachine — one std::thread per PE, real wall clock. Used by
+//     tests, examples and host-scale benchmarks: real concurrency, real
+//     message passing through per-PE mailboxes.
+//
+//   * SimMachine — a deterministic discrete-event simulator: virtual PEs,
+//     per-PE virtual clocks and a NetworkModel. Entry methods execute real
+//     code; time is charged via compute()/charge-scopes and the network
+//     model. This is the BigSim-style backend used to regenerate the
+//     paper's supercomputer-scale figures (1k-65k PEs) on a workstation.
+//
+// The runtime registers handlers once (before run()) and then communicates
+// exclusively through send(). All handler execution happens on the
+// destination PE's context.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "machine/message.hpp"
+#include "machine/network.hpp"
+
+namespace cxm {
+
+using Handler = std::function<void(MessagePtr)>;
+
+enum class Backend { Threaded, Sim };
+
+struct MachineConfig {
+  int num_pes = 4;
+  Backend backend = Backend::Threaded;
+  /// Simulated network (ignored by the threaded backend):
+  std::string network = "simple";  ///< "simple" | "torus" | "dragonfly"
+  NetworkParams net{};
+  std::uint64_t seed = 1;  ///< tie-break seed (reserved; DES is FIFO-stable)
+};
+
+class Machine {
+ public:
+  virtual ~Machine() = default;
+
+  /// Register a handler; returns its id. Only valid before run().
+  virtual std::uint32_t register_handler(Handler h) = 0;
+
+  /// Number of PEs.
+  [[nodiscard]] virtual int num_pes() const noexcept = 0;
+
+  /// PE id of the calling context; -1 if not on a PE (e.g. driver thread).
+  [[nodiscard]] virtual int current_pe() const noexcept = 0;
+
+  /// Enqueue a message for delivery to msg->dst_pe. Callable from any PE
+  /// context, and from outside run() to seed initial work.
+  virtual void send(MessagePtr msg) = 0;
+
+  /// Current time (seconds) on the calling PE: wall time for the threaded
+  /// backend, virtual time for the simulator.
+  [[nodiscard]] virtual double now() const = 0;
+
+  /// Charge `seconds` of compute to the calling PE: the simulator advances
+  /// its virtual clock; the threaded backend spins for that long (used for
+  /// synthetic load injection, e.g. the paper's imbalance factors).
+  virtual void compute(double seconds) = 0;
+
+  /// Advance the calling PE's clock without consuming host CPU. In the
+  /// threaded backend this is a no-op (real work already took real time);
+  /// in the simulator it is how measured kernel times are charged.
+  virtual void charge(double seconds) = 0;
+
+  /// Run the scheduler loop on all PEs; blocks until stop() is called (or,
+  /// for the simulator, until the event queue drains).
+  virtual void run() = 0;
+
+  /// Request termination of all PE loops. Callable from handler context.
+  virtual void stop() = 0;
+
+  /// True when the machine uses virtual time (SimMachine).
+  [[nodiscard]] virtual bool is_simulated() const noexcept = 0;
+};
+
+/// Create a machine from a config.
+std::unique_ptr<Machine> make_machine(const MachineConfig& cfg);
+
+}  // namespace cxm

@@ -1,0 +1,41 @@
+#pragma once
+// The unit of communication between PEs.
+//
+// A message carries a machine-level handler id (the runtime registers a
+// small number of handlers: entry-method delivery, reduction fragments,
+// migration, ...) plus either a serialized payload (`data`, used for
+// cross-PE sends) or an in-process reference payload (`local`, the paper's
+// same-process by-reference optimization — no serialization, zero copy).
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace cxm {
+
+struct Message {
+  std::uint32_t handler = 0;  ///< machine handler id (see Machine)
+  std::int32_t src_pe = -1;   ///< sending PE (-1 = external / bootstrap)
+  std::int32_t dst_pe = 0;    ///< destination PE
+  std::vector<std::byte> data;  ///< serialized payload (cross-PE path)
+
+  /// Same-PE reference payload. When non-null, `data` is empty and the
+  /// receiver downcasts `local` to the runtime's in-process envelope type.
+  std::shared_ptr<void> local;
+  std::uint64_t local_size = 0;  ///< nominal size for accounting/cost models
+
+  /// When nonzero, cost models account this size instead of the actual
+  /// payload size. Used by modeled-kernel simulation runs that ship
+  /// token payloads standing in for full-size data.
+  std::uint64_t size_override = 0;
+
+  [[nodiscard]] std::uint64_t wire_size() const noexcept {
+    if (size_override != 0) return size_override;
+    return local ? local_size : data.size();
+  }
+};
+
+using MessagePtr = std::unique_ptr<Message>;
+
+}  // namespace cxm

@@ -1,0 +1,60 @@
+#include "machine/network.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace cxm {
+
+namespace {
+/// Near-cubic 3D factorization of n (dx*dy*dz >= n, each >= 1).
+void auto_shape(int n, int& dx, int& dy, int& dz) {
+  const double c = std::cbrt(static_cast<double>(n));
+  dx = std::max(1, static_cast<int>(std::floor(c)));
+  while (n % dx != 0 && dx > 1) --dx;
+  const int rest = (n + dx - 1) / dx;
+  const double s = std::sqrt(static_cast<double>(rest));
+  dy = std::max(1, static_cast<int>(std::floor(s)));
+  while (rest % dy != 0 && dy > 1) --dy;
+  dz = (rest + dy - 1) / dy;
+}
+}  // namespace
+
+TorusNet::TorusNet(NetworkParams p, int num_nodes, int dx, int dy, int dz)
+    : NetworkModel(p), dx_(dx), dy_(dy), dz_(dz) {
+  if (dx_ <= 0 || dy_ <= 0 || dz_ <= 0) {
+    auto_shape(std::max(1, num_nodes), dx_, dy_, dz_);
+  }
+}
+
+int TorusNet::hops(int a, int b) const {
+  // Coordinates of node ids in the torus.
+  const int ax = a % dx_, ay = (a / dx_) % dy_, az = a / (dx_ * dy_);
+  const int bx = b % dx_, by = (b / dx_) % dy_, bz = b / (dx_ * dy_);
+  auto wrap = [](int d, int dim) {
+    const int fwd = std::abs(d);
+    return std::min(fwd, dim - fwd);
+  };
+  return wrap(ax - bx, dx_) + wrap(ay - by, dy_) + wrap(az - bz, dz_);
+}
+
+double TorusNet::remote_latency(int src_node, int dst_node) const {
+  return params_.alpha + hops(src_node, dst_node) * params_.per_hop;
+}
+
+std::unique_ptr<NetworkModel> make_network(const std::string& name,
+                                           NetworkParams params,
+                                           int num_pes) {
+  const int nodes =
+      (num_pes + params.pes_per_node - 1) / std::max(1, params.pes_per_node);
+  if (name == "simple") return std::make_unique<SimpleNet>(params);
+  if (name == "torus") return std::make_unique<TorusNet>(params, nodes);
+  if (name == "dragonfly") {
+    // Aries-like: ~96 nodes per group (scaled down with machine size).
+    const int npg = std::max(1, std::min(96, nodes / 4 + 1));
+    return std::make_unique<DragonflyNet>(params, npg);
+  }
+  throw std::invalid_argument("unknown network model: " + name);
+}
+
+}  // namespace cxm

@@ -1,0 +1,118 @@
+#pragma once
+// Network cost models for the simulated (discrete-event) backend.
+//
+// delay(src, dst, bytes) = end-to-end transfer time of one message.
+// All models are alpha/beta (latency/bandwidth) models with topology-aware
+// latency terms:
+//   * SimpleNet    — flat alpha + bytes*beta (+ cheap intra-node path)
+//   * TorusNet     — 3D torus hop count (Blue Waters-like, Cray XE Gemini)
+//   * DragonflyNet — group-local vs. global links (Cori-like, Cray Aries)
+//
+// PEs are grouped into nodes of `pes_per_node`; intra-node messages use a
+// separate (much cheaper) memory-channel cost.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace cxm {
+
+struct NetworkParams {
+  int pes_per_node = 32;       ///< PEs (cores) per node
+  double alpha = 2.0e-6;       ///< base network latency (s)
+  double beta = 1.0e-9;        ///< inverse bandwidth (s/byte) ~ 1 GB/s
+  double per_hop = 1.0e-7;     ///< additional latency per hop (torus)
+  double node_alpha = 4.0e-7;  ///< intra-node latency (s)
+  double node_beta = 2.5e-10;  ///< intra-node inverse bandwidth (s/byte)
+  double cpu_overhead = 5.0e-7;  ///< per-message sender+receiver CPU cost (s)
+};
+
+class NetworkModel {
+ public:
+  explicit NetworkModel(NetworkParams p) : params_(p) {}
+  virtual ~NetworkModel() = default;
+
+  /// End-to-end delivery delay for one `bytes`-sized message.
+  [[nodiscard]] double delay(int src_pe, int dst_pe,
+                             std::uint64_t bytes) const {
+    if (src_pe < 0) return 0.0;  // bootstrap / external injection
+    if (node_of(src_pe) == node_of(dst_pe)) {
+      return params_.node_alpha +
+             static_cast<double>(bytes) * params_.node_beta;
+    }
+    return remote_latency(node_of(src_pe), node_of(dst_pe)) +
+           static_cast<double>(bytes) * params_.beta;
+  }
+
+  /// CPU time charged on the sending PE per message (software overhead).
+  [[nodiscard]] double cpu_overhead() const noexcept {
+    return params_.cpu_overhead;
+  }
+
+  [[nodiscard]] int node_of(int pe) const noexcept {
+    return pe / params_.pes_per_node;
+  }
+  [[nodiscard]] const NetworkParams& params() const noexcept {
+    return params_;
+  }
+
+ protected:
+  /// Inter-node latency between two node ids.
+  [[nodiscard]] virtual double remote_latency(int src_node,
+                                              int dst_node) const = 0;
+
+  NetworkParams params_;
+};
+
+/// Flat latency between any two nodes.
+class SimpleNet final : public NetworkModel {
+ public:
+  explicit SimpleNet(NetworkParams p) : NetworkModel(p) {}
+
+ protected:
+  double remote_latency(int, int) const override { return params_.alpha; }
+};
+
+/// 3D torus: latency grows with Manhattan hop distance (wraparound links).
+class TorusNet final : public NetworkModel {
+ public:
+  /// `dims` are the torus dimensions in nodes; pass {0,0,0} to auto-shape
+  /// a near-cubic torus for `num_nodes`.
+  TorusNet(NetworkParams p, int num_nodes, int dx = 0, int dy = 0,
+           int dz = 0);
+
+ protected:
+  double remote_latency(int src_node, int dst_node) const override;
+
+ private:
+  [[nodiscard]] int hops(int a, int b) const;
+  int dx_, dy_, dz_;
+};
+
+/// Dragonfly: one hop within a group, up to three (local-global-local)
+/// between groups.
+class DragonflyNet final : public NetworkModel {
+ public:
+  DragonflyNet(NetworkParams p, int nodes_per_group)
+      : NetworkModel(p), nodes_per_group_(nodes_per_group < 1
+                                              ? 1
+                                              : nodes_per_group) {}
+
+ protected:
+  double remote_latency(int src_node, int dst_node) const override {
+    const int gs = src_node / nodes_per_group_;
+    const int gd = dst_node / nodes_per_group_;
+    const int hops = (gs == gd) ? 1 : 3;
+    return params_.alpha + hops * params_.per_hop;
+  }
+
+ private:
+  int nodes_per_group_;
+};
+
+/// Factory from a model name ("simple", "torus", "dragonfly").
+std::unique_ptr<NetworkModel> make_network(const std::string& name,
+                                           NetworkParams params,
+                                           int num_pes);
+
+}  // namespace cxm

@@ -1,0 +1,95 @@
+#include "machine/sim_machine.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace cxm {
+
+SimMachine::SimMachine(const MachineConfig& cfg)
+    : num_pes_(cfg.num_pes),
+      clock_(static_cast<std::size_t>(cfg.num_pes), 0.0),
+      net_(make_network(cfg.network, cfg.net, cfg.num_pes)) {
+  if (num_pes_ < 1) throw std::invalid_argument("num_pes must be >= 1");
+  fifo_ = std::getenv("CHARMX_SIM_FIFO") != nullptr;
+}
+
+SimMachine::~SimMachine() {
+  while (!heap_.empty()) {
+    delete heap_.top().msg;
+    heap_.pop();
+  }
+}
+
+std::uint32_t SimMachine::register_handler(Handler h) {
+  if (running_) throw std::logic_error("register_handler after run()");
+  handlers_.push_back(std::move(h));
+  return static_cast<std::uint32_t>(handlers_.size() - 1);
+}
+
+void SimMachine::send(MessagePtr msg) {
+  const int dst = msg->dst_pe;
+  if (dst < 0 || dst >= num_pes_) {
+    throw std::out_of_range("send: bad destination PE");
+  }
+  const int src = current_pe_;
+  msg->src_pe = src;
+  double arrival = 0.0;
+  if (src >= 0) {
+    // Sender-side software overhead is CPU time on the sending PE.
+    clock_[static_cast<std::size_t>(src)] += net_->cpu_overhead();
+    arrival = clock_[static_cast<std::size_t>(src)] +
+              net_->delay(src, dst, msg->wire_size());
+  }
+  if (fifo_) {
+    auto& last = last_arrival_[{src, dst}];
+    arrival = std::max(arrival, last);
+    last = arrival;
+  }
+  heap_.push(Event{arrival, seq_++, msg.release()});
+}
+
+double SimMachine::now() const {
+  if (current_pe_ < 0) return 0.0;
+  return clock_[static_cast<std::size_t>(current_pe_)];
+}
+
+void SimMachine::charge(double seconds) {
+  if (current_pe_ >= 0) {
+    clock_[static_cast<std::size_t>(current_pe_)] += seconds;
+  }
+}
+
+void SimMachine::run() {
+  running_ = true;
+  stop_ = false;
+  while (!stop_ && !heap_.empty()) {
+    Event ev = heap_.top();
+    heap_.pop();
+    MessagePtr msg(ev.msg);
+    const int pe = msg->dst_pe;
+    auto& clk = clock_[static_cast<std::size_t>(pe)];
+    clk = std::max(clk, ev.time);
+    clk += net_->cpu_overhead();  // receiver-side software overhead
+    current_pe_ = pe;
+    cxu::set_log_pe(pe);
+    const std::uint32_t h = msg->handler;
+    if (h >= handlers_.size()) {
+      CX_LOG_ERROR("dropping message with unknown handler ", h);
+      continue;
+    }
+    handlers_[h](std::move(msg));
+    ++events_processed_;
+  }
+  current_pe_ = -1;
+  cxu::set_log_pe(-1);
+  running_ = false;
+}
+
+double SimMachine::makespan() const {
+  return *std::max_element(clock_.begin(), clock_.end());
+}
+
+}  // namespace cxm

@@ -1,0 +1,80 @@
+#pragma once
+// SimMachine — deterministic discrete-event simulator backend.
+//
+// All PEs are virtual and run in one OS thread. Each PE has a virtual
+// clock; messages are delivered through a NetworkModel that charges
+// latency + bytes/bandwidth (+ per-message CPU overhead on both sides).
+// Handlers execute real code; compute()/charge() advance the virtual
+// clock of the PE the handler runs on.
+//
+// Event ordering: a single min-heap keyed by (arrival time, sequence).
+// Handlers can only generate events with arrival >= their own start time,
+// so per-PE FIFO arrival order equals pop order and causality holds.
+
+#include <cstdint>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "machine/machine.hpp"
+
+namespace cxm {
+
+class SimMachine final : public Machine {
+ public:
+  explicit SimMachine(const MachineConfig& cfg);
+  ~SimMachine() override;
+
+  std::uint32_t register_handler(Handler h) override;
+  [[nodiscard]] int num_pes() const noexcept override { return num_pes_; }
+  [[nodiscard]] int current_pe() const noexcept override {
+    return current_pe_;
+  }
+  void send(MessagePtr msg) override;
+  [[nodiscard]] double now() const override;
+  void compute(double seconds) override { charge(seconds); }
+  void charge(double seconds) override;
+  void run() override;
+  void stop() override { stop_ = true; }
+  [[nodiscard]] bool is_simulated() const noexcept override { return true; }
+
+  /// Max virtual time reached across PEs (the simulated makespan).
+  [[nodiscard]] double makespan() const;
+
+  /// Total events processed (for reporting / sanity checks).
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return events_processed_;
+  }
+
+  [[nodiscard]] const NetworkModel& network() const noexcept {
+    return *net_;
+  }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Message* msg;  // owned; unique_ptr is not movable through priority_queue
+    bool operator>(const Event& o) const noexcept {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  int num_pes_;
+  std::vector<Handler> handlers_;
+  std::vector<double> clock_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap_;
+  std::unique_ptr<NetworkModel> net_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  int current_pe_ = -1;
+  bool stop_ = false;
+  bool running_ = false;
+  /// Per-channel FIFO enforcement (CHARMX_SIM_FIFO): a message never
+  /// arrives before an earlier message on the same (src, dst) channel,
+  /// matching the in-order delivery of real transport layers.
+  bool fifo_ = false;
+  std::map<std::pair<int, int>, double> last_arrival_;
+};
+
+}  // namespace cxm

@@ -1,0 +1,111 @@
+#include "machine/threaded_machine.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace cxm {
+
+namespace {
+thread_local int t_current_pe = -1;
+}
+
+ThreadedMachine::ThreadedMachine(const MachineConfig& cfg)
+    : num_pes_(cfg.num_pes) {
+  if (num_pes_ < 1) throw std::invalid_argument("num_pes must be >= 1");
+  mailboxes_.reserve(static_cast<std::size_t>(num_pes_));
+  for (int i = 0; i < num_pes_; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+ThreadedMachine::~ThreadedMachine() = default;
+
+std::uint32_t ThreadedMachine::register_handler(Handler h) {
+  if (running_) throw std::logic_error("register_handler after run()");
+  handlers_.push_back(std::move(h));
+  return static_cast<std::uint32_t>(handlers_.size() - 1);
+}
+
+int ThreadedMachine::current_pe() const noexcept { return t_current_pe; }
+
+void ThreadedMachine::send(MessagePtr msg) {
+  const int dst = msg->dst_pe;
+  if (dst < 0 || dst >= num_pes_) {
+    throw std::out_of_range("send: bad destination PE");
+  }
+  Mailbox& mb = *mailboxes_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard<std::mutex> lock(mb.mutex);
+    mb.queue.push_back(std::move(msg));
+  }
+  mb.cv.notify_one();
+}
+
+double ThreadedMachine::now() const { return cxu::wall_time() - epoch_; }
+
+void ThreadedMachine::compute(double seconds) {
+  const double end = cxu::wall_time() + seconds;
+  while (cxu::wall_time() < end) {
+    // busy spin: models synthetic compute load on a real core
+  }
+}
+
+void ThreadedMachine::charge(double) {
+  // Real work already consumed real time; nothing to do.
+}
+
+void ThreadedMachine::run() {
+  running_ = true;
+  stop_.store(false, std::memory_order_relaxed);
+  epoch_ = cxu::wall_time();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_pes_));
+  for (int pe = 0; pe < num_pes_; ++pe) {
+    threads.emplace_back([this, pe] { pe_loop(pe); });
+  }
+  for (auto& t : threads) t.join();
+  running_ = false;
+}
+
+void ThreadedMachine::stop() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& mb : mailboxes_) {
+    std::lock_guard<std::mutex> lock(mb->mutex);
+    mb->cv.notify_all();
+  }
+}
+
+void ThreadedMachine::pe_loop(int pe) {
+  t_current_pe = pe;
+  cxu::set_log_pe(pe);
+  Mailbox& mb = *mailboxes_[static_cast<std::size_t>(pe)];
+  while (true) {
+    MessagePtr msg;
+    {
+      std::unique_lock<std::mutex> lock(mb.mutex);
+      mb.cv.wait(lock, [&] {
+        return !mb.queue.empty() || stop_.load(std::memory_order_acquire);
+      });
+      if (mb.queue.empty()) break;  // stop requested and drained
+      msg = std::move(mb.queue.front());
+      mb.queue.pop_front();
+    }
+    const std::uint32_t h = msg->handler;
+    if (h >= handlers_.size()) {
+      CX_LOG_ERROR("dropping message with unknown handler ", h);
+      continue;
+    }
+    handlers_[h](std::move(msg));
+    if (stop_.load(std::memory_order_acquire)) {
+      // Finish promptly on stop; remaining queued messages are dropped by
+      // design (mirrors charm.exit() semantics).
+      break;
+    }
+  }
+  t_current_pe = -1;
+  cxu::set_log_pe(-1);
+}
+
+}  // namespace cxm

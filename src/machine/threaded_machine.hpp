@@ -1,0 +1,48 @@
+#pragma once
+// ThreadedMachine — one OS thread per PE, per-PE MPSC mailbox, wall clock.
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "machine/machine.hpp"
+
+namespace cxm {
+
+class ThreadedMachine final : public Machine {
+ public:
+  explicit ThreadedMachine(const MachineConfig& cfg);
+  ~ThreadedMachine() override;
+
+  std::uint32_t register_handler(Handler h) override;
+  [[nodiscard]] int num_pes() const noexcept override { return num_pes_; }
+  [[nodiscard]] int current_pe() const noexcept override;
+  void send(MessagePtr msg) override;
+  [[nodiscard]] double now() const override;
+  void compute(double seconds) override;
+  void charge(double seconds) override;
+  void run() override;
+  void stop() override;
+  [[nodiscard]] bool is_simulated() const noexcept override { return false; }
+
+ private:
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<MessagePtr> queue;
+  };
+
+  void pe_loop(int pe);
+
+  int num_pes_;
+  std::vector<Handler> handlers_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::atomic<bool> stop_{false};
+  bool running_ = false;
+  double epoch_ = 0.0;
+};
+
+}  // namespace cxm

@@ -1,0 +1,14 @@
+#pragma once
+// cpy.hpp — umbrella header for the model layer: the C++ rendering of the
+// CharmPy programming model (the paper's contribution), layered on the
+// cx:: core runtime exactly as CharmPy layers on Charm++.
+//
+// See model/dproxy.hpp for the API correspondence table.
+
+#include "model/dchare.hpp"
+#include "model/dist_array.hpp"
+#include "model/dclass.hpp"
+#include "model/dproxy.hpp"
+#include "model/expr.hpp"
+#include "model/reducers.hpp"
+#include "model/value.hpp"

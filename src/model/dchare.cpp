@@ -1,0 +1,136 @@
+#include "model/dchare.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+#include "model/reducers.hpp"
+
+namespace cpy {
+
+namespace {
+
+std::atomic<double> g_dispatch_overhead{0.0};
+
+/// Shared when-predicate for both dyn_call entry methods: evaluate the
+/// target method's compiled condition against self attributes and named
+/// arguments (paper §II-E).
+bool dyn_when(DChare& self, const std::string& method, const Args& args) {
+  const MethodDef* def = find_method(self.dclass(), method);
+  if (def == nullptr || !def->has_when) return true;
+  return def->when_cond.test(
+      make_resolver(self.attrs(), def->params, args));
+}
+
+/// One-time glue: install the when predicate and the threaded flag on
+/// the universal entry methods.
+struct DynGlue {
+  DynGlue() {
+    auto pred = [](DChare& c, const std::string& m, const Args& a) {
+      return dyn_when(c, m, a);
+    };
+    cx::set_when<&DChare::dyn_call>(pred);
+    cx::set_when<&DChare::dyn_call_threaded>(pred);
+    cx::set_threaded<&DChare::dyn_call_threaded>();
+  }
+};
+const DynGlue glue;
+
+Value index_value(const cx::Index& idx) {
+  List items;
+  for (int i = 0; i < idx.ndims(); ++i) {
+    items.emplace_back(static_cast<std::int64_t>(idx[i]));
+  }
+  return Value::tuple(std::move(items));
+}
+
+}  // namespace
+
+DChare::DChare(std::string cls, Args ctor_args) : cls_(std::move(cls)) {
+  if (!class_exists(cls_)) {
+    throw std::runtime_error("NameError: dynamic class '" + cls_ +
+                             "' is not registered");
+  }
+  (*this)["thisIndex"] = index_value(this_index());
+  if (const MethodDef* init = find_method(cls_, "__init__")) {
+    init->fn(*this, ctor_args);
+  }
+}
+
+Value DChare::dyn_call(std::string method, Args args) {
+  cx::charge(g_dispatch_overhead.load(std::memory_order_relaxed));
+  const MethodDef& def = resolve(method);
+  return def.fn(*this, args);
+}
+
+Value DChare::dyn_call_threaded(std::string method, Args args) {
+  return dyn_call(std::move(method), std::move(args));
+}
+
+void DChare::dyn_result(std::pair<std::string, Value> tagged) {
+  Args args;
+  args.push_back(std::move(tagged.second));
+  (void)dyn_call(std::move(tagged.first), std::move(args));
+}
+
+Value& DChare::operator[](const std::string& name) {
+  return attrs_.as_dict()[name];
+}
+
+bool DChare::has_attr(const std::string& name) const {
+  return attrs_.as_dict().count(name) != 0;
+}
+
+void DChare::pup(pup::Er& p) {
+  p | cls_;
+  attrs_.pup(p);
+}
+
+void DChare::resume_from_sync() {
+  if (find_method(cls_, "resumeFromSync") != nullptr) {
+    Args none;
+    (void)dyn_call("resumeFromSync", std::move(none));
+  }
+}
+
+void DChare::wait_until(const std::string& condition) {
+  // Compile once per call site string; conditions are short and the
+  // compile cost mirrors CharmPy's eval of the condition source.
+  const Expr expr = Expr::compile(condition);
+  wait([this, expr]() {
+    static const std::vector<std::string> no_params;
+    static const Args no_args;
+    return expr.test(make_resolver(attrs_, no_params, no_args));
+  });
+}
+
+void DChare::contribute_value(const Value& data, const std::string& reducer,
+                              const DTarget& target) {
+  if (target.wrap_method) {
+    std::pair<std::string, Value> tagged(target.method, data);
+    cx::detail::contribute_bytes(*this, pup::to_bytes(tagged),
+                                 tagged_combiner(reducer), target.raw);
+  } else {
+    Value copy = data;
+    cx::detail::contribute_bytes(*this, pup::to_bytes(copy),
+                                 value_combiner(reducer), target.raw);
+  }
+}
+
+void DChare::set_sim_dispatch_overhead(double seconds) noexcept {
+  g_dispatch_overhead.store(seconds, std::memory_order_relaxed);
+}
+
+double DChare::sim_dispatch_overhead() noexcept {
+  return g_dispatch_overhead.load(std::memory_order_relaxed);
+}
+
+const MethodDef& DChare::resolve(const std::string& method) const {
+  const MethodDef* def = find_method(cls_, method);
+  if (def == nullptr) {
+    throw std::runtime_error("AttributeError: class '" + cls_ +
+                             "' has no method '" + method + "'");
+  }
+  return *def;
+}
+
+}  // namespace cpy

@@ -1,0 +1,107 @@
+#pragma once
+// DChare — the dynamic chare of the model layer.
+//
+// Every dynamic chare is an instance of one C++ class whose behaviour is
+// given by its DClass (method table looked up by name) and whose state
+// lives in an attribute dict — exactly how Python objects work, which is
+// what gives this layer CharmPy's flexibility (a class usable for
+// singletons, groups and any array; automatic migration serialization of
+// the whole attribute dict; `when`/`wait` conditions evaluated against
+// attributes by name).
+//
+// Inside a method, `self["x"]` reads/writes attributes:
+//
+//   cls.def("recvData", {"data"}, [](cpy::DChare& self, cpy::Args& a) {
+//     self["msg_count"] = self["msg_count"].as_int() + 1;
+//     return cpy::Value::none();
+//   });
+
+#include <string>
+#include <utility>
+
+#include "core/charm.hpp"
+#include "model/dclass.hpp"
+#include "model/value.hpp"
+
+namespace cpy {
+
+/// Reduction target: a future, or a (possibly broadcast) entry method.
+struct DTarget {
+  cx::Callback raw;
+  bool wrap_method = false;  ///< value travels as (method, value)
+  std::string method;
+
+  static DTarget to_future(const cx::ReplyTo& slot) {
+    DTarget t;
+    t.raw = cx::Callback::to_future(slot);
+    return t;
+  }
+};
+
+class DChare : public cx::Chare {
+ public:
+  DChare() = default;  ///< migration path (state arrives via pup)
+
+  /// Construction: binds the instance to its dynamic class and calls
+  /// "__init__" with `ctor_args` if defined.
+  DChare(std::string cls, Args ctor_args);
+
+  /// Universal entry methods: dispatch by method name. The runtime picks
+  /// the threaded variant for methods declared with def_threaded.
+  Value dyn_call(std::string method, Args args);
+  Value dyn_call_threaded(std::string method, Args args);
+
+  /// Reduction-result delivery: invokes `tagged.first` with the result.
+  void dyn_result(std::pair<std::string, Value> tagged);
+
+  // --- state ---------------------------------------------------------------
+
+  /// Attribute access (creates the attribute on write, like Python).
+  Value& operator[](const std::string& name);
+  [[nodiscard]] bool has_attr(const std::string& name) const;
+  /// The whole attribute dict as a Value (shared reference).
+  [[nodiscard]] const Value& attrs() const noexcept { return attrs_; }
+
+  [[nodiscard]] const std::string& dclass() const noexcept { return cls_; }
+
+  /// Automatic migration serialization: class name + attribute dict.
+  void pup(pup::Er& p) override;
+
+  /// Calls the dynamic method "resumeFromSync" after load balancing.
+  void resume_from_sync() override;
+
+  // --- services for method bodies -------------------------------------------
+
+  /// Suspend until a condition over `self` holds (threaded methods only).
+  /// Paper §II-H2: self.wait('condition').
+  void wait_until(const std::string& condition);
+
+  /// Contribute to a reduction (paper §II-F). Reducer names: "sum",
+  /// "product", "min", "max", "gather", "concat", or a custom name
+  /// registered with add_dyn_reducer.
+  void contribute_value(const Value& data, const std::string& reducer,
+                        const DTarget& target);
+
+  /// Empty reduction (barrier): data=None, reducer=None of the paper.
+  void barrier(const DTarget& target) {
+    contribute_value(Value::none(), "none", target);
+  }
+
+  /// Re-exposed chare services (protected in cx::Chare).
+  void migrate_to(int pe) { migrate(pe); }
+  void sync() { at_sync(); }
+
+  /// Per-message overhead charged to the simulated clock by dyn_call,
+  /// modeling the interpreter/dispatch cost of the dynamic layer (no-op
+  /// on the threaded backend, where the real cost is already paid).
+  static void set_sim_dispatch_overhead(double seconds) noexcept;
+  static double sim_dispatch_overhead() noexcept;
+
+ private:
+  const MethodDef& resolve(const std::string& method) const;
+
+  std::string cls_;
+  Value attrs_ = Value::dict({});
+};
+
+}  // namespace cpy

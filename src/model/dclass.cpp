@@ -1,0 +1,90 @@
+#include "model/dclass.hpp"
+
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace cpy {
+
+namespace {
+
+struct ClassImpl {
+  // std::map: node-based, so MethodDef addresses stay stable.
+  std::map<std::string, MethodDef> methods;
+};
+
+struct ClassRegistry {
+  std::mutex mutex;
+  std::unordered_map<std::string, std::unique_ptr<ClassImpl>> classes;
+
+  static ClassRegistry& instance() {
+    static ClassRegistry r;
+    return r;
+  }
+
+  ClassImpl& get_or_create(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex);
+    auto& slot = classes[name];
+    if (!slot) slot = std::make_unique<ClassImpl>();
+    return *slot;
+  }
+
+  ClassImpl* find(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto it = classes.find(name);
+    return it == classes.end() ? nullptr : it->second.get();
+  }
+};
+
+}  // namespace
+
+DClass::DClass(std::string name) : name_(std::move(name)) {
+  ClassRegistry::instance().get_or_create(name_);
+}
+
+DClass& DClass::def(const std::string& method,
+                    std::vector<std::string> params, MethodFn fn) {
+  auto& impl = ClassRegistry::instance().get_or_create(name_);
+  MethodDef& d = impl.methods[method];
+  d.name = method;
+  d.params = std::move(params);
+  d.fn = std::move(fn);
+  return *this;
+}
+
+DClass& DClass::def_threaded(const std::string& method,
+                             std::vector<std::string> params, MethodFn fn) {
+  def(method, std::move(params), std::move(fn));
+  auto& impl = ClassRegistry::instance().get_or_create(name_);
+  impl.methods[method].threaded = true;
+  return *this;
+}
+
+DClass& DClass::when(const std::string& method,
+                     const std::string& condition) {
+  auto& impl = ClassRegistry::instance().get_or_create(name_);
+  const auto it = impl.methods.find(method);
+  if (it == impl.methods.end()) {
+    throw std::logic_error("when('" + condition + "'): class " + name_ +
+                           " has no method " + method +
+                           " (define it first)");
+  }
+  it->second.when_cond = Expr::compile(condition);
+  it->second.has_when = true;
+  return *this;
+}
+
+const MethodDef* find_method(const std::string& cls,
+                             const std::string& method) {
+  ClassImpl* impl = ClassRegistry::instance().find(cls);
+  if (impl == nullptr) return nullptr;
+  const auto it = impl->methods.find(method);
+  return it == impl->methods.end() ? nullptr : &it->second;
+}
+
+bool class_exists(const std::string& cls) {
+  return ClassRegistry::instance().find(cls) != nullptr;
+}
+
+}  // namespace cpy

@@ -1,0 +1,78 @@
+#pragma once
+// DistArray — a distributed 1-D numeric array on the dynamic model layer.
+//
+// The paper's §VI future work: "higher-level abstractions to distribute
+// common Python workflows and data structures like NumPy arrays ... in a
+// way that preserves their APIs". This is that abstraction for dense
+// double arrays: the data lives in chunk chares (one contiguous block
+// each), operations are asynchronous broadcasts/reductions, and element
+// access routes to the owning chunk.
+//
+//   auto a = cpy::DistArray::create(1'000'000, /*chunks=*/64);
+//   a.fill(1.5);
+//   a.iota();                                  // a[i] = i
+//   a.scale(2.0);
+//   a.add_scaled(b, 3.0);                      // a += 3 b   (same layout)
+//   double s  = a.sum().get().as_real();       // async reduction
+//   double d  = a.dot(b).get().as_real();
+//   double x  = a.get(123456).get().as_real(); // element read
+//
+// All mutating calls are asynchronous (message-driven); reductions and
+// gets return futures. Operations combining two arrays require identical
+// length and chunking (chunks are co-located index-by-index by the
+// placement map, so chunk-to-chunk transfers are usually same-PE).
+
+#include <cstdint>
+
+#include "model/dproxy.hpp"
+
+namespace cpy {
+
+class DistArray {
+ public:
+  DistArray() = default;
+
+  /// Create a zero-initialized array of `n` doubles in `chunks` blocks.
+  /// Must run in a threaded context of a live runtime.
+  static DistArray create(std::int64_t n, int chunks);
+
+  [[nodiscard]] std::int64_t size() const noexcept { return n_; }
+  [[nodiscard]] int chunks() const noexcept { return chunks_; }
+
+  // --- element-wise updates (asynchronous broadcasts) ---
+  void fill(double v) const;
+  void iota() const;  ///< a[i] = i (global index)
+  void scale(double a) const;
+  /// this += alpha * other (identical length and chunking required).
+  /// The returned future resolves when every chunk has applied the
+  /// update (the transfer is a three-hop asynchronous chain).
+  cx::Future<void> add_scaled(const DistArray& other, double alpha) const;
+
+  // --- reductions ---
+  [[nodiscard]] cx::Future<Value> sum() const;
+  [[nodiscard]] cx::Future<Value> min() const;
+  [[nodiscard]] cx::Future<Value> max() const;
+  /// Inner product with `other` (identical layout required).
+  [[nodiscard]] cx::Future<Value> dot(const DistArray& other) const;
+
+  // --- element access ---
+  [[nodiscard]] cx::Future<Value> get(std::int64_t index) const;
+  void set(std::int64_t index, double v) const;
+
+  /// Barrier: resolves when all previously issued updates on this array
+  /// have been executed.
+  [[nodiscard]] cx::Future<void> sync() const;
+
+  void pup(pup::Er& p) {
+    chunks_proxy_.pup(p);
+    p | n_;
+    p | chunks_;
+  }
+
+ private:
+  DCollection chunks_proxy_;
+  std::int64_t n_ = 0;
+  int chunks_ = 0;
+};
+
+}  // namespace cpy

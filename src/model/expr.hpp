@@ -1,0 +1,65 @@
+#pragma once
+// Expression engine for `when` / `wait` condition strings (paper §II-E,
+// §II-H2). CharmPy evaluates standard Python conditionals like
+//
+//   "self.iter == iter"        "x + z == self.x"
+//   "self.ready"               "self.msg_count == len(self.neighbors)"
+//
+// against the chare's state and the entry method's arguments. This is the
+// C++ rendering: a Pratt parser compiles the condition once into an AST;
+// evaluation resolves `self.attr` in the chare's attribute dict and bare
+// names in the entry method's named arguments.
+//
+// Supported grammar: or/and/not; comparisons == != < <= > >=; + - * / %;
+// unary -; literals (ints, floats, 'strings', True/False/None); attribute
+// access (self.x, nested dicts); indexing a[i]; builtin calls len(), abs(),
+// min(,), max(,).
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/value.hpp"
+
+namespace cpy {
+
+/// Resolves a bare identifier during evaluation ("self" included).
+using NameResolver = std::function<Value(const std::string&)>;
+
+class Expr {
+ public:
+  /// Compile a condition string; throws std::runtime_error on syntax
+  /// errors (with position information).
+  static Expr compile(const std::string& source);
+
+  // Copies share the immutable AST (cheap shared_ptr copy).
+  Expr() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return root_ != nullptr; }
+
+  /// Evaluate to a Value.
+  [[nodiscard]] Value eval(const NameResolver& names) const;
+
+  /// Evaluate and apply Python truthiness.
+  [[nodiscard]] bool test(const NameResolver& names) const {
+    return eval(names).truthy();
+  }
+
+  [[nodiscard]] const std::string& source() const noexcept { return src_; }
+
+  struct Node;
+
+ private:
+  std::shared_ptr<const Node> root_;
+  std::string src_;
+};
+
+/// Convenience resolver over a chare attribute dict + named arguments.
+/// `self` resolves to the attribute dict; argument names resolve
+/// positionally through `param_names`/`args`.
+NameResolver make_resolver(const Value& self_attrs,
+                           const std::vector<std::string>& param_names,
+                           const Args& args);
+
+}  // namespace cpy

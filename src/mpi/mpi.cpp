@@ -1,0 +1,381 @@
+#include "mpi/mpi.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <deque>
+#include <stdexcept>
+
+#include "fiber/fiber.hpp"
+#include "machine/sim_machine.hpp"
+#include "pup/pup.hpp"
+
+namespace cxmpi {
+
+using cxf::Fiber;
+using cxm::Message;
+using cxm::MessagePtr;
+
+namespace {
+
+// Internal tags for collectives (user tags must be < kInternalTagBase).
+constexpr int kInternalTagBase = 1 << 29;
+constexpr int kTagReduce = kInternalTagBase + 1;
+constexpr int kTagBcast = kInternalTagBase + 2;
+constexpr int kTagGather = kInternalTagBase + 3;
+
+struct WireHeader {
+  std::int32_t src = 0;
+  std::int32_t tag = 0;
+  void pup(pup::Er& p) {
+    p | src;
+    p | tag;
+  }
+};
+
+struct Unexpected {
+  int src;
+  int tag;
+  std::vector<std::byte> data;
+};
+
+}  // namespace
+
+struct Request::State {
+  bool done = false;
+  std::vector<std::byte>* out = nullptr;
+  int src = kAnySource;
+  int tag = kAnyTag;
+};
+
+class World {
+ public:
+  World(const cxm::MachineConfig& cfg, RankFn fn)
+      : machine_(cxm::make_machine(cfg)), fn_(std::move(fn)) {
+    const int p = machine_->num_pes();
+    ranks_.resize(static_cast<std::size_t>(p));
+    h_msg_ = machine_->register_handler(
+        [this](MessagePtr m) { on_msg(std::move(m)); });
+    h_start_ = machine_->register_handler(
+        [this](MessagePtr m) { on_start(std::move(m)); });
+  }
+
+  void run(double* makespan_out) {
+    for (int pe = 0; pe < machine_->num_pes(); ++pe) {
+      auto m = std::make_unique<Message>();
+      m->handler = h_start_;
+      m->dst_pe = pe;
+      machine_->send(std::move(m));
+    }
+    machine_->run();
+    if (makespan_out != nullptr) {
+      auto* sm = dynamic_cast<cxm::SimMachine*>(machine_.get());
+      *makespan_out = sm != nullptr ? sm->makespan() : machine_->now();
+    }
+    // Any fiber still alive here means a rank deadlocked; destroying the
+    // Fiber objects releases their stacks.
+  }
+
+  [[nodiscard]] int size() const noexcept { return machine_->num_pes(); }
+  cxm::Machine& machine() noexcept { return *machine_; }
+
+  void send_bytes(int src_rank, int dst, int tag,
+                  std::vector<std::byte> data,
+                  std::uint64_t nominal_bytes = 0) {
+    if (dst < 0 || dst >= size()) {
+      throw std::out_of_range("cxmpi: bad destination rank");
+    }
+    WireHeader h;
+    h.src = src_rank;
+    h.tag = tag;
+    auto bytes = pup::to_bytes(h);
+    bytes.insert(bytes.end(), data.begin(), data.end());
+    auto m = std::make_unique<Message>();
+    m->handler = h_msg_;
+    m->dst_pe = dst;
+    m->data = std::move(bytes);
+    m->size_override = nominal_bytes;
+    machine_->send(std::move(m));
+  }
+
+  /// Blocking receive for `rank` (runs inside the rank's fiber).
+  std::vector<std::byte> recv_bytes(int rank, int src, int tag) {
+    std::vector<std::byte> out;
+    Request req;
+    req.state_ = std::make_shared<Request::State>();
+    req.state_->out = &out;
+    req.state_->src = src;
+    req.state_->tag = tag;
+    post_or_match(rank, req.state_);
+    wait(rank, req);
+    return out;
+  }
+
+  void post(int rank, const std::shared_ptr<Request::State>& st) {
+    post_or_match(rank, st);
+  }
+
+  void wait(int rank, Request& req) {
+    if (!req.valid()) return;
+    auto& rs = ranks_[static_cast<std::size_t>(rank)];
+    while (!req.state_->done) {
+      rs.blocked = true;
+      Fiber::yield();
+      rs.blocked = false;
+    }
+  }
+
+ private:
+  struct RankState {
+    std::unique_ptr<Fiber> fiber;
+    std::deque<Unexpected> unexpected;
+    std::deque<std::shared_ptr<Request::State>> posted;
+    bool blocked = false;
+  };
+
+  static bool matches(int want_src, int want_tag, int src, int tag) {
+    return (want_src == kAnySource || want_src == src) &&
+           (want_tag == kAnyTag || want_tag == tag);
+  }
+
+  /// Match against already-arrived messages, else post the receive.
+  void post_or_match(int rank, const std::shared_ptr<Request::State>& st) {
+    auto& rs = ranks_[static_cast<std::size_t>(rank)];
+    for (auto it = rs.unexpected.begin(); it != rs.unexpected.end(); ++it) {
+      if (matches(st->src, st->tag, it->src, it->tag)) {
+        *st->out = std::move(it->data);
+        st->done = true;
+        rs.unexpected.erase(it);
+        return;
+      }
+    }
+    rs.posted.push_back(st);
+  }
+
+  void on_msg(MessagePtr m) {
+    const int rank = machine_->current_pe();
+    auto& rs = ranks_[static_cast<std::size_t>(rank)];
+    pup::Unpacker u(m->data.data(), m->data.size());
+    WireHeader h;
+    u | h;
+    std::vector<std::byte> data(m->data.begin() + static_cast<long>(u.offset()),
+                                m->data.end());
+    for (auto it = rs.posted.begin(); it != rs.posted.end(); ++it) {
+      if (matches((*it)->src, (*it)->tag, h.src, h.tag)) {
+        *(*it)->out = std::move(data);
+        (*it)->done = true;
+        rs.posted.erase(it);
+        // Wake the rank if it is blocked in wait().
+        if (rs.blocked && rs.fiber && !rs.fiber->done()) {
+          rs.fiber->resume();
+          maybe_finish(rank);
+        }
+        return;
+      }
+    }
+    rs.unexpected.push_back(Unexpected{h.src, h.tag, std::move(data)});
+  }
+
+  void on_start(MessagePtr) {
+    const int rank = machine_->current_pe();
+    auto& rs = ranks_[static_cast<std::size_t>(rank)];
+    rs.fiber = std::make_unique<Fiber>([this, rank] {
+      Comm comm(this, rank);
+      fn_(comm);
+    });
+    rs.fiber->resume();
+    maybe_finish(rank);
+  }
+
+  void maybe_finish(int rank) {
+    auto& rs = ranks_[static_cast<std::size_t>(rank)];
+    if (rs.fiber && rs.fiber->done()) {
+      rs.fiber.reset();
+      if (finished_.fetch_add(1) + 1 == size()) machine_->stop();
+    }
+  }
+
+  std::unique_ptr<cxm::Machine> machine_;
+  RankFn fn_;
+  std::vector<RankState> ranks_;
+  std::atomic<int> finished_{0};
+  std::uint32_t h_msg_ = 0;
+  std::uint32_t h_start_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Comm
+
+int Comm::size() const noexcept { return world_->size(); }
+
+void Comm::send_bytes(int dst, int tag, std::vector<std::byte> data) {
+  world_->send_bytes(rank_, dst, tag, std::move(data));
+}
+
+void Comm::send_bytes_sized(int dst, int tag, std::vector<std::byte> data,
+                            std::uint64_t nominal_bytes) {
+  world_->send_bytes(rank_, dst, tag, std::move(data), nominal_bytes);
+}
+
+std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
+  return world_->recv_bytes(rank_, src, tag);
+}
+
+Request Comm::isend_bytes(int dst, int tag, std::vector<std::byte> data) {
+  // Eager/buffered: completes locally at once.
+  world_->send_bytes(rank_, dst, tag, std::move(data));
+  Request r;
+  r.state_ = std::make_shared<Request::State>();
+  r.state_->done = true;
+  return r;
+}
+
+Request Comm::irecv_bytes(std::vector<std::byte>* out, int src, int tag) {
+  Request r;
+  r.state_ = std::make_shared<Request::State>();
+  r.state_->out = out;
+  r.state_->src = src;
+  r.state_->tag = tag;
+  world_->post(rank_, r.state_);
+  return r;
+}
+
+void Comm::wait(Request& req) { world_->wait(rank_, req); }
+
+void Comm::waitall(std::vector<Request>& reqs) {
+  for (auto& r : reqs) wait(r);
+}
+
+namespace {
+
+double combine(double a, double b, Op op) {
+  switch (op) {
+    case Op::Sum: return a + b;
+    case Op::Min: return std::min(a, b);
+    case Op::Max: return std::max(a, b);
+  }
+  return a;
+}
+
+int tree_parent(int rank) { return rank - (rank & -rank); }
+
+template <typename Fn>
+void tree_children_of(int rank, int size, Fn&& fn) {
+  const int lim = (rank == 0) ? size : (rank & -rank);
+  for (int mask = 1; mask < lim; mask <<= 1) {
+    if (rank + mask < size) fn(rank + mask);
+  }
+}
+
+}  // namespace
+
+std::vector<double> Comm::allreduce(std::vector<double> value, Op op) {
+  const int p = size();
+  // Reduce up the binomial tree to rank 0.
+  std::vector<int> kids;
+  tree_children_of(rank_, p, [&](int c) { kids.push_back(c); });
+  for (int c : kids) {
+    (void)c;
+    auto part = recv<double>(kAnySource, kTagReduce);
+    if (part.size() != value.size()) {
+      throw std::runtime_error("cxmpi: allreduce size mismatch");
+    }
+    for (std::size_t i = 0; i < value.size(); ++i) {
+      value[i] = combine(value[i], part[i], op);
+    }
+  }
+  if (rank_ != 0) {
+    send(tree_parent(rank_), kTagReduce, value);
+    value = recv<double>(tree_parent(rank_), kTagBcast);
+  }
+  // Broadcast down the same tree.
+  for (int c : kids) send(c, kTagBcast, value);
+  return value;
+}
+
+double Comm::allreduce(double value, Op op) {
+  return allreduce(std::vector<double>{value}, op)[0];
+}
+
+std::vector<double> Comm::reduce(std::vector<double> value, Op op,
+                                 int root) {
+  const int p = size();
+  const int rel = (rank_ - root + p) % p;
+  std::vector<int> kids;
+  tree_children_of(rel, p, [&](int c) { kids.push_back(c); });
+  for (int c : kids) {
+    (void)c;
+    auto part = recv<double>(kAnySource, kTagReduce);
+    if (part.size() != value.size()) {
+      throw std::runtime_error("cxmpi: reduce size mismatch");
+    }
+    for (std::size_t i = 0; i < value.size(); ++i) {
+      value[i] = combine(value[i], part[i], op);
+    }
+  }
+  if (rel != 0) {
+    send((tree_parent(rel) + root) % p, kTagReduce, value);
+    return {};
+  }
+  return value;
+}
+
+std::vector<double> Comm::gather(const std::vector<double>& value,
+                                 int root) {
+  // Direct gather: each non-root sends its block to the root with its
+  // rank as a header element; the root assembles in rank order.
+  const std::size_t n = value.size();
+  if (rank_ != root) {
+    std::vector<double> tagged;
+    tagged.reserve(n + 1);
+    tagged.push_back(static_cast<double>(rank_));
+    tagged.insert(tagged.end(), value.begin(), value.end());
+    send(root, kTagGather, tagged);
+    return {};
+  }
+  const int p = size();
+  std::vector<double> out(static_cast<std::size_t>(p) * n);
+  std::copy(value.begin(), value.end(),
+            out.begin() + static_cast<long>(static_cast<std::size_t>(root) * n));
+  for (int i = 0; i < p - 1; ++i) {
+    const auto tagged = recv<double>(kAnySource, kTagGather);
+    if (tagged.size() != n + 1) {
+      throw std::runtime_error("cxmpi: gather size mismatch");
+    }
+    const auto src = static_cast<std::size_t>(tagged[0]);
+    std::copy(tagged.begin() + 1, tagged.end(),
+              out.begin() + static_cast<long>(src * n));
+  }
+  return out;
+}
+
+void Comm::barrier() { (void)allreduce(0.0, Op::Sum); }
+
+std::vector<std::byte> Comm::broadcast_bytes(std::vector<std::byte> bytes,
+                                             int root) {
+  const int p = size();
+  const int rel = (rank_ - root + p) % p;
+  if (rel != 0) {
+    const int parent_rel = tree_parent(rel);
+    const int parent = (parent_rel + root) % p;
+    bytes = recv_bytes(parent, kTagBcast);
+  }
+  tree_children_of(rel, p, [&](int child_rel) {
+    send_bytes((child_rel + root) % p, kTagBcast, bytes);
+  });
+  return bytes;
+}
+
+double Comm::wtime() const { return world_->machine().now(); }
+void Comm::compute(double seconds) { world_->machine().compute(seconds); }
+void Comm::charge(double seconds) { world_->machine().charge(seconds); }
+
+// ---------------------------------------------------------------------------
+
+void run(const cxm::MachineConfig& cfg, const RankFn& fn,
+         double* makespan_out) {
+  World world(cfg, fn);
+  world.run(makespan_out);
+}
+
+}  // namespace cxmpi

@@ -1,0 +1,145 @@
+#pragma once
+// cxmpi — a miniature MPI built on the machine layer, used as the
+// bulk-synchronous baseline of the paper's evaluation (the mpi4py bars
+// of Figs. 1-3).
+//
+// Semantics follow the MPI subset the paper's stencil3d baseline needs:
+//   * one rank per PE, running as a blocking program (a fiber)
+//   * eager/buffered sends: send() completes locally, data is copied
+//   * blocking recv() with (source, tag) matching, ANY_SOURCE/ANY_TAG
+//   * nonblocking isend/irecv + wait/waitall
+//   * collectives: barrier, allreduce (sum/min/max), broadcast —
+//     implemented over point-to-point messages on binomial trees
+//
+// The defining contrast with the chare model: no over-decomposition, no
+// migration, blocking receives couple sender and receiver — which is
+// exactly why the imbalanced stencil (Fig. 3) cannot be healed here.
+//
+//   cxmpi::run(cfg, [](cxmpi::Comm& comm) {
+//     auto data = comm.recv<double>(comm.rank() - 1, 0);
+//     comm.send(comm.rank() + 1, 0, data);
+//     comm.barrier();
+//   });
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "machine/machine.hpp"
+
+namespace cxmpi {
+
+constexpr int kAnySource = -1;
+constexpr int kAnyTag = -1;
+
+enum class Op { Sum, Min, Max };
+
+class World;
+
+/// Handle for a nonblocking operation.
+class Request {
+ public:
+  Request() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+  struct State;  // runtime-internal
+
+ private:
+  friend class Comm;
+  friend class World;
+  std::shared_ptr<State> state_;
+};
+
+/// Per-rank communicator handed to the rank program.
+class Comm {
+ public:
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept;
+
+  // --- blocking point-to-point ---
+  void send_bytes(int dst, int tag, std::vector<std::byte> data);
+  /// send with an explicit nominal size for cost models.
+  void send_bytes_sized(int dst, int tag, std::vector<std::byte> data,
+                        std::uint64_t nominal_bytes);
+  /// Blocks until a matching message arrives; returns its payload.
+  std::vector<std::byte> recv_bytes(int src = kAnySource,
+                                    int tag = kAnyTag);
+
+  template <typename T>
+  void send(int dst, int tag, const std::vector<T>& data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> bytes(data.size() * sizeof(T));
+    if (!data.empty()) std::memcpy(bytes.data(), data.data(), bytes.size());
+    send_bytes(dst, tag, std::move(bytes));
+  }
+
+  template <typename T>
+  std::vector<T> recv(int src = kAnySource, int tag = kAnyTag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto bytes = recv_bytes(src, tag);
+    std::vector<T> out(bytes.size() / sizeof(T));
+    if (!out.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
+    return out;
+  }
+
+  // --- nonblocking ---
+  Request isend_bytes(int dst, int tag, std::vector<std::byte> data);
+  /// Posts a receive; the payload lands in *out when wait() returns.
+  Request irecv_bytes(std::vector<std::byte>* out, int src = kAnySource,
+                      int tag = kAnyTag);
+
+  template <typename T>
+  Request isend(int dst, int tag, const std::vector<T>& data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> bytes(data.size() * sizeof(T));
+    if (!data.empty()) std::memcpy(bytes.data(), data.data(), bytes.size());
+    return isend_bytes(dst, tag, std::move(bytes));
+  }
+
+  void wait(Request& req);
+  void waitall(std::vector<Request>& reqs);
+
+  // --- collectives (binomial trees over point-to-point) ---
+  void barrier();
+  double allreduce(double value, Op op);
+  std::vector<double> allreduce(std::vector<double> value, Op op);
+  /// Broadcast `bytes` from `root` to every rank; returns the payload.
+  std::vector<std::byte> broadcast_bytes(std::vector<std::byte> bytes,
+                                         int root = 0);
+  /// Reduce to `root` only (no broadcast); non-roots return {}.
+  std::vector<double> reduce(std::vector<double> value, Op op,
+                             int root = 0);
+  /// Gather every rank's vector at `root`, concatenated in rank order;
+  /// non-roots return {}. All contributions must have equal length.
+  std::vector<double> gather(const std::vector<double>& value,
+                             int root = 0);
+
+  // --- time ---
+  [[nodiscard]] double wtime() const;
+  /// Charge compute time (virtual in the simulated backend; a spin on
+  /// the threaded backend) — used for synthetic load injection.
+  void compute(double seconds);
+  /// Advance the clock without consuming host CPU (simulated only).
+  void charge(double seconds);
+
+ private:
+  friend class World;
+  Comm(World* w, int rank) : world_(w), rank_(rank) {}
+
+  World* world_ = nullptr;
+  int rank_ = 0;
+};
+
+/// A rank program.
+using RankFn = std::function<void(Comm&)>;
+
+/// Run `fn` as one rank per PE; returns when every rank finished.
+/// For the simulated backend, `makespan_out` (if non-null) receives the
+/// virtual-time makespan.
+void run(const cxm::MachineConfig& cfg, const RankFn& fn,
+         double* makespan_out = nullptr);
+
+}  // namespace cxmpi

@@ -1,0 +1,199 @@
+#include "pool/pool.hpp"
+
+#include <mutex>
+#include <unordered_map>
+
+#include "util/log.hpp"
+
+namespace cxpool {
+
+using cpy::Args;
+using cpy::DChare;
+using cpy::DClass;
+using cpy::Dict;
+using cpy::List;
+using cpy::Value;
+
+namespace {
+
+struct FnRegistry {
+  std::mutex mutex;
+  std::unordered_map<std::string, TaskFn> fns;
+  static FnRegistry& instance() {
+    static FnRegistry r;
+    return r;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Worker: one per PE (paper's Group(Worker)). Mirrors the paper's code:
+// start() records the job and asks for the first task; apply() runs the
+// function on one task and piggybacks the result on the next request.
+
+void define_worker() {
+  DClass cls("cxpool.Worker");
+  cls.def("start", {"job_id", "fname", "tasks", "master"},
+          [](DChare& self, Args& a) {
+            self["job_id"] = a[0];
+            self["fname"] = a[1];
+            self["tasks"] = a[2];
+            self["master"] = a[3];
+            // request a new task
+            cpy::element_from(a[3]).send(
+                "getTask", {self["thisIndex"].item(Value(0)), a[0],
+                            Value::none(), Value::none()});
+            return Value::none();
+          });
+  cls.def("apply", {"task_id"}, [](DChare& self, Args& a) {
+    const Value task = self["tasks"].item(a[0]);
+    const TaskFn& fn = lookup_function(self["fname"].as_str());
+    Value result = fn(task);
+    cpy::element_from(self["master"])
+        .send("getTask", {self["thisIndex"].item(Value(0)), self["job_id"],
+                          a[0], std::move(result)});
+    return Value::none();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// MapManager: the master on PE 0. Job bookkeeping lives entirely in the
+// attribute dict (so the master is migratable like any chare). The
+// user's future travels boxed inside a Value.
+
+void define_manager() {
+  DClass cls("cxpool.MapManager");
+
+  cls.def("__init__", {}, [](DChare& self, Args&) {
+    self["workers"] = cpy::to_value(cpy::create_group("cxpool.Worker"));
+    // Paper: free processors are 1..P-1 (PE 0 runs the master). With a
+    // single PE, the master shares PE 0 with the one worker.
+    List free;
+    const int p = cx::num_pes();
+    if (p == 1) {
+      free.emplace_back(0);
+    } else {
+      for (int i = 1; i < p; ++i) free.emplace_back(i);
+    }
+    self["free_procs"] = Value::list(std::move(free));
+    self["next_job_id"] = Value(0);
+    self["jobs"] = Value::dict({});
+    return Value::none();
+  });
+
+  cls.def("map_async", {"fname", "numProcs", "tasks", "future"},
+          [](DChare& self, Args& a) {
+            auto& free = self["free_procs"].as_list();
+            std::int64_t want = a[1].as_int();
+            if (want > static_cast<std::int64_t>(free.size())) {
+              CX_LOG_WARN("pool: requested ", want, " procs, only ",
+                          free.size(), " free; clamping");
+              want = static_cast<std::int64_t>(free.size());
+            }
+            if (want <= 0) want = 1;
+            // select free processors
+            List procs;
+            for (std::int64_t i = 0; i < want && !free.empty(); ++i) {
+              procs.push_back(free.back());
+              free.pop_back();
+            }
+            const std::int64_t job_id = self["next_job_id"].as_int();
+            self["next_job_id"] = Value(job_id + 1);
+            const std::uint64_t ntasks = a[2].length();
+            Dict job;
+            job["fname"] = a[0];
+            job["tasks"] = a[2];
+            job["results"] = Value::list(
+                List(static_cast<std::size_t>(ntasks), Value::none()));
+            job["remaining"] = Value(static_cast<std::int64_t>(ntasks));
+            job["next_task"] = Value(0);
+            job["procs"] = Value::list(procs);
+            job["future"] = a[3];
+            self["jobs"].as_dict()[std::to_string(job_id)] =
+                Value::dict(std::move(job));
+            // tell workers on the selected processors to start
+            auto workers = cpy::collection_from(self["workers"]);
+            for (const Value& p : procs) {
+              workers[cx::Index(static_cast<int>(p.as_int()))].send(
+                  "start",
+                  {Value(job_id), a[0], a[2], cpy::to_value(
+                                                  cpy::proxy_of(self))});
+            }
+            return Value::none();
+          });
+
+  cls.def("getTask", {"src", "job_id", "prev_task", "prev_result"},
+          [](DChare& self, Args& a) {
+            auto& jobs = self["jobs"].as_dict();
+            const std::string key = std::to_string(a[1].as_int());
+            const auto jit = jobs.find(key);
+            if (jit == jobs.end()) return Value::none();  // job finished
+            auto& job = jit->second.as_dict();
+            if (!a[2].is_none()) {
+              job["results"].as_list()[static_cast<std::size_t>(
+                  a[2].as_int())] = a[3];
+              job["remaining"] = Value(job["remaining"].as_int() - 1);
+            }
+            if (job["remaining"].as_int() == 0) {
+              // job done: release its processors, deliver the results.
+              auto& free = self["free_procs"].as_list();
+              for (const Value& p : job["procs"].as_list()) {
+                free.push_back(p);
+              }
+              cpy::future_from(job["future"]).send(job["results"]);
+              jobs.erase(jit);
+              return Value::none();
+            }
+            const std::int64_t next = job["next_task"].as_int();
+            if (next < static_cast<std::int64_t>(job["tasks"].length())) {
+              job["next_task"] = Value(next + 1);
+              auto workers = cpy::collection_from(self["workers"]);
+              workers[cx::Index(static_cast<int>(a[0].as_int()))].send(
+                  "apply", {Value(next)});
+            }
+            return Value::none();
+          });
+}
+
+struct PoolClasses {
+  PoolClasses() {
+    define_worker();
+    define_manager();
+  }
+};
+
+void ensure_classes() { static PoolClasses once; }
+
+}  // namespace
+
+void register_function(const std::string& name, TaskFn fn) {
+  auto& r = FnRegistry::instance();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.fns[name] = std::move(fn);
+}
+
+const TaskFn& lookup_function(const std::string& name) {
+  auto& r = FnRegistry::instance();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const auto it = r.fns.find(name);
+  if (it == r.fns.end()) {
+    throw std::out_of_range("pool: unknown task function '" + name + "'");
+  }
+  return it->second;
+}
+
+Pool::Pool() {
+  ensure_classes();
+  master_ = cpy::create_chare("cxpool.MapManager", 0);
+}
+
+cx::Future<cpy::Value> Pool::map_async(const std::string& fn_name,
+                                       int num_procs,
+                                       cpy::List tasks) const {
+  auto f = cx::make_future<Value>();
+  master_.send("map_async", {Value(fn_name), Value(num_procs),
+                             Value::list(std::move(tasks)),
+                             cpy::to_value(f)});
+  return f;
+}
+
+}  // namespace cxpool

@@ -1,0 +1,66 @@
+#pragma once
+// Distributed parallel map with concurrent asynchronous jobs — the
+// paper's Section III use case, implemented on the model layer with the
+// master–worker pattern exactly as in the paper:
+//
+//   * one MapManager chare on PE 0 coordinates a Group of Workers
+//   * map_async(f, numProcs, tasks, future) starts a job on numProcs
+//     free processors; multiple jobs may run concurrently
+//   * the master hands tasks to idle workers one at a time, so load
+//     balances dynamically even when task costs are wildly uneven
+//   * each completed task's result returns piggybacked on the next task
+//     request (paper: getTask(src, job_id, prev_task, prev_result))
+//
+// Task functions are registered by name (the C++ stand-in for passing a
+// Python function object):
+//
+//   cxpool::register_function("square",
+//                             [](const cpy::Value& x) { return
+//                                 cpy::Value(x.as_int() * x.as_int()); });
+//   cxpool::Pool pool;
+//   auto f1 = pool.map_async("square", 2, {1, 2, 3, 4, 5});
+//   auto f2 = pool.map_async("square", 2, {1, 3, 5, 7, 9});
+//   auto results1 = f1.get();   // [1, 4, 9, 16, 25]
+
+#include <functional>
+#include <string>
+
+#include "model/cpy.hpp"
+
+namespace cxpool {
+
+using TaskFn = std::function<cpy::Value(const cpy::Value&)>;
+
+/// Register a task function under `name` (process-global).
+void register_function(const std::string& name, TaskFn fn);
+
+/// Look up a task function; throws std::out_of_range if unknown.
+const TaskFn& lookup_function(const std::string& name);
+
+class Pool {
+ public:
+  /// Create the master on PE 0 with one worker per PE. Must be called
+  /// from a threaded context inside a running program.
+  Pool();
+
+  /// Apply `fn_name` to each task on `num_procs` workers; returns a
+  /// future resolving to the list of results in task order.
+  [[nodiscard]] cx::Future<cpy::Value> map_async(const std::string& fn_name,
+                                                 int num_procs,
+                                                 cpy::List tasks) const;
+
+  /// Blocking convenience wrapper.
+  [[nodiscard]] cpy::Value map(const std::string& fn_name, int num_procs,
+                               cpy::List tasks) const {
+    return map_async(fn_name, num_procs, std::move(tasks)).get();
+  }
+
+  [[nodiscard]] const cpy::DElement& master() const noexcept {
+    return master_;
+  }
+
+ private:
+  cpy::DElement master_;
+};
+
+}  // namespace cxpool

@@ -1,0 +1,45 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace cxu {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+std::mutex g_out_mutex;
+thread_local int t_pe = -1;
+
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::Debug: return "DBG";
+    case LogLevel::Info: return "INF";
+    case LogLevel::Warn: return "WRN";
+    case LogLevel::Error: return "ERR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "???";
+}
+}  // namespace
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel lvl) noexcept {
+  g_level.store(static_cast<int>(lvl), std::memory_order_relaxed);
+}
+
+void set_log_pe(int pe) noexcept { t_pe = pe; }
+int log_pe() noexcept { return t_pe; }
+
+void log_line(LogLevel lvl, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_out_mutex);
+  if (t_pe >= 0) {
+    std::fprintf(stderr, "[%s pe%d] %s\n", level_name(lvl), t_pe, msg.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", level_name(lvl), msg.c_str());
+  }
+}
+
+}  // namespace cxu

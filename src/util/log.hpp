@@ -1,0 +1,47 @@
+#pragma once
+// Minimal leveled logger. Thread-safe line-at-a-time output with an
+// optional per-PE prefix (set by the runtime when it adopts a thread).
+
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace cxu {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global threshold; messages below it are discarded.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel lvl) noexcept;
+
+/// Per-thread PE id used as a log prefix (-1 = not a PE thread).
+void set_log_pe(int pe) noexcept;
+int log_pe() noexcept;
+
+/// Emit one line. Prefer the CX_LOG_* macros below.
+void log_line(LogLevel lvl, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+}  // namespace cxu
+
+#define CX_LOG_AT(lvl, ...)                                      \
+  do {                                                           \
+    if (static_cast<int>(lvl) >=                                 \
+        static_cast<int>(::cxu::log_level())) {                  \
+      ::cxu::log_line((lvl), ::cxu::detail::concat(__VA_ARGS__)); \
+    }                                                            \
+  } while (0)
+
+#define CX_LOG_DEBUG(...) CX_LOG_AT(::cxu::LogLevel::Debug, __VA_ARGS__)
+#define CX_LOG_INFO(...) CX_LOG_AT(::cxu::LogLevel::Info, __VA_ARGS__)
+#define CX_LOG_WARN(...) CX_LOG_AT(::cxu::LogLevel::Warn, __VA_ARGS__)
+#define CX_LOG_ERROR(...) CX_LOG_AT(::cxu::LogLevel::Error, __VA_ARGS__)

@@ -1,0 +1,41 @@
+#pragma once
+// Tiny command-line flag parser used by examples and figure benches.
+//
+//   cxu::Options opt(argc, argv);
+//   int pes   = opt.get_int("pes", 4);
+//   bool lb   = opt.get_bool("lb", false);
+//   auto mode = opt.get_string("mode", "threaded");
+//
+// Accepted syntax: --name=value, --name value, --flag (bool true).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cxu {
+
+class Options {
+ public:
+  Options() = default;
+  Options(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& def) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t def) const;
+  [[nodiscard]] double get_double(const std::string& name, double def) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool def) const;
+
+  /// Positional (non-flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace cxu

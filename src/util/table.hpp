@@ -1,0 +1,59 @@
+#pragma once
+// Aligned plain-text table printer for figure benches (paper-style rows).
+
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cxu {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Format a double with the given precision.
+  static std::string num(double v, int prec = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(prec) << v;
+    return os.str();
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::vector<std::size_t> w(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c) w[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < w.size(); ++c) {
+        w[c] = std::max(w[c], row[c].size());
+      }
+    }
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < w.size(); ++c) {
+        const std::string& s = c < cells.size() ? cells[c] : std::string();
+        os << std::left << std::setw(static_cast<int>(w[c]) + 2) << s;
+      }
+      os << '\n';
+    };
+    emit(headers_);
+    std::string rule;
+    for (std::size_t c = 0; c < w.size(); ++c) rule += std::string(w[c], '-') + "  ";
+    os << rule << '\n';
+    for (const auto& row : rows_) emit(row);
+    return os.str();
+  }
+
+  void print() const { std::fputs(to_string().c_str(), stdout); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cxu

@@ -1,0 +1,28 @@
+#pragma once
+// Wall-clock timer helpers.
+
+#include <chrono>
+
+namespace cxu {
+
+/// Seconds since an arbitrary steady epoch.
+inline double wall_time() noexcept {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+/// Simple stopwatch: measures elapsed wall time in seconds.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(wall_time()) {}
+  void reset() noexcept { start_ = wall_time(); }
+  [[nodiscard]] double elapsed() const noexcept {
+    return wall_time() - start_;
+  }
+
+ private:
+  double start_;
+};
+
+}  // namespace cxu

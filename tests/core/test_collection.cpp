@@ -1,0 +1,107 @@
+#include "core/collection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace {
+
+using namespace cx;
+
+CollectionInfo array_info(const Index& dims, const std::string& map) {
+  CollectionInfo info;
+  info.kind = CollectionKind::Array;
+  info.dims = dims;
+  info.ndims = dims.ndims();
+  info.size = dense_size(dims);
+  info.map_name = map;
+  return info;
+}
+
+TEST(Collection, Linearize) {
+  const Index dims(4, 5);
+  EXPECT_EQ(linearize(Index(0, 0), dims), 0u);
+  EXPECT_EQ(linearize(Index(0, 4), dims), 4u);
+  EXPECT_EQ(linearize(Index(1, 0), dims), 5u);
+  EXPECT_EQ(linearize(Index(3, 4), dims), 19u);
+}
+
+TEST(Collection, DenseSize) {
+  EXPECT_EQ(dense_size(Index(10)), 10u);
+  EXPECT_EQ(dense_size(Index(3, 4)), 12u);
+  EXPECT_EQ(dense_size(Index(2, 3, 4)), 24u);
+}
+
+TEST(Collection, BlockMapIsContiguousAndBalanced) {
+  auto info = array_info(Index(16), "block");
+  const auto& map = lookup_map("block");
+  int prev = 0;
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 16; ++i) {
+    const int pe = map(Index(i), info, 4);
+    EXPECT_GE(pe, prev);  // non-decreasing: contiguous blocks
+    EXPECT_GE(pe, 0);
+    EXPECT_LT(pe, 4);
+    prev = pe;
+    counts[static_cast<std::size_t>(pe)]++;
+  }
+  for (int c : counts) EXPECT_EQ(c, 4);
+}
+
+TEST(Collection, BlockMapCoversAllPEsWhenMoreElementsThanPEs) {
+  auto info = array_info(Index(7), "block");
+  const auto& map = lookup_map("block");
+  std::set<int> pes;
+  for (int i = 0; i < 7; ++i) pes.insert(map(Index(i), info, 3));
+  EXPECT_EQ(pes.size(), 3u);
+}
+
+TEST(Collection, RrMapRoundRobins) {
+  auto info = array_info(Index(8), "rr");
+  const auto& map = lookup_map("rr");
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(map(Index(i), info, 3), i % 3);
+  }
+}
+
+TEST(Collection, HashMapInRange) {
+  auto info = array_info(Index(100), "hash");
+  const auto& map = lookup_map("hash");
+  for (int i = 0; i < 100; ++i) {
+    const int pe = map(Index(i), info, 7);
+    EXPECT_GE(pe, 0);
+    EXPECT_LT(pe, 7);
+  }
+}
+
+TEST(Collection, CustomMapRegistration) {
+  register_map("evens_to_zero",
+               [](const Index& idx, const CollectionInfo&, int num_pes) {
+                 return idx[0] % 2 == 0 ? 0 : 1 % num_pes;
+               });
+  const auto& map = lookup_map("evens_to_zero");
+  auto info = array_info(Index(4), "evens_to_zero");
+  EXPECT_EQ(map(Index(0), info, 2), 0);
+  EXPECT_EQ(map(Index(1), info, 2), 1);
+}
+
+TEST(Collection, UnknownMapThrows) {
+  EXPECT_THROW(lookup_map("nope"), std::out_of_range);
+}
+
+TEST(Collection, HomePeForKinds) {
+  CollectionInfo s;
+  s.kind = CollectionKind::Singleton;
+  s.fixed_pe = 3;
+  EXPECT_EQ(home_pe(s, Index(0), 8), 3);
+
+  CollectionInfo g;
+  g.kind = CollectionKind::Group;
+  EXPECT_EQ(home_pe(g, Index(5), 8), 5);
+
+  auto a = array_info(Index(8), "block");
+  EXPECT_EQ(home_pe(a, Index(0), 4), 0);
+  EXPECT_EQ(home_pe(a, Index(7), 4), 3);
+}
+
+}  // namespace

@@ -1,0 +1,69 @@
+#include "core/index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "pup/pup.hpp"
+
+namespace {
+
+using cx::Index;
+
+TEST(Index, ConstructionAndAccess) {
+  Index a(5);
+  EXPECT_EQ(a.ndims(), 1);
+  EXPECT_EQ(a[0], 5);
+  Index b(1, 2);
+  EXPECT_EQ(b.ndims(), 2);
+  Index c(1, 2, 3);
+  EXPECT_EQ(c.ndims(), 3);
+  EXPECT_EQ(c[2], 3);
+  Index d{4, 5, 6, 7};
+  EXPECT_EQ(d.ndims(), 4);
+  EXPECT_EQ(d[3], 7);
+}
+
+TEST(Index, Equality) {
+  EXPECT_EQ(Index(1, 2), Index(1, 2));
+  EXPECT_NE(Index(1, 2), Index(2, 1));
+  EXPECT_NE(Index(1), Index(1, 0));  // arity matters
+}
+
+TEST(Index, OrderingIsTotal) {
+  EXPECT_LT(Index(1, 2), Index(1, 3));
+  EXPECT_LT(Index(0, 9), Index(1, 0));
+  EXPECT_LT(Index(5), Index(0, 0));  // lower arity first
+  EXPECT_FALSE(Index(2, 2) < Index(2, 2));
+}
+
+TEST(Index, HashDistinguishesArityAndValues) {
+  std::unordered_set<std::uint64_t> hashes;
+  for (int i = 0; i < 10; ++i) {
+    for (int j = 0; j < 10; ++j) {
+      hashes.insert(Index(i, j).hash());
+    }
+  }
+  hashes.insert(Index(3).hash());
+  EXPECT_EQ(hashes.size(), 101u);
+}
+
+TEST(Index, ToString) {
+  EXPECT_EQ(Index(7).to_string(), "(7)");
+  EXPECT_EQ(Index(1, 2, 3).to_string(), "(1,2,3)");
+}
+
+TEST(Index, PupRoundtrip) {
+  Index i(3, 1, 4);
+  auto bytes = pup::to_bytes(i);
+  const Index back = pup::from_bytes<Index>(bytes);
+  EXPECT_EQ(back, i);
+}
+
+TEST(Index, ImplicitFromInt) {
+  const Index i = 9;
+  EXPECT_EQ(i.ndims(), 1);
+  EXPECT_EQ(i[0], 9);
+}
+
+}  // namespace

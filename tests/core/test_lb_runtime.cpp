@@ -1,0 +1,125 @@
+// AtSync-driven dynamic load balancing (paper §II-J, §V-B).
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace cx;
+using cxtest::run_program;
+using cxtest::sim_cfg;
+using cxtest::threaded_cfg;
+
+// A worker with an index-dependent synthetic load, following the paper's
+// imbalance methodology: heavy chares inflate their measured EM time.
+struct LoadedWorker : Chare {
+  int resumes = 0;
+  Future<void> done;
+
+  LoadedWorker() = default;
+  explicit LoadedWorker(double unused) { (void)unused; }
+
+  void pup(pup::Er& p) override {
+    p | resumes;
+    p | done;  // the barrier future must survive migration
+  }
+
+  void step(Future<void> barrier) {
+    done = barrier;
+    // Heavy load on low indexes only -> imbalance under block mapping.
+    const double load = this_index()[0] < 2 ? 2e-3 : 1e-5;
+    cx::compute(load);
+    at_sync();
+  }
+
+  void resume_from_sync() override {
+    ++resumes;
+    if (done.valid()) contribute(cb(done));
+  }
+
+  int where() { return cx::my_pe(); }
+  int resumed() { return resumes; }
+};
+
+TEST(LbRuntime, GreedyMovesHeavyCharesAndResumes) {
+  cx::RuntimeConfig cfg = cxtest::sim_cfg(2);
+  cfg.lb_strategy = "greedy";
+  cx::Runtime rt(cfg);
+  rt.run([] {
+    // 4 elements, block map: 0,1 on PE0 (both heavy), 2,3 on PE1 (light).
+    auto arr = create_array<LoadedWorker>({4}, 0.0);
+    auto barrier = make_future<void>();
+    arr.broadcast<&LoadedWorker::step>(barrier);
+    barrier.get();  // LB round completed, everyone resumed
+    // The heavy pair must have been split across PEs.
+    std::map<int, int> heavy_pe_count;
+    heavy_pe_count[arr[0].call<&LoadedWorker::where>().get()]++;
+    heavy_pe_count[arr[1].call<&LoadedWorker::where>().get()]++;
+    EXPECT_EQ(heavy_pe_count.size(), 2u);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(arr[i].call<&LoadedWorker::resumed>().get(), 1);
+    }
+    cx::exit();
+  });
+  const auto stats = rt.lb_stats();
+  EXPECT_EQ(stats.rounds, 1u);
+  EXPECT_GT(stats.migrations, 0u);
+  EXPECT_LT(stats.last_imbalance_after, stats.last_imbalance_before);
+}
+
+TEST(LbRuntime, NoneStrategyNeverMigrates) {
+  cx::RuntimeConfig cfg = cxtest::sim_cfg(2);
+  cfg.lb_strategy = "none";
+  cx::Runtime rt(cfg);
+  rt.run([] {
+    auto arr = create_array<LoadedWorker>({4}, 0.0);
+    auto barrier = make_future<void>();
+    arr.broadcast<&LoadedWorker::step>(barrier);
+    barrier.get();
+    for (int i = 0; i < 4; ++i) {
+      // block map over 2 PEs: element i starts (and stays) on i/2.
+      EXPECT_EQ(arr[i].call<&LoadedWorker::where>().get(), i / 2);
+    }
+    cx::exit();
+  });
+  EXPECT_EQ(rt.lb_stats().migrations, 0u);
+  EXPECT_EQ(rt.lb_stats().rounds, 1u);
+}
+
+TEST(LbRuntime, RepeatedSyncRounds) {
+  cx::RuntimeConfig cfg = cxtest::sim_cfg(2);
+  cfg.lb_strategy = "greedy";
+  cx::Runtime rt(cfg);
+  rt.run([] {
+    auto arr = create_array<LoadedWorker>({4}, 0.0);
+    for (int round = 0; round < 3; ++round) {
+      auto barrier = make_future<void>();
+      arr.broadcast<&LoadedWorker::step>(barrier);
+      barrier.get();
+    }
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(arr[i].call<&LoadedWorker::resumed>().get(), 3);
+    }
+    cx::exit();
+  });
+  EXPECT_EQ(rt.lb_stats().rounds, 3u);
+}
+
+TEST(LbRuntime, ThreadedBackendLbRound) {
+  cx::RuntimeConfig cfg = cxtest::threaded_cfg(2);
+  cfg.lb_strategy = "greedy";
+  cx::Runtime rt(cfg);
+  rt.run([] {
+    auto arr = create_array<LoadedWorker>({4}, 0.0);
+    auto barrier = make_future<void>();
+    arr.broadcast<&LoadedWorker::step>(barrier);
+    barrier.get();
+    cx::exit();
+  });
+  EXPECT_EQ(rt.lb_stats().rounds, 1u);
+}
+
+}  // namespace

@@ -1,0 +1,153 @@
+#include "core/lb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace cx;
+
+std::vector<ChareLoadRecord> make_records(const std::vector<double>& loads,
+                                          int num_pes) {
+  std::vector<ChareLoadRecord> recs;
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    ChareLoadRecord r;
+    r.coll = 1;
+    r.idx = Index(static_cast<int>(i));
+    r.pe = static_cast<int>(i % static_cast<std::size_t>(num_pes));
+    r.load = loads[i];
+    recs.push_back(r);
+  }
+  return recs;
+}
+
+double imbalance_after(const std::vector<ChareLoadRecord>& recs,
+                       const std::vector<LbMove>& moves, int num_pes) {
+  auto r2 = recs;
+  for (const auto& mv : moves) {
+    for (auto& r : r2) {
+      if (r.idx == mv.idx && r.pe == mv.from_pe) {
+        r.pe = mv.to_pe;
+        break;
+      }
+    }
+  }
+  return imbalance_ratio(r2, num_pes);
+}
+
+TEST(LbStrategies, GreedyBalancesSkewedLoad) {
+  // 4 heavy chares all on PE 0, 12 light ones spread around.
+  std::vector<ChareLoadRecord> recs;
+  for (int i = 0; i < 4; ++i) {
+    recs.push_back({1, Index(i), 0, 10.0});
+  }
+  for (int i = 4; i < 16; ++i) {
+    recs.push_back({1, Index(i), i % 4, 1.0});
+  }
+  const double before = imbalance_ratio(recs, 4);
+  EXPECT_GT(before, 2.0);
+  const auto moves = lookup_lb_strategy("greedy")(recs, 4, 1);
+  const double after = imbalance_after(recs, moves, 4);
+  EXPECT_LT(after, 1.3);
+}
+
+TEST(LbStrategies, GreedyIsNoopWhenAlreadyBalanced) {
+  auto recs = make_records(std::vector<double>(16, 1.0), 4);
+  const auto moves = lookup_lb_strategy("greedy")(recs, 4, 1);
+  const double after = imbalance_after(recs, moves, 4);
+  EXPECT_NEAR(after, 1.0, 1e-9);
+}
+
+TEST(LbStrategies, RefineOnlyMovesFromOverloadedPEs) {
+  std::vector<ChareLoadRecord> recs;
+  // PE 0 heavily loaded; others fine.
+  for (int i = 0; i < 8; ++i) recs.push_back({1, Index(i), 0, 4.0});
+  for (int i = 8; i < 14; ++i) recs.push_back({1, Index(i), 1 + (i % 3), 4.0});
+  const auto moves = lookup_lb_strategy("refine")(recs, 4, 1);
+  for (const auto& mv : moves) EXPECT_EQ(mv.from_pe, 0);
+  const double after = imbalance_after(recs, moves, 4);
+  EXPECT_LT(after, imbalance_ratio(recs, 4));
+}
+
+TEST(LbStrategies, RotateShiftsEverything) {
+  auto recs = make_records({1, 1, 1, 1}, 2);
+  const auto moves = lookup_lb_strategy("rotate")(recs, 2, 1);
+  EXPECT_EQ(moves.size(), recs.size());
+  for (const auto& mv : moves) {
+    EXPECT_EQ(mv.to_pe, (mv.from_pe + 1) % 2);
+  }
+}
+
+TEST(LbStrategies, RotateNoopOnSinglePe) {
+  auto recs = make_records({1, 1}, 1);
+  EXPECT_TRUE(lookup_lb_strategy("rotate")(recs, 1, 1).empty());
+}
+
+TEST(LbStrategies, RandomIsDeterministicPerSeed) {
+  auto recs = make_records(std::vector<double>(32, 1.0), 4);
+  const auto a = lookup_lb_strategy("random")(recs, 4, 7);
+  const auto b = lookup_lb_strategy("random")(recs, 4, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].to_pe, b[i].to_pe);
+  }
+}
+
+TEST(LbStrategies, NoneNeverMoves) {
+  auto recs = make_records({5, 1, 1, 1}, 2);
+  EXPECT_TRUE(lookup_lb_strategy("none")(recs, 2, 1).empty());
+}
+
+TEST(LbStrategies, UnknownStrategyThrows) {
+  EXPECT_THROW(lookup_lb_strategy("metis"), std::out_of_range);
+}
+
+TEST(LbStrategies, ImbalanceRatioOfUniformIsOne) {
+  auto recs = make_records(std::vector<double>(8, 2.0), 4);
+  EXPECT_NEAR(imbalance_ratio(recs, 4), 1.0, 1e-12);
+}
+
+TEST(LbStrategies, CustomStrategyRegistration) {
+  register_lb_strategy("all_to_zero",
+                       [](const std::vector<ChareLoadRecord>& rs, int,
+                          std::uint64_t) {
+                         std::vector<LbMove> mv;
+                         for (const auto& r : rs) {
+                           if (r.pe != 0) mv.push_back({r.idx, r.pe, 0});
+                         }
+                         return mv;
+                       });
+  auto recs = make_records({1, 1, 1, 1}, 4);
+  const auto moves = lookup_lb_strategy("all_to_zero")(recs, 4, 1);
+  for (const auto& mv : moves) EXPECT_EQ(mv.to_pe, 0);
+}
+
+// Property sweep: greedy never produces a worse imbalance than doing
+// nothing, across random workloads.
+class GreedyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GreedyProperty, NeverWorseThanStatusQuo) {
+  cxu::Rng rng(GetParam());
+  const int num_pes = 2 + static_cast<int>(rng.below(7));
+  const int n = num_pes * (1 + static_cast<int>(rng.below(8)));
+  std::vector<ChareLoadRecord> recs;
+  for (int i = 0; i < n; ++i) {
+    recs.push_back({1, Index(i),
+                    static_cast<int>(rng.below(
+                        static_cast<std::uint64_t>(num_pes))),
+                    rng.uniform(0.1, 10.0)});
+  }
+  const double before = imbalance_ratio(recs, num_pes);
+  const auto moves = lookup_lb_strategy("greedy")(recs, num_pes, GetParam());
+  const double after = imbalance_after(recs, moves, num_pes);
+  EXPECT_LE(after, before + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u));
+
+}  // namespace

@@ -1,0 +1,140 @@
+// Chare migration (paper §II-I): state moves via pup, messages keep
+// being delivered through location updates and forwarding.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace cx;
+using cxtest::run_program;
+using cxtest::sim_cfg;
+using cxtest::threaded_cfg;
+
+struct Mover : Chare {
+  int counter = 0;
+  std::vector<double> data;
+  std::string name;
+  bool migrated_hook_ran = false;
+
+  Mover() = default;
+  Mover(std::string n, int start) : counter(start), name(std::move(n)) {
+    data = {1.5, 2.5};
+  }
+
+  void pup(pup::Er& p) override {
+    p | counter;
+    p | data;
+    p | name;
+  }
+  void on_migrated() override { migrated_hook_ran = true; }
+
+  void bump() { ++counter; }
+  int get_counter() { return counter; }
+  int where() { return cx::my_pe(); }
+  std::string get_name() { return name; }
+  std::vector<double> get_data() { return data; }
+  bool hook_ran() { return migrated_hook_ran; }
+  void go_to(int pe) { migrate(pe); }
+};
+
+TEST(Migration, StateSurvivesMigration) {
+  run_program(threaded_cfg(3), [] {
+    auto m = create_chare<Mover>(0, std::string("alpha"), 10);
+    EXPECT_EQ(m.call<&Mover::where>().get(), 0);
+    m.send<&Mover::bump>();
+    m.send<&Mover::go_to>(2);
+    // Wait for the move to land, then verify identity and state.
+    while (m.call<&Mover::where>().get() != 2) {
+    }
+    EXPECT_EQ(m.call<&Mover::get_counter>().get(), 11);
+    EXPECT_EQ(m.call<&Mover::get_name>().get(), "alpha");
+    EXPECT_EQ(m.call<&Mover::get_data>().get(),
+              (std::vector<double>{1.5, 2.5}));
+    EXPECT_TRUE(m.call<&Mover::hook_ran>().get());
+    cx::exit();
+  });
+}
+
+TEST(Migration, MessagesFollowAcrossMultipleHops) {
+  run_program(threaded_cfg(4), [] {
+    auto m = create_chare<Mover>(1, std::string("hopper"), 0);
+    for (int hop : {2, 3, 0, 1, 2}) {
+      m.send<&Mover::go_to>(hop);
+      while (m.call<&Mover::where>().get() != hop) {
+      }
+      m.send<&Mover::bump>();
+    }
+    while (m.call<&Mover::get_counter>().get() < 5) {
+    }
+    EXPECT_EQ(m.call<&Mover::get_counter>().get(), 5);
+    cx::exit();
+  });
+}
+
+TEST(Migration, MigrateToSelfIsANoop) {
+  run_program(threaded_cfg(2), [] {
+    auto m = create_chare<Mover>(1, std::string("stay"), 3);
+    m.send<&Mover::go_to>(1);
+    m.send<&Mover::bump>();
+    while (m.call<&Mover::get_counter>().get() < 4) {
+    }
+    EXPECT_EQ(m.call<&Mover::where>().get(), 1);
+    cx::exit();
+  });
+}
+
+TEST(Migration, ArrayElementMigrationKeepsCollectionWorking) {
+  run_program(threaded_cfg(4), [] {
+    auto arr = create_array<Mover>({8}, std::string("arr"), 0);
+    // Move element 3 somewhere else, then broadcast and reduce.
+    arr[3].send<&Mover::go_to>(0);
+    while (arr[3].call<&Mover::where>().get() != 0) {
+    }
+    arr.broadcast<&Mover::bump>();
+    int total = 0;
+    for (int i = 0; i < 8; ++i) {
+      int v;
+      while ((v = arr[i].call<&Mover::get_counter>().get()) < 1) {
+      }
+      total += v;
+    }
+    EXPECT_EQ(total, 8);
+    cx::exit();
+  });
+}
+
+TEST(Migration, WorksOnSimBackend) {
+  run_program(sim_cfg(4), [] {
+    auto m = create_chare<Mover>(0, std::string("sim"), 100);
+    m.send<&Mover::go_to>(3);
+    while (m.call<&Mover::where>().get() != 3) {
+    }
+    EXPECT_EQ(m.call<&Mover::get_counter>().get(), 100);
+    cx::exit();
+  });
+}
+
+// Reductions still complete when elements contribute from new homes.
+struct MigratingContributor : Chare {
+  void relocate_then_contribute(int pe, Future<int> f) {
+    if (this_index()[0] % 2 == 0) migrate(pe);
+    contribute(1, reducer::sum<int>(), cb(f));
+  }
+};
+
+TEST(Migration, ContributionsFromMigratedElementsStillCount) {
+  run_program(threaded_cfg(3), [] {
+    auto arr = create_array<MigratingContributor>({6});
+    auto f = make_future<int>();
+    arr.broadcast<&MigratingContributor::relocate_then_contribute>(2, f);
+    EXPECT_EQ(f.get(), 6);
+    cx::exit();
+  });
+}
+
+}  // namespace

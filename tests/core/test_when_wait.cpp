@@ -1,0 +1,194 @@
+// `when` delivery predicates (paper §II-E) and threaded wait() (§II-H2).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace cx;
+using cxtest::run_program;
+using cxtest::sim_cfg;
+using cxtest::threaded_cfg;
+
+// ---------------------------------------------------------------------------
+// A chare that only accepts messages matching its current iteration: the
+// paper's canonical use case for @when('self.iter == iter').
+
+struct IterChare : Chare {
+  int iter = 0;
+  std::vector<int> accepted;
+
+  void recv(int msg_iter, int payload) {
+    accepted.push_back(payload);
+    // Each iteration expects exactly one message, then advances.
+    (void)msg_iter;
+    ++iter;
+  }
+  std::vector<int> log() { return accepted; }
+};
+
+struct WhenRegistrar {
+  WhenRegistrar() {
+    set_when<&IterChare::recv>(
+        [](IterChare& self, const int& msg_iter, const int&) {
+          return self.iter == msg_iter;
+        });
+  }
+};
+const WhenRegistrar when_registrar;
+
+TEST(When, OutOfOrderMessagesAreBufferedAndDeliveredInOrder) {
+  run_program(threaded_cfg(2), [] {
+    auto c = create_chare<IterChare>(1);
+    // Send iterations reversed: 4, 3, 2, 1, 0. Payload = 10*iter.
+    for (int it = 4; it >= 0; --it) {
+      c.send<&IterChare::recv>(it, it * 10);
+    }
+    // All must be delivered in iteration order 0..4.
+    std::vector<int> log;
+    while ((log = c.call<&IterChare::log>().get()).size() < 5) {
+    }
+    EXPECT_EQ(log, (std::vector<int>{0, 10, 20, 30, 40}));
+    cx::exit();
+  });
+}
+
+TEST(When, ConditionOnArgumentCombination) {
+  struct SumGate : Chare {
+    int x = 7;
+    int hits = 0;
+    void fire(int a, int b) {
+      (void)a;
+      (void)b;
+      ++hits;
+    }
+    int get_hits() { return hits; }
+    void set_x(int v) { x = v; }
+  };
+  static const bool reg = [] {
+    set_when<&SumGate::fire>([](SumGate& self, const int& a, const int& b) {
+      return a + b == self.x;  // paper: @when('x + z == self.x')
+    });
+    return true;
+  }();
+  (void)reg;
+  run_program(threaded_cfg(1), [] {
+    auto g = create_chare<SumGate>(0);
+    g.send<&SumGate::fire>(3, 4);  // 3+4 == 7: delivered
+    g.send<&SumGate::fire>(1, 1);  // buffered until x becomes 2
+    while (g.call<&SumGate::get_hits>().get() < 1) {
+    }
+    EXPECT_EQ(g.call<&SumGate::get_hits>().get(), 1);
+    g.send<&SumGate::set_x>(2);  // state change re-triggers evaluation
+    while (g.call<&SumGate::get_hits>().get() < 2) {
+    }
+    cx::exit();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// wait(): the stencil-style "wait for all neighbor data" pattern.
+
+struct Waiter : Chare {
+  int msg_count = 0;
+  int rounds_done = 0;
+
+  void work(int neighbors, int rounds) {
+    for (int r = 0; r < rounds; ++r) {
+      wait([this, neighbors] { return msg_count >= neighbors; });
+      msg_count -= neighbors;
+      ++rounds_done;
+    }
+  }
+  void feed() { ++msg_count; }
+  int done() { return rounds_done; }
+};
+
+struct WaiterRegistrar {
+  WaiterRegistrar() { set_threaded<&Waiter::work>(); }
+};
+const WaiterRegistrar waiter_registrar;
+
+TEST(Wait, SuspendsUntilConditionHolds) {
+  run_program(threaded_cfg(2), [] {
+    auto w = create_chare<Waiter>(1);
+    w.send<&Waiter::work>(3, 2);  // 2 rounds of 3 messages each
+    EXPECT_EQ(w.call<&Waiter::done>().get(), 0);
+    for (int i = 0; i < 3; ++i) w.send<&Waiter::feed>();
+    while (w.call<&Waiter::done>().get() < 1) {
+    }
+    for (int i = 0; i < 3; ++i) w.send<&Waiter::feed>();
+    while (w.call<&Waiter::done>().get() < 2) {
+    }
+    cx::exit();
+  });
+}
+
+TEST(Wait, ImmediatelyTrueConditionDoesNotSuspend) {
+  run_program(threaded_cfg(1), [] {
+    auto w = create_chare<Waiter>(0);
+    // 0 neighbors: condition true at once, both rounds complete inline.
+    w.send<&Waiter::work>(0, 2);
+    while (w.call<&Waiter::done>().get() < 2) {
+    }
+    cx::exit();
+  });
+}
+
+TEST(Wait, WorksOnSimBackend) {
+  run_program(sim_cfg(2), [] {
+    auto w = create_chare<Waiter>(1);
+    w.send<&Waiter::work>(2, 1);
+    w.send<&Waiter::feed>();
+    w.send<&Waiter::feed>();
+    while (w.call<&Waiter::done>().get() < 1) {
+    }
+    cx::exit();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Threaded entry methods: a chare blocking on a future does not block its
+// PE (the paper's overlap claim in direct-style code).
+
+struct Blocker : Chare {
+  int ping_count = 0;
+  int observed_pings_at_wake = -1;
+
+  void block_then_observe(Future<int> wake) {
+    const int v = wake.get();  // suspends this fiber only
+    (void)v;
+    observed_pings_at_wake = ping_count;
+  }
+  void ping() { ++ping_count; }
+  int observed() { return observed_pings_at_wake; }
+};
+
+struct BlockerRegistrar {
+  BlockerRegistrar() { set_threaded<&Blocker::block_then_observe>(); }
+};
+const BlockerRegistrar blocker_registrar;
+
+TEST(Threaded, BlockedEntryMethodDoesNotBlockThePe) {
+  run_program(threaded_cfg(1), [] {
+    // Everything on PE 0: while block_then_observe is suspended, pings
+    // must still be delivered on the same PE.
+    auto b = create_chare<Blocker>(0);
+    auto wake = make_future<int>();
+    b.send<&Blocker::block_then_observe>(wake);
+    for (int i = 0; i < 5; ++i) b.send<&Blocker::ping>();
+    while (b.call<&Blocker::observed>().get() < 0) {
+      if (b.call<&Blocker::observed>().get() == -1) {
+        // Wake it only after some pings had a chance to land.
+        wake.send(1);
+      }
+    }
+    EXPECT_GE(b.call<&Blocker::observed>().get(), 1);
+    cx::exit();
+  });
+}
+
+}  // namespace

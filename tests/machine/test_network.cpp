@@ -1,0 +1,82 @@
+#include "machine/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace cxm;
+
+NetworkParams flat() {
+  NetworkParams p;
+  p.pes_per_node = 4;
+  p.alpha = 1e-6;
+  p.beta = 1e-9;
+  p.per_hop = 1e-7;
+  p.node_alpha = 1e-7;
+  p.node_beta = 1e-10;
+  return p;
+}
+
+TEST(SimpleNet, IntraNodeCheaperThanInterNode) {
+  SimpleNet net(flat());
+  const double intra = net.delay(0, 3, 1000);   // same node (4 PEs/node)
+  const double inter = net.delay(0, 4, 1000);   // adjacent node
+  EXPECT_LT(intra, inter);
+}
+
+TEST(SimpleNet, DelayGrowsWithBytes) {
+  SimpleNet net(flat());
+  EXPECT_LT(net.delay(0, 4, 100), net.delay(0, 4, 100000));
+}
+
+TEST(SimpleNet, BootstrapSourceIsFree) {
+  SimpleNet net(flat());
+  EXPECT_DOUBLE_EQ(net.delay(-1, 4, 1 << 20), 0.0);
+}
+
+TEST(SimpleNet, ExactAlphaBetaForm) {
+  SimpleNet net(flat());
+  const double d = net.delay(0, 4, 1000);
+  EXPECT_DOUBLE_EQ(d, 1e-6 + 1000 * 1e-9);
+}
+
+TEST(TorusNet, ZeroHopsWithinNode) {
+  TorusNet net(flat(), 64);
+  EXPECT_DOUBLE_EQ(net.delay(0, 1, 0), flat().node_alpha);
+}
+
+TEST(TorusNet, LatencyIncreasesWithDistance) {
+  // 4x4x4 torus of nodes, 4 PEs per node.
+  TorusNet net(flat(), 64, 4, 4, 4);
+  const double near = net.delay(0, 4, 0);        // node 0 -> node 1 (1 hop)
+  const double far = net.delay(0, 4 * 2, 0);     // node 0 -> node 2 (2 hops)
+  EXPECT_LT(near, far);
+}
+
+TEST(TorusNet, WraparoundShortensPaths) {
+  // In a 4-wide ring, node 0 to node 3 is 1 hop via wraparound.
+  TorusNet net(flat(), 4, 4, 1, 1);
+  const double wrap = net.delay(0, 3 * 4, 0);   // node 3
+  const double adj = net.delay(0, 1 * 4, 0);    // node 1
+  EXPECT_DOUBLE_EQ(wrap, adj);
+}
+
+TEST(DragonflyNet, IntraGroupCheaperThanInterGroup) {
+  DragonflyNet net(flat(), /*nodes_per_group=*/8);
+  const double local = net.delay(0, 4, 0);        // node 0 -> node 1, group 0
+  const double global = net.delay(0, 8 * 4 * 4, 0);  // far group
+  EXPECT_LT(local, global);
+}
+
+TEST(MakeNetwork, KnownNames) {
+  EXPECT_NE(make_network("simple", flat(), 64), nullptr);
+  EXPECT_NE(make_network("torus", flat(), 64), nullptr);
+  EXPECT_NE(make_network("dragonfly", flat(), 64), nullptr);
+}
+
+TEST(MakeNetwork, UnknownNameThrows) {
+  EXPECT_THROW(make_network("infiniband", flat(), 64),
+               std::invalid_argument);
+}
+
+}  // namespace

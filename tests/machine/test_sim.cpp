@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "machine/machine.hpp"
+#include "machine/sim_machine.hpp"
+#include "pup/pup.hpp"
+
+namespace {
+
+using namespace cxm;
+
+MachineConfig sim(int pes, const std::string& net = "simple") {
+  MachineConfig cfg;
+  cfg.num_pes = pes;
+  cfg.backend = Backend::Sim;
+  cfg.network = net;
+  return cfg;
+}
+
+TEST(SimMachine, RunsUntilQueueDrains) {
+  auto m = make_machine(sim(2));
+  int hits = 0;
+  const auto h = m->register_handler([&](MessagePtr) { ++hits; });
+  for (int i = 0; i < 5; ++i) {
+    auto msg = std::make_unique<Message>();
+    msg->handler = h;
+    msg->dst_pe = i % 2;
+    m->send(std::move(msg));
+  }
+  m->run();  // no stop() needed: queue drains
+  EXPECT_EQ(hits, 5);
+}
+
+TEST(SimMachine, VirtualTimeAdvancesWithCompute) {
+  auto m = make_machine(sim(1));
+  auto* smp = dynamic_cast<SimMachine*>(m.get());
+  ASSERT_NE(smp, nullptr);
+  const auto h = m->register_handler([&](MessagePtr) {
+    m->compute(1.5);  // charge 1.5 virtual seconds — returns instantly
+  });
+  auto msg = std::make_unique<Message>();
+  msg->handler = h;
+  msg->dst_pe = 0;
+  m->send(std::move(msg));
+  m->run();
+  EXPECT_GE(smp->makespan(), 1.5);
+  EXPECT_LT(smp->makespan(), 1.5 + 1e-3);  // only tiny overheads on top
+}
+
+TEST(SimMachine, MessageLatencyReflectsNetworkModel) {
+  MachineConfig cfg = sim(2);
+  cfg.net.pes_per_node = 1;  // force remote path
+  cfg.net.alpha = 1.0;       // 1 second latency — easy to observe
+  cfg.net.beta = 0.0;
+  cfg.net.cpu_overhead = 0.0;
+  auto m = make_machine(cfg);
+  auto* smp = dynamic_cast<SimMachine*>(m.get());
+  double recv_time = -1;
+  std::uint32_t relay = 0, sink = 0;
+  sink = m->register_handler([&](MessagePtr) { recv_time = m->now(); });
+  relay = m->register_handler([&](MessagePtr) {
+    auto out = std::make_unique<Message>();
+    out->handler = sink;
+    out->dst_pe = 1;
+    m->send(std::move(out));
+  });
+  auto kick = std::make_unique<Message>();
+  kick->handler = relay;
+  kick->dst_pe = 0;
+  m->send(std::move(kick));
+  m->run();
+  EXPECT_NEAR(recv_time, 1.0, 1e-9);
+  EXPECT_NEAR(smp->makespan(), 1.0, 1e-9);
+}
+
+TEST(SimMachine, BandwidthTermScalesWithBytes) {
+  MachineConfig cfg = sim(2);
+  cfg.net.pes_per_node = 1;
+  cfg.net.alpha = 0.0;
+  cfg.net.beta = 1e-6;  // 1 us per byte
+  cfg.net.cpu_overhead = 0.0;
+  auto m = make_machine(cfg);
+  double recv_time = -1;
+  std::uint32_t relay = 0, sink = 0;
+  sink = m->register_handler([&](MessagePtr) { recv_time = m->now(); });
+  relay = m->register_handler([&](MessagePtr) {
+    auto out = std::make_unique<Message>();
+    out->handler = sink;
+    out->dst_pe = 1;
+    out->data.resize(1000);
+    m->send(std::move(out));
+  });
+  auto kick = std::make_unique<Message>();
+  kick->handler = relay;
+  kick->dst_pe = 0;
+  m->send(std::move(kick));
+  m->run();
+  EXPECT_NEAR(recv_time, 1e-3, 1e-9);
+}
+
+TEST(SimMachine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    auto m = make_machine(sim(4));
+    auto* smp = dynamic_cast<SimMachine*>(m.get());
+    std::vector<int> order;
+    std::uint32_t h = 0;
+    h = m->register_handler([&](MessagePtr msg) {
+      const int id = pup::from_bytes<int>(msg->data);
+      order.push_back(id);
+      if (id < 40) {
+        auto out = std::make_unique<Message>();
+        out->handler = h;
+        out->dst_pe = (id * 7) % 4;
+        int next = id + 4;
+        out->data = pup::to_bytes(next);
+        m->compute(0.001 * (id % 3));
+        m->send(std::move(out));
+      }
+    });
+    for (int i = 0; i < 4; ++i) {
+      auto msg = std::make_unique<Message>();
+      msg->handler = h;
+      msg->dst_pe = i;
+      msg->data = pup::to_bytes(i);
+      m->send(std::move(msg));
+    }
+    m->run();
+    return std::make_pair(order, smp->makespan());
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_DOUBLE_EQ(a.second, b.second);
+}
+
+TEST(SimMachine, PerPeFifoOrderPreserved) {
+  auto m = make_machine(sim(2));
+  std::vector<int> order;
+  std::uint32_t send_h = 0, recv_h = 0;
+  recv_h = m->register_handler([&](MessagePtr msg) {
+    order.push_back(pup::from_bytes<int>(msg->data));
+  });
+  send_h = m->register_handler([&](MessagePtr) {
+    for (int i = 0; i < 10; ++i) {
+      auto out = std::make_unique<Message>();
+      out->handler = recv_h;
+      out->dst_pe = 1;
+      out->data = pup::to_bytes(i);
+      m->send(std::move(out));
+    }
+  });
+  auto kick = std::make_unique<Message>();
+  kick->handler = send_h;
+  kick->dst_pe = 0;
+  m->send(std::move(kick));
+  m->run();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimMachine, BusyPeSerializesHandlers) {
+  // Two messages arrive at t=~0; each charges 1s of compute. The second
+  // handler must start after the first finishes: makespan ~2s.
+  MachineConfig cfg = sim(2);
+  cfg.net.cpu_overhead = 0.0;
+  cfg.net.node_alpha = 0.0;
+  cfg.net.node_beta = 0.0;
+  auto m = make_machine(cfg);
+  auto* smp = dynamic_cast<SimMachine*>(m.get());
+  const auto h = m->register_handler([&](MessagePtr) { m->compute(1.0); });
+  for (int i = 0; i < 2; ++i) {
+    auto msg = std::make_unique<Message>();
+    msg->handler = h;
+    msg->dst_pe = 0;
+    m->send(std::move(msg));
+  }
+  m->run();
+  EXPECT_NEAR(smp->makespan(), 2.0, 1e-9);
+}
+
+TEST(SimMachine, StopEndsRunEarly) {
+  auto m = make_machine(sim(1));
+  int hits = 0;
+  const auto h = m->register_handler([&](MessagePtr) {
+    if (++hits == 2) m->stop();
+  });
+  for (int i = 0; i < 10; ++i) {
+    auto msg = std::make_unique<Message>();
+    msg->handler = h;
+    msg->dst_pe = 0;
+    m->send(std::move(msg));
+  }
+  m->run();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SimMachine, EventsProcessedCounter) {
+  auto m = make_machine(sim(1));
+  auto* smp = dynamic_cast<SimMachine*>(m.get());
+  const auto h = m->register_handler([](MessagePtr) {});
+  for (int i = 0; i < 7; ++i) {
+    auto msg = std::make_unique<Message>();
+    msg->handler = h;
+    msg->dst_pe = 0;
+    m->send(std::move(msg));
+  }
+  m->run();
+  EXPECT_EQ(smp->events_processed(), 7u);
+}
+
+}  // namespace

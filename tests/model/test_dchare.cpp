@@ -1,0 +1,391 @@
+// End-to-end tests of the dynamic model layer: the paper's programming
+// model (method-by-name invocation, when-strings, wait-strings, dynamic
+// reductions, automatic migration of the attribute dict).
+
+#include <gtest/gtest.h>
+
+#include "model/cpy.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace cpy;
+using cxtest::run_program;
+using cxtest::sim_cfg;
+using cxtest::threaded_cfg;
+
+// ---------------------------------------------------------------------------
+// The paper's §II-B hello program, rendered in the model layer.
+
+struct HelloClass {
+  HelloClass() {
+    DClass cls("MyChare");
+    cls.def("SayHi", {"msg"}, [](DChare& self, Args& a) {
+      self["last_msg"] = a[0];
+      return Value::none();
+    });
+    cls.def("GetLast", {}, [](DChare& self, Args&) {
+      return self.has_attr("last_msg") ? self["last_msg"] : Value::none();
+    });
+  }
+};
+const HelloClass hello_class;
+
+TEST(DChare, PaperHelloWorld) {
+  run_program(threaded_cfg(2), [] {
+    auto proxy = create_chare("MyChare", -1);
+    proxy.send("SayHi", {Value("Hello")});
+    while (!proxy.call("GetLast").get().truthy()) {
+    }
+    EXPECT_EQ(proxy.call("GetLast").get().as_str(), "Hello");
+    cx::exit();
+  });
+}
+
+TEST(DChare, UnknownClassThrowsOnCreate) {
+  run_program(threaded_cfg(1), [] {
+    EXPECT_THROW((void)create_chare("NoSuchClass", 0), std::runtime_error);
+    cx::exit();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Constructor args via __init__, thisIndex attribute.
+
+struct CounterClass {
+  CounterClass() {
+    DClass cls("Counter");
+    cls.def("__init__", {"start"}, [](DChare& self, Args& a) {
+      self["count"] = a.empty() ? Value(0) : a[0];
+      return Value::none();
+    });
+    cls.def("inc", {"by"}, [](DChare& self, Args& a) {
+      self["count"] = self["count"].as_int() + a[0].as_int();
+      return Value::none();
+    });
+    cls.def("get", {}, [](DChare& self, Args&) { return self["count"]; });
+    cls.def("my_index", {}, [](DChare& self, Args&) {
+      return self["thisIndex"];
+    });
+    cls.def("add_count", {"target"}, [](DChare& self, Args&) {
+      return Value::none();  // redefined below in reduction tests
+    });
+  }
+};
+const CounterClass counter_class;
+
+TEST(DChare, InitAndAttributeState) {
+  run_program(threaded_cfg(2), [] {
+    auto c = create_chare("Counter", 1, {Value(100)});
+    c.send("inc", {Value(5)});
+    c.send("inc", {Value(7)});
+    while (c.call("get").get().as_int() < 112) {
+    }
+    EXPECT_EQ(c.call("get").get().as_int(), 112);
+    cx::exit();
+  });
+}
+
+TEST(DChare, ThisIndexExposedAsAttribute) {
+  run_program(threaded_cfg(2), [] {
+    auto arr = create_array("Counter", {4}, {Value(0)});
+    for (int i = 0; i < 4; ++i) {
+      const Value idx = arr[i].call("my_index").get();
+      EXPECT_EQ(idx.kind(), Kind::Tuple);
+      EXPECT_EQ(idx.item(Value(0)).as_int(), i);
+    }
+    cx::exit();
+  });
+}
+
+TEST(DChare, GroupBroadcastByName) {
+  run_program(threaded_cfg(3), [] {
+    auto grp = create_group("Counter", {Value(0)});
+    grp.broadcast_done("inc", {Value(2)}).get();
+    for (int pe = 0; pe < cx::num_pes(); ++pe) {
+      EXPECT_EQ(grp[pe].call("get").get().as_int(), 2);
+    }
+    cx::exit();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// when-strings: the paper's iteration matching, written as in the paper.
+
+struct StreamClass {
+  StreamClass() {
+    DClass cls("Stream");
+    cls.def("__init__", {}, [](DChare& self, Args&) {
+      self["iter"] = Value(0);
+      self["log"] = Value::list({});
+      return Value::none();
+    });
+    cls.def("recv", {"iter", "data"}, [](DChare& self, Args& a) {
+      self["log"].as_list().push_back(a[1]);
+      self["iter"] = self["iter"].as_int() + 1;
+      return Value::none();
+    });
+    cls.when("recv", "self.iter == iter");
+    cls.def("get_log", {}, [](DChare& self, Args&) { return self["log"]; });
+  }
+};
+const StreamClass stream_class;
+
+TEST(DChare, WhenStringBuffersOutOfOrderMessages) {
+  run_program(threaded_cfg(2), [] {
+    auto s = create_chare("Stream", 1);
+    for (int it = 4; it >= 0; --it) {
+      s.send("recv", {Value(it), Value(it * 100)});
+    }
+    Value log;
+    while ((log = s.call("get_log").get()).length() < 5) {
+    }
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(log.item(Value(i)).as_int(), i * 100);
+    }
+    cx::exit();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Threaded methods + wait-strings: the paper's §II-H2 pattern.
+
+struct IterWorkerClass {
+  IterWorkerClass() {
+    DClass cls("IterWorker");
+    cls.def("__init__", {}, [](DChare& self, Args&) {
+      self["msg_count"] = Value(0);
+      self["rounds"] = Value(0);
+      return Value::none();
+    });
+    cls.def_threaded("work", {"neighbors", "iterations"},
+                     [](DChare& self, Args& a) {
+                       const std::int64_t nb = a[0].as_int();
+                       const std::int64_t iters = a[1].as_int();
+                       for (std::int64_t r = 0; r < iters; ++r) {
+                         self.wait_until("self.msg_count >= " +
+                                         std::to_string(nb));
+                         self["msg_count"] =
+                             Value(self["msg_count"].as_int() - nb);
+                         self["rounds"] = self["rounds"].as_int() + 1;
+                       }
+                       return Value::none();
+                     });
+    cls.def("recvData", {"data"}, [](DChare& self, Args&) {
+      self["msg_count"] = self["msg_count"].as_int() + 1;
+      return Value::none();
+    });
+    cls.def("rounds", {}, [](DChare& self, Args&) {
+      return self["rounds"];
+    });
+  }
+};
+const IterWorkerClass iter_worker_class;
+
+TEST(DChare, WaitStringSuspendsThreadedMethod) {
+  run_program(threaded_cfg(2), [] {
+    auto w = create_chare("IterWorker", 1);
+    w.send("work", {Value(3), Value(2)});
+    EXPECT_EQ(w.call("rounds").get().as_int(), 0);
+    for (int i = 0; i < 6; ++i) w.send("recvData", {Value(i)});
+    while (w.call("rounds").get().as_int() < 2) {
+    }
+    cx::exit();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic reductions (paper §II-F). Reduction targets are not Values, so
+// the tests publish the target through a file-level slot the class
+// methods read (one in-flight target per test).
+
+DTarget g_test_target;
+
+struct SummerClassReal {
+  SummerClassReal() {
+    DClass cls("Summer2");
+    cls.def("go", {}, [](DChare& self, Args&) {
+      const std::int64_t my = self["thisIndex"].item(Value(0)).as_int();
+      self.contribute_value(Value(my), "sum", g_test_target);
+      return Value::none();
+    });
+    cls.def("go_max", {}, [](DChare& self, Args&) {
+      const std::int64_t my = self["thisIndex"].item(Value(0)).as_int();
+      self.contribute_value(Value(my), "max", g_test_target);
+      return Value::none();
+    });
+    cls.def("go_gather", {}, [](DChare& self, Args&) {
+      const Value my = self["thisIndex"];
+      self.contribute_value(
+          Value::list({Value::tuple(
+              {my, Value(my.item(Value(0)).as_int() * 10)})}),
+          "gather", g_test_target);
+      return Value::none();
+    });
+    cls.def("go_barrier", {}, [](DChare& self, Args&) {
+      self.barrier(g_test_target);
+      return Value::none();
+    });
+    cls.def("receive", {"result"}, [](DChare& self, Args& a) {
+      self["received"] = a[0];
+      return Value::none();
+    });
+    cls.def("received", {}, [](DChare& self, Args&) {
+      return self.has_attr("received") ? self["received"] : Value::none();
+    });
+  }
+};
+const SummerClassReal summer_class;
+
+TEST(DChareReduction, SumToFuture) {
+  run_program(threaded_cfg(2), [] {
+    auto arr = create_array("Summer2", {6});
+    auto f = cx::make_future<Value>();
+    g_test_target = to_target(f);
+    arr.broadcast("go");
+    EXPECT_EQ(f.get().as_int(), 15);  // 0+..+5
+    cx::exit();
+  });
+}
+
+TEST(DChareReduction, MaxToFuture) {
+  run_program(threaded_cfg(2), [] {
+    auto arr = create_array("Summer2", {5});
+    auto f = cx::make_future<Value>();
+    g_test_target = to_target(f);
+    arr.broadcast("go_max");
+    EXPECT_EQ(f.get().as_int(), 4);
+    cx::exit();
+  });
+}
+
+TEST(DChareReduction, GatherSortsByIndex) {
+  run_program(threaded_cfg(2), [] {
+    auto arr = create_array("Summer2", {4});
+    auto f = cx::make_future<Value>();
+    g_test_target = to_target(f);
+    arr.broadcast("go_gather");
+    const Value items = f.get();
+    ASSERT_EQ(items.length(), 4u);
+    for (int i = 0; i < 4; ++i) {
+      const Value pair = items.item(Value(i));
+      EXPECT_EQ(pair.item(Value(0)).item(Value(0)).as_int(), i);
+      EXPECT_EQ(pair.item(Value(1)).as_int(), i * 10);
+    }
+    cx::exit();
+  });
+}
+
+TEST(DChareReduction, BarrierIsNone) {
+  run_program(threaded_cfg(3), [] {
+    auto grp = create_group("Summer2");
+    auto f = cx::make_future<Value>();
+    g_test_target = to_target(f);
+    grp.broadcast("go_barrier");
+    EXPECT_TRUE(f.get().is_none());  // paper: broadcast future value None
+    cx::exit();
+  });
+}
+
+TEST(DChareReduction, ResultToEntryMethodOfElement) {
+  run_program(threaded_cfg(2), [] {
+    auto arr = create_array("Summer2", {4});
+    g_test_target = arr[0].target("receive");
+    arr.broadcast("go");
+    while (arr[0].call("received").get().is_none()) {
+    }
+    EXPECT_EQ(arr[0].call("received").get().as_int(), 6);  // 0+1+2+3
+    cx::exit();
+  });
+}
+
+TEST(DChareReduction, ResultBroadcastToAllElements) {
+  run_program(threaded_cfg(2), [] {
+    auto arr = create_array("Summer2", {4});
+    g_test_target = arr.target("receive");
+    arr.broadcast("go");
+    for (int i = 0; i < 4; ++i) {
+      while (arr[i].call("received").get().is_none()) {
+      }
+      EXPECT_EQ(arr[i].call("received").get().as_int(), 6);
+    }
+    cx::exit();
+  });
+}
+
+TEST(DChareReduction, CustomDynReducer) {
+  add_dyn_reducer("strmax", [](Value& a, const Value& b) {
+    if (b.as_str() > a.as_str()) a = b;
+  });
+  DClass cls("Shouter");
+  cls.def("go", {}, [](DChare& self, Args&) {
+    const std::int64_t my = self["thisIndex"].item(Value(0)).as_int();
+    self.contribute_value(Value("w" + std::to_string(my)), "strmax",
+                          g_test_target);
+    return Value::none();
+  });
+  run_program(threaded_cfg(2), [] {
+    auto arr = create_array("Shouter", {3});
+    auto f = cx::make_future<Value>();
+    g_test_target = to_target(f);
+    arr.broadcast("go");
+    EXPECT_EQ(f.get().as_str(), "w2");
+    cx::exit();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Migration: attribute dict moves automatically (no pup code).
+
+struct NomadClass {
+  NomadClass() {
+    DClass cls("Nomad");
+    cls.def("__init__", {}, [](DChare& self, Args&) {
+      self["history"] = Value::list({});
+      return Value::none();
+    });
+    cls.def("go_to", {"pe"}, [](DChare& self, Args& a) {
+      self["history"].as_list().push_back(
+          Value(static_cast<std::int64_t>(cx::my_pe())));
+      self.migrate_to(static_cast<int>(a[0].as_int()));
+      return Value::none();
+    });
+    cls.def("where", {}, [](DChare&, Args&) {
+      return Value(static_cast<std::int64_t>(cx::my_pe()));
+    });
+    cls.def("history", {}, [](DChare& self, Args&) {
+      return self["history"];
+    });
+  }
+};
+const NomadClass nomad_class;
+
+TEST(DChare, MigrationCarriesAttributeDictAutomatically) {
+  run_program(threaded_cfg(3), [] {
+    auto n = create_chare("Nomad", 0);
+    n.send("go_to", {Value(2)});
+    while (n.call("where").get().as_int() != 2) {
+    }
+    n.send("go_to", {Value(1)});
+    while (n.call("where").get().as_int() != 1) {
+    }
+    const Value hist = n.call("history").get();
+    ASSERT_EQ(hist.length(), 2u);
+    EXPECT_EQ(hist.item(Value(0)).as_int(), 0);
+    EXPECT_EQ(hist.item(Value(1)).as_int(), 2);
+    cx::exit();
+  });
+}
+
+TEST(DChare, SimBackendEndToEnd) {
+  run_program(sim_cfg(8), [] {
+    auto arr = create_array("Summer2", {16});
+    auto f = cx::make_future<Value>();
+    g_test_target = to_target(f);
+    arr.broadcast("go");
+    EXPECT_EQ(f.get().as_int(), 120);
+    cx::exit();
+  });
+}
+
+}  // namespace

@@ -1,0 +1,134 @@
+// DistArray — the paper's §VI future-work abstraction (distributed
+// NumPy-like arrays with a preserved API).
+
+#include <gtest/gtest.h>
+
+#include "model/dist_array.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using cpy::DistArray;
+using cpy::Value;
+using cxtest::run_program;
+using cxtest::sim_cfg;
+using cxtest::threaded_cfg;
+
+TEST(DistArray, FillAndSum) {
+  run_program(threaded_cfg(4), [] {
+    auto a = DistArray::create(1000, 8);
+    a.fill(1.5);
+    EXPECT_DOUBLE_EQ(a.sum().get().as_real(), 1500.0);
+    cx::exit();
+  });
+}
+
+TEST(DistArray, IotaSumMatchesClosedForm) {
+  run_program(threaded_cfg(3), [] {
+    const std::int64_t n = 4321;
+    auto a = DistArray::create(n, 7);
+    a.iota();
+    const double expect = static_cast<double>(n - 1) * n / 2.0;
+    EXPECT_DOUBLE_EQ(a.sum().get().as_real(), expect);
+    EXPECT_DOUBLE_EQ(a.min().get().as_real(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max().get().as_real(), static_cast<double>(n - 1));
+    cx::exit();
+  });
+}
+
+TEST(DistArray, ScaleComposes) {
+  run_program(threaded_cfg(2), [] {
+    auto a = DistArray::create(100, 4);
+    a.fill(2.0);
+    a.scale(3.0);
+    a.scale(0.5);
+    EXPECT_DOUBLE_EQ(a.sum().get().as_real(), 300.0);
+    cx::exit();
+  });
+}
+
+TEST(DistArray, AddScaled) {
+  run_program(threaded_cfg(4), [] {
+    auto a = DistArray::create(512, 8);
+    auto b = DistArray::create(512, 8);
+    a.fill(1.0);
+    b.iota();
+    b.sync().get();  // ensure b is initialized before serving blocks
+    a.add_scaled(b, 2.0).get();  // a[i] = 1 + 2i
+    const double expect = 512.0 + 2.0 * (511.0 * 512.0 / 2.0);
+    EXPECT_DOUBLE_EQ(a.sum().get().as_real(), expect);
+    cx::exit();
+  });
+}
+
+TEST(DistArray, DotProduct) {
+  run_program(threaded_cfg(3), [] {
+    const std::int64_t n = 300;
+    auto a = DistArray::create(n, 6);
+    auto b = DistArray::create(n, 6);
+    a.fill(2.0);
+    b.iota();
+    a.sync().get();
+    b.sync().get();
+    const double expect = 2.0 * (static_cast<double>(n - 1) * n / 2.0);
+    EXPECT_DOUBLE_EQ(a.dot(b).get().as_real(), expect);
+    cx::exit();
+  });
+}
+
+TEST(DistArray, ElementGetAndSet) {
+  run_program(threaded_cfg(2), [] {
+    auto a = DistArray::create(97, 5);  // uneven chunking
+    a.iota();
+    a.sync().get();
+    for (std::int64_t i : {0L, 19L, 20L, 50L, 96L}) {
+      EXPECT_DOUBLE_EQ(a.get(i).get().as_real(),
+                       static_cast<double>(i));
+    }
+    a.set(42, -7.0);
+    a.sync().get();
+    EXPECT_DOUBLE_EQ(a.get(42).get().as_real(), -7.0);
+    cx::exit();
+  });
+}
+
+TEST(DistArray, LayoutMismatchThrows) {
+  run_program(threaded_cfg(2), [] {
+    auto a = DistArray::create(100, 4);
+    auto b = DistArray::create(100, 5);
+    EXPECT_THROW((void)a.add_scaled(b, 1.0), std::invalid_argument);
+    EXPECT_THROW((void)a.dot(b), std::invalid_argument);
+    cx::exit();
+  });
+}
+
+TEST(DistArray, WorksAtScaleOnSimBackend) {
+  run_program(sim_cfg(16), [] {
+    const std::int64_t n = 100000;
+    auto a = DistArray::create(n, 64);
+    a.iota();
+    a.scale(2.0);
+    const double expect = 2.0 * (static_cast<double>(n - 1) * n / 2.0);
+    EXPECT_DOUBLE_EQ(a.sum().get().as_real(), expect);
+    cx::exit();
+  });
+}
+
+TEST(DistArray, SingleChunkDegenerateCase) {
+  run_program(threaded_cfg(1), [] {
+    auto a = DistArray::create(10, 1);
+    a.iota();
+    EXPECT_DOUBLE_EQ(a.sum().get().as_real(), 45.0);
+    cx::exit();
+  });
+}
+
+TEST(DistArray, InvalidCreateThrows) {
+  run_program(threaded_cfg(1), [] {
+    EXPECT_THROW((void)DistArray::create(10, 0), std::invalid_argument);
+    EXPECT_THROW((void)DistArray::create(-1, 2), std::invalid_argument);
+    cx::exit();
+  });
+}
+
+}  // namespace

@@ -1,0 +1,140 @@
+// Expression engine: the eval() for when/wait condition strings.
+
+#include "model/expr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace cpy;
+
+NameResolver env(Dict self_attrs, std::vector<std::string> params = {},
+                 Args args = {}) {
+  auto self = std::make_shared<Value>(Value::dict(std::move(self_attrs)));
+  auto p = std::make_shared<std::vector<std::string>>(std::move(params));
+  auto a = std::make_shared<Args>(std::move(args));
+  return [self, p, a](const std::string& name) {
+    return make_resolver(*self, *p, *a)(name);
+  };
+}
+
+Value ev(const std::string& src, const NameResolver& names) {
+  return Expr::compile(src).eval(names);
+}
+
+TEST(Expr, Literals) {
+  auto e = env({});
+  EXPECT_EQ(ev("42", e).as_int(), 42);
+  EXPECT_DOUBLE_EQ(ev("2.5", e).as_real(), 2.5);
+  EXPECT_DOUBLE_EQ(ev("1e3", e).as_real(), 1000.0);
+  EXPECT_EQ(ev("'hello'", e).as_str(), "hello");
+  EXPECT_TRUE(ev("True", e).as_bool());
+  EXPECT_FALSE(ev("False", e).as_bool());
+  EXPECT_TRUE(ev("None", e).is_none());
+}
+
+TEST(Expr, Arithmetic) {
+  auto e = env({});
+  EXPECT_EQ(ev("2 + 3 * 4", e).as_int(), 14);
+  EXPECT_EQ(ev("(2 + 3) * 4", e).as_int(), 20);
+  EXPECT_EQ(ev("-5 + 2", e).as_int(), -3);
+  EXPECT_DOUBLE_EQ(ev("7 / 2", e).as_real(), 3.5);  // true division
+  EXPECT_EQ(ev("7 % 3", e).as_int(), 1);
+  EXPECT_EQ(ev("-7 % 3", e).as_int(), 2);  // Python-style modulo
+  EXPECT_EQ(ev("'a' + 'b'", e).as_str(), "ab");
+}
+
+TEST(Expr, Comparisons) {
+  auto e = env({});
+  EXPECT_TRUE(ev("1 < 2", e).as_bool());
+  EXPECT_TRUE(ev("2 <= 2", e).as_bool());
+  EXPECT_FALSE(ev("3 == 4", e).as_bool());
+  EXPECT_TRUE(ev("3 != 4", e).as_bool());
+  EXPECT_TRUE(ev("'abc' == 'abc'", e).as_bool());
+  EXPECT_TRUE(ev("5 >= 5 ", e).as_bool());
+  EXPECT_TRUE(ev("2 == 2.0", e).as_bool());
+}
+
+TEST(Expr, BooleanLogicShortCircuits) {
+  auto e = env({});
+  EXPECT_TRUE(ev("True and True", e).as_bool());
+  EXPECT_FALSE(ev("True and False", e).as_bool());
+  EXPECT_TRUE(ev("False or True", e).as_bool());
+  EXPECT_TRUE(ev("not False", e).as_bool());
+  // Short circuit: the undefined name is never evaluated.
+  EXPECT_FALSE(ev("False and undefined_name", e).truthy());
+  EXPECT_TRUE(ev("True or undefined_name", e).truthy());
+  // Python semantics: and/or return operands, not booleans.
+  EXPECT_EQ(ev("0 or 7", e).as_int(), 7);
+  EXPECT_EQ(ev("3 and 5", e).as_int(), 5);
+}
+
+TEST(Expr, SelfAttributeAccess) {
+  auto e = env({{"x", Value(10)}, {"ready", Value(true)}});
+  EXPECT_EQ(ev("self.x", e).as_int(), 10);
+  EXPECT_TRUE(ev("self.ready", e).as_bool());
+  EXPECT_TRUE(ev("self.x == 10", e).as_bool());
+}
+
+TEST(Expr, ArgumentNamesResolvePositionally) {
+  auto e = env({{"x", Value(7)}}, {"a", "b"}, {Value(3), Value(4)});
+  EXPECT_EQ(ev("a + b", e).as_int(), 7);
+  // The paper's example: @when('x + z == self.x') with args (x, y, z).
+  auto e2 = env({{"x", Value(9)}}, {"x", "y", "z"},
+                {Value(4), Value(0), Value(5)});
+  EXPECT_TRUE(ev("x + z == self.x", e2).as_bool());
+}
+
+TEST(Expr, ThePaperIterationCondition) {
+  auto e = env({{"iter", Value(3)}}, {"iter", "data"},
+               {Value(3), Value("payload")});
+  EXPECT_TRUE(ev("self.iter == iter", e).as_bool());
+  auto e2 = env({{"iter", Value(4)}}, {"iter", "data"},
+                {Value(3), Value("payload")});
+  EXPECT_FALSE(ev("self.iter == iter", e2).as_bool());
+}
+
+TEST(Expr, IndexingAndNesting) {
+  auto e = env({{"xs", Value::list({Value(10), Value(20)})},
+                {"cfg", Value::dict({{"k", Value(5)}})}});
+  EXPECT_EQ(ev("self.xs[1]", e).as_int(), 20);
+  EXPECT_EQ(ev("self.cfg.k", e).as_int(), 5);
+  EXPECT_EQ(ev("self.cfg['k']", e).as_int(), 5);
+  EXPECT_EQ(ev("self.xs[0] + self.xs[1]", e).as_int(), 30);
+}
+
+TEST(Expr, BuiltinFunctions) {
+  auto e = env({{"neighbors", Value::list({Value(1), Value(2), Value(3)})},
+                {"msg_count", Value(3)}});
+  // The paper's stencil condition.
+  EXPECT_TRUE(ev("self.msg_count == len(self.neighbors)", e).as_bool());
+  EXPECT_EQ(ev("abs(-4)", e).as_int(), 4);
+  EXPECT_EQ(ev("min(3, 5)", e).as_int(), 3);
+  EXPECT_EQ(ev("max(3, 5)", e).as_int(), 5);
+  EXPECT_EQ(ev("len('hello')", e).as_int(), 5);
+}
+
+TEST(Expr, SyntaxErrorsCarryPosition) {
+  EXPECT_THROW((void)Expr::compile("1 +"), std::runtime_error);
+  EXPECT_THROW((void)Expr::compile("self."), std::runtime_error);
+  EXPECT_THROW((void)Expr::compile("a = b"), std::runtime_error);
+  EXPECT_THROW((void)Expr::compile("(1 + 2"), std::runtime_error);
+  EXPECT_THROW((void)Expr::compile("'unterminated"), std::runtime_error);
+  EXPECT_THROW((void)Expr::compile("1 2"), std::runtime_error);
+}
+
+TEST(Expr, UnknownNameThrowsAtEval) {
+  auto e = env({});
+  EXPECT_THROW(ev("nope", e), std::runtime_error);
+  EXPECT_THROW(ev("self.missing", e), std::out_of_range);
+}
+
+TEST(Expr, CompiledOnceEvaluatedManyTimes) {
+  Expr expr = Expr::compile("self.count >= 3");
+  for (int count = 0; count < 6; ++count) {
+    auto e = env({{"count", Value(count)}});
+    EXPECT_EQ(expr.test(e), count >= 3);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,129 @@
+#include "model/value.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace cpy;
+
+TEST(Value, KindsAndAccessors) {
+  EXPECT_EQ(Value().kind(), Kind::None);
+  EXPECT_EQ(Value(true).kind(), Kind::Bool);
+  EXPECT_EQ(Value(7).kind(), Kind::Int);
+  EXPECT_EQ(Value(2.5).kind(), Kind::Real);
+  EXPECT_EQ(Value("hi").kind(), Kind::Str);
+  EXPECT_EQ(Value(7).as_int(), 7);
+  EXPECT_DOUBLE_EQ(Value(7).as_real(), 7.0);  // int coerces to real
+  EXPECT_EQ(Value("hi").as_str(), "hi");
+}
+
+TEST(Value, TypeErrorsThrow) {
+  EXPECT_THROW((void)Value(7).as_str(), std::runtime_error);
+  EXPECT_THROW((void)Value("x").as_int(), std::runtime_error);
+  EXPECT_THROW((void)Value().length(), std::runtime_error);
+}
+
+TEST(Value, Truthiness) {
+  EXPECT_FALSE(Value().truthy());
+  EXPECT_FALSE(Value(0).truthy());
+  EXPECT_FALSE(Value("").truthy());
+  EXPECT_FALSE(Value(List{}).truthy());
+  EXPECT_TRUE(Value(1).truthy());
+  EXPECT_TRUE(Value("x").truthy());
+  EXPECT_TRUE(Value(List{Value(1)}).truthy());
+  EXPECT_FALSE(Value(false).truthy());
+}
+
+TEST(Value, ListAndTuple) {
+  Value l = Value::list({Value(1), Value("two"), Value(3.0)});
+  EXPECT_EQ(l.kind(), Kind::List);
+  EXPECT_EQ(l.length(), 3u);
+  EXPECT_EQ(l.item(Value(1)).as_str(), "two");
+  EXPECT_EQ(l.item(Value(-1)).as_real(), 3.0);  // negative indexing
+  Value t = Value::tuple({Value(1), Value(2)});
+  EXPECT_EQ(t.kind(), Kind::Tuple);
+  EXPECT_THROW(l.item(Value(5)), std::out_of_range);
+}
+
+TEST(Value, Dict) {
+  Value d = Value::dict({{"a", Value(1)}, {"b", Value("x")}});
+  EXPECT_EQ(d.length(), 2u);
+  EXPECT_EQ(d.item(Value("a")).as_int(), 1);
+  EXPECT_THROW(d.item(Value("zzz")), std::out_of_range);
+}
+
+TEST(Value, ArraysShareBuffersOnCopy) {
+  Value a = Value::array({1.0, 2.0, 3.0});
+  Value b = a;  // Python-style reference copy
+  a.as_f64_array()->data[0] = 42.0;
+  EXPECT_DOUBLE_EQ(b.item(Value(0)).as_real(), 42.0);
+}
+
+TEST(Value, Equality) {
+  EXPECT_TRUE(Value(2).equals(Value(2.0)));  // numeric cross-kind
+  EXPECT_TRUE(Value("a").equals(Value("a")));
+  EXPECT_FALSE(Value("a").equals(Value(1)));
+  EXPECT_TRUE(Value::list({Value(1), Value(2)})
+                  .equals(Value::list({Value(1), Value(2)})));
+  EXPECT_FALSE(Value::list({Value(1)}).equals(Value::list({Value(2)})));
+  EXPECT_TRUE(Value().equals(Value()));
+  EXPECT_TRUE(Value::array({1, 2}).equals(Value::array({1, 2})));
+  EXPECT_FALSE(Value::array({1, 2}).equals(Value::array({1, 3})));
+}
+
+TEST(Value, CompareNumericStringsAndSequences) {
+  EXPECT_LT(Value(1).compare(Value(2)), 0);
+  EXPECT_GT(Value(2.5).compare(Value(2)), 0);
+  EXPECT_LT(Value("abc").compare(Value("abd")), 0);
+  EXPECT_LT(Value::tuple({Value(1), Value(2)})
+                .compare(Value::tuple({Value(1), Value(3)})),
+            0);
+  EXPECT_THROW((void)Value(1).compare(Value("x")), std::runtime_error);
+}
+
+TEST(Value, PupRoundtripAllKinds) {
+  auto roundtrip = [](Value v) {
+    auto bytes = pup::to_bytes(v);
+    Value back;
+    pup::Unpacker u(bytes.data(), bytes.size());
+    back.pup(u);
+    return back;
+  };
+  Value nested = Value::dict(
+      {{"xs", Value::list({Value(1), Value("two"),
+                           Value::tuple({Value(true), Value()})})},
+       {"arr", Value::array({1.5, 2.5}, {2})},
+       {"ia", Value::iarray({7, 8, 9})},
+       {"n", Value(3.25)}});
+  EXPECT_TRUE(roundtrip(nested).equals(nested));
+  EXPECT_TRUE(roundtrip(Value()).equals(Value()));
+  std::vector<std::byte> raw = {std::byte{1}, std::byte{2}};
+  EXPECT_TRUE(roundtrip(Value(raw)).equals(Value(raw)));
+}
+
+TEST(Value, ArrayPupPreservesShape) {
+  Value m = Value::array({1, 2, 3, 4, 5, 6}, {2, 3});
+  auto bytes = pup::to_bytes(m);
+  Value back;
+  pup::Unpacker u(bytes.data(), bytes.size());
+  back.pup(u);
+  EXPECT_EQ(back.as_f64_array()->shape,
+            (std::vector<std::uint64_t>{2, 3}));
+}
+
+TEST(Value, ApproxBytesTracksArraySizes) {
+  Value big = Value::zeros(1000);
+  EXPECT_GE(big.approx_bytes(), 8000u);
+  EXPECT_LT(Value(1).approx_bytes(), 16u);
+}
+
+TEST(Value, Repr) {
+  EXPECT_EQ(Value().repr(), "None");
+  EXPECT_EQ(Value(true).repr(), "True");
+  EXPECT_EQ(Value(3).repr(), "3");
+  EXPECT_EQ(Value("hi").repr(), "'hi'");
+  EXPECT_EQ(Value::list({Value(1), Value(2)}).repr(), "[1, 2]");
+  EXPECT_EQ(Value::tuple({Value(1)}).repr(), "(1)");
+}
+
+}  // namespace

@@ -1,0 +1,227 @@
+// Mini-MPI baseline: point-to-point, nonblocking ops, collectives, on
+// both backends.
+
+#include "mpi/mpi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+
+namespace {
+
+using namespace cxmpi;
+
+cxm::MachineConfig threaded(int pes) {
+  cxm::MachineConfig cfg;
+  cfg.num_pes = pes;
+  cfg.backend = cxm::Backend::Threaded;
+  return cfg;
+}
+
+cxm::MachineConfig sim(int pes) {
+  cxm::MachineConfig cfg;
+  cfg.num_pes = pes;
+  cfg.backend = cxm::Backend::Sim;
+  return cfg;
+}
+
+TEST(Mpi, BlockingSendRecvRing) {
+  std::atomic<int> checks{0};
+  run(threaded(4), [&](Comm& c) {
+    const int next = (c.rank() + 1) % c.size();
+    const int prev = (c.rank() + c.size() - 1) % c.size();
+    c.send(next, 7, std::vector<int>{c.rank()});
+    const auto got = c.recv<int>(prev, 7);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], prev);
+    checks.fetch_add(1);
+  });
+  EXPECT_EQ(checks.load(), 4);
+}
+
+TEST(Mpi, AnySourceReceivesFromAll) {
+  std::atomic<int> sum{0};
+  run(threaded(4), [&](Comm& c) {
+    if (c.rank() == 0) {
+      int total = 0;
+      for (int i = 1; i < c.size(); ++i) {
+        const auto v = c.recv<int>(kAnySource, kAnyTag);
+        total += v[0];
+      }
+      sum.store(total);
+    } else {
+      c.send(0, c.rank(), std::vector<int>{c.rank() * 10});
+    }
+  });
+  EXPECT_EQ(sum.load(), 10 + 20 + 30);
+}
+
+TEST(Mpi, TagsSelectMessages) {
+  std::atomic<bool> ok{false};
+  run(threaded(2), [&](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, /*tag=*/5, std::vector<int>{555});
+      c.send(1, /*tag=*/3, std::vector<int>{333});
+    } else {
+      // Receive tag 3 first even though tag 5 arrived first.
+      const auto a = c.recv<int>(0, 3);
+      const auto b = c.recv<int>(0, 5);
+      ok.store(a[0] == 333 && b[0] == 555);
+    }
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Mpi, NonblockingGhostExchangePattern) {
+  // The stencil communication pattern: post irecvs, isend, waitall.
+  std::atomic<int> good{0};
+  run(threaded(4), [&](Comm& c) {
+    const int left = (c.rank() + c.size() - 1) % c.size();
+    const int right = (c.rank() + 1) % c.size();
+    std::vector<std::byte> from_left, from_right;
+    std::vector<Request> reqs;
+    reqs.push_back(c.irecv_bytes(&from_left, left, 1));
+    reqs.push_back(c.irecv_bytes(&from_right, right, 2));
+    reqs.push_back(c.isend(right, 1, std::vector<double>{1.0 * c.rank()}));
+    reqs.push_back(c.isend(left, 2, std::vector<double>{2.0 * c.rank()}));
+    c.waitall(reqs);
+    double l, r;
+    std::memcpy(&l, from_left.data(), sizeof(double));
+    std::memcpy(&r, from_right.data(), sizeof(double));
+    if (l == 1.0 * left && r == 2.0 * right) good.fetch_add(1);
+  });
+  EXPECT_EQ(good.load(), 4);
+}
+
+TEST(Mpi, AllreduceSumMinMax) {
+  std::atomic<int> good{0};
+  run(threaded(5), [&](Comm& c) {
+    const double me = static_cast<double>(c.rank() + 1);
+    const double s = c.allreduce(me, Op::Sum);
+    const double mn = c.allreduce(me, Op::Min);
+    const double mx = c.allreduce(me, Op::Max);
+    if (s == 15.0 && mn == 1.0 && mx == 5.0) good.fetch_add(1);
+  });
+  EXPECT_EQ(good.load(), 5);
+}
+
+TEST(Mpi, VectorAllreduceIsElementwise) {
+  std::atomic<int> good{0};
+  run(threaded(3), [&](Comm& c) {
+    std::vector<double> v = {1.0, static_cast<double>(c.rank())};
+    const auto r = c.allreduce(v, Op::Sum);
+    if (r[0] == 3.0 && r[1] == 3.0) good.fetch_add(1);
+  });
+  EXPECT_EQ(good.load(), 3);
+}
+
+TEST(Mpi, BarrierSynchronizes) {
+  std::atomic<int> before{0}, after_ok{0};
+  run(threaded(4), [&](Comm& c) {
+    before.fetch_add(1);
+    c.barrier();
+    if (before.load() == 4) after_ok.fetch_add(1);
+  });
+  EXPECT_EQ(after_ok.load(), 4);
+}
+
+TEST(Mpi, BroadcastFromNonZeroRoot) {
+  std::atomic<int> good{0};
+  run(threaded(4), [&](Comm& c) {
+    std::vector<std::byte> payload;
+    if (c.rank() == 2) {
+      payload.resize(3, std::byte{42});
+    }
+    const auto got = c.broadcast_bytes(payload, 2);
+    if (got.size() == 3 && got[0] == std::byte{42}) good.fetch_add(1);
+  });
+  EXPECT_EQ(good.load(), 4);
+}
+
+TEST(Mpi, RepeatedAllreducesDoNotConflate) {
+  std::atomic<int> good{0};
+  run(threaded(4), [&](Comm& c) {
+    for (int round = 1; round <= 20; ++round) {
+      const double s =
+          c.allreduce(static_cast<double>(round * (c.rank() + 1)), Op::Sum);
+      if (s != static_cast<double>(round * 10)) return;
+    }
+    good.fetch_add(1);
+  });
+  EXPECT_EQ(good.load(), 4);
+}
+
+TEST(Mpi, SimBackendVirtualTimeAccountsForBlocking) {
+  double makespan = 0.0;
+  run(sim(2),
+      [&](Comm& c) {
+        if (c.rank() == 0) {
+          c.compute(1.0);  // rank 1 must wait ~1s for this message
+          c.send(1, 0, std::vector<int>{1});
+        } else {
+          (void)c.recv<int>(0, 0);
+        }
+      },
+      &makespan);
+  EXPECT_GE(makespan, 1.0);
+  EXPECT_LT(makespan, 1.1);
+}
+
+TEST(Mpi, SimBackendScalesToManyRanks) {
+  double makespan = 0.0;
+  std::atomic<int> done{0};
+  run(sim(256),
+      [&](Comm& c) {
+        const double s = c.allreduce(1.0, Op::Sum);
+        if (s == 256.0) done.fetch_add(1);
+      },
+      &makespan);
+  EXPECT_EQ(done.load(), 256);
+  EXPECT_GT(makespan, 0.0);
+}
+
+TEST(Mpi, ReduceToRootOnly) {
+  std::atomic<int> root_sum{0}, nonroot_empty{0};
+  run(threaded(4), [&](Comm& c) {
+    const auto r = c.reduce({static_cast<double>(c.rank() + 1)}, Op::Sum,
+                            /*root=*/2);
+    if (c.rank() == 2) {
+      root_sum.store(static_cast<int>(r[0]));
+    } else if (r.empty()) {
+      nonroot_empty.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(root_sum.load(), 10);
+  EXPECT_EQ(nonroot_empty.load(), 3);
+}
+
+TEST(Mpi, GatherAssemblesInRankOrder) {
+  std::atomic<bool> ok{false};
+  run(threaded(4), [&](Comm& c) {
+    std::vector<double> mine = {c.rank() * 10.0, c.rank() * 10.0 + 1.0};
+    const auto all = c.gather(mine, /*root=*/1);
+    if (c.rank() == 1) {
+      bool good = all.size() == 8;
+      for (int r = 0; r < 4 && good; ++r) {
+        good = all[static_cast<std::size_t>(2 * r)] == r * 10.0 &&
+               all[static_cast<std::size_t>(2 * r + 1)] == r * 10.0 + 1.0;
+      }
+      ok.store(good);
+    }
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Mpi, SingleRankWorld) {
+  std::atomic<int> ran{0};
+  run(threaded(1), [&](Comm& c) {
+    EXPECT_EQ(c.allreduce(5.0, Op::Sum), 5.0);
+    c.barrier();
+    ran.fetch_add(1);
+  });
+  EXPECT_EQ(ran.load(), 1);
+}
+
+}  // namespace

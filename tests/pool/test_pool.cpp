@@ -1,0 +1,169 @@
+// The paper's §III distributed parallel map: master-worker, dynamic task
+// handout, multiple concurrent asynchronous jobs.
+
+#include "pool/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace cpy;
+using cxpool::Pool;
+using cxtest::run_program;
+using cxtest::sim_cfg;
+using cxtest::threaded_cfg;
+
+struct Functions {
+  Functions() {
+    cxpool::register_function("square", [](const Value& x) {
+      return Value(x.as_int() * x.as_int());
+    });
+    cxpool::register_function("neg", [](const Value& x) {
+      return Value(-x.as_int());
+    });
+    cxpool::register_function("slow_square", [](const Value& x) {
+      // Uneven task costs: higher inputs cost more (dynamic handout
+      // must still produce ordered results).
+      cx::compute(1e-5 * static_cast<double>(x.as_int()));
+      return Value(x.as_int() * x.as_int());
+    });
+    cxpool::register_function("strlen", [](const Value& x) {
+      return Value(static_cast<std::int64_t>(x.as_str().size()));
+    });
+  }
+};
+const Functions functions;
+
+List ints(std::initializer_list<int> xs) {
+  List l;
+  for (int x : xs) l.emplace_back(x);
+  return l;
+}
+
+TEST(Pool, PaperExampleTwoConcurrentJobs) {
+  run_program(threaded_cfg(4), [] {
+    Pool pool;
+    // Paper §III: two jobs launched at the same time, each on 2 procs.
+    auto f1 = pool.map_async("square", 2, ints({1, 2, 3, 4, 5}));
+    auto f2 = pool.map_async("square", 2, ints({1, 3, 5, 7, 9}));
+    const Value r1 = f1.get();
+    const Value r2 = f2.get();
+    ASSERT_EQ(r1.length(), 5u);
+    ASSERT_EQ(r2.length(), 5u);
+    const std::int64_t exp1[] = {1, 4, 9, 16, 25};
+    const std::int64_t exp2[] = {1, 9, 25, 49, 81};
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(r1.item(Value(i)).as_int(), exp1[i]);
+      EXPECT_EQ(r2.item(Value(i)).as_int(), exp2[i]);
+    }
+    cx::exit();
+  });
+}
+
+TEST(Pool, ResultsKeepTaskOrderDespiteUnevenCosts) {
+  run_program(threaded_cfg(4), [] {
+    Pool pool;
+    List tasks;
+    for (int i = 20; i >= 1; --i) tasks.emplace_back(i);
+    const Value r = pool.map("slow_square", 3, std::move(tasks));
+    ASSERT_EQ(r.length(), 20u);
+    for (int i = 0; i < 20; ++i) {
+      const std::int64_t x = 20 - i;
+      EXPECT_EQ(r.item(Value(i)).as_int(), x * x);
+    }
+    cx::exit();
+  });
+}
+
+TEST(Pool, MoreTasksThanProcs) {
+  run_program(threaded_cfg(2), [] {
+    Pool pool;
+    List tasks;
+    for (int i = 0; i < 50; ++i) tasks.emplace_back(i);
+    const Value r = pool.map("square", 1, std::move(tasks));
+    ASSERT_EQ(r.length(), 50u);
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_EQ(r.item(Value(i)).as_int(),
+                static_cast<std::int64_t>(i) * i);
+    }
+    cx::exit();
+  });
+}
+
+TEST(Pool, SinglePeSharesMasterAndWorker) {
+  run_program(threaded_cfg(1), [] {
+    Pool pool;
+    const Value r = pool.map("square", 1, ints({2, 3}));
+    EXPECT_EQ(r.item(Value(0)).as_int(), 4);
+    EXPECT_EQ(r.item(Value(1)).as_int(), 9);
+    cx::exit();
+  });
+}
+
+TEST(Pool, OverRequestedProcsAreClamped) {
+  run_program(threaded_cfg(2), [] {
+    Pool pool;
+    const Value r = pool.map("square", 64, ints({1, 2, 3}));
+    ASSERT_EQ(r.length(), 3u);
+    cx::exit();
+  });
+}
+
+TEST(Pool, ProcessorsAreReusedAcrossSequentialJobs) {
+  run_program(threaded_cfg(3), [] {
+    Pool pool;
+    for (int round = 0; round < 5; ++round) {
+      const Value r = pool.map("neg", 2, ints({round, round + 1}));
+      EXPECT_EQ(r.item(Value(0)).as_int(), -round);
+      EXPECT_EQ(r.item(Value(1)).as_int(), -(round + 1));
+    }
+    cx::exit();
+  });
+}
+
+TEST(Pool, NonNumericTasks) {
+  run_program(threaded_cfg(2), [] {
+    Pool pool;
+    const Value r =
+        pool.map("strlen", 1, {Value("a"), Value("abc"), Value("")});
+    EXPECT_EQ(r.item(Value(0)).as_int(), 1);
+    EXPECT_EQ(r.item(Value(1)).as_int(), 3);
+    EXPECT_EQ(r.item(Value(2)).as_int(), 0);
+    cx::exit();
+  });
+}
+
+TEST(Pool, ManyConcurrentJobs) {
+  run_program(threaded_cfg(4), [] {
+    Pool pool;
+    std::vector<cx::Future<Value>> futures;
+    for (int j = 0; j < 3; ++j) {
+      futures.push_back(pool.map_async("square", 1, ints({j, j + 1})));
+    }
+    for (int j = 0; j < 3; ++j) {
+      const Value r = futures[static_cast<std::size_t>(j)].get();
+      EXPECT_EQ(r.item(Value(0)).as_int(),
+                static_cast<std::int64_t>(j) * j);
+    }
+    cx::exit();
+  });
+}
+
+TEST(Pool, WorksOnSimBackend) {
+  run_program(sim_cfg(8), [] {
+    Pool pool;
+    List tasks;
+    for (int i = 0; i < 30; ++i) tasks.emplace_back(i);
+    const Value r = pool.map("square", 7, std::move(tasks));
+    ASSERT_EQ(r.length(), 30u);
+    for (int i = 0; i < 30; ++i) {
+      EXPECT_EQ(r.item(Value(i)).as_int(),
+                static_cast<std::int64_t>(i) * i);
+    }
+    cx::exit();
+  });
+}
+
+}  // namespace

@@ -1,0 +1,72 @@
+// Property-style randomized roundtrip tests for the PUP framework.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pup/pup.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+std::string random_string(cxu::Rng& rng, std::size_t max_len) {
+  std::string s(rng.below(max_len + 1), '\0');
+  for (auto& c : s) c = static_cast<char>(rng.range(0, 255));
+  return s;
+}
+
+struct Record {
+  std::int64_t id = 0;
+  std::string name;
+  std::vector<double> values;
+  std::map<std::string, std::int32_t> tags;
+  void pup(pup::Er& p) {
+    p | id;
+    p | name;
+    p | values;
+    p | tags;
+  }
+  bool operator==(const Record&) const = default;
+};
+
+Record random_record(cxu::Rng& rng) {
+  Record r;
+  r.id = static_cast<std::int64_t>(rng.next());
+  r.name = random_string(rng, 40);
+  r.values.resize(rng.below(50));
+  for (auto& v : r.values) v = rng.uniform(-1e6, 1e6);
+  const auto ntags = rng.below(8);
+  for (std::uint64_t i = 0; i < ntags; ++i) {
+    r.tags[random_string(rng, 10)] = static_cast<std::int32_t>(rng.next());
+  }
+  return r;
+}
+
+class PupRoundtrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PupRoundtrip, RandomRecordsSurviveRoundtrip) {
+  cxu::Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    Record r = random_record(rng);
+    auto bytes = pup::to_bytes(r);
+    EXPECT_EQ(pup::size_of(r), bytes.size());
+    Record back = pup::from_bytes<Record>(bytes);
+    EXPECT_EQ(back, r);
+  }
+}
+
+TEST_P(PupRoundtrip, VectorsOfRecords) {
+  cxu::Rng rng(GetParam() * 77 + 1);
+  std::vector<Record> rs;
+  for (int i = 0; i < 20; ++i) rs.push_back(random_record(rng));
+  auto bytes = pup::to_bytes(rs);
+  auto back = pup::from_bytes<std::vector<Record>>(bytes);
+  EXPECT_EQ(back, rs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PupRoundtrip,
+                         ::testing::Values(1u, 2u, 3u, 42u, 999u, 31337u));
+
+}  // namespace

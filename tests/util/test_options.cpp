@@ -1,0 +1,69 @@
+#include "util/options.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+cxu::Options parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return cxu::Options(static_cast<int>(args.size()),
+                      const_cast<char**>(args.data()));
+}
+
+TEST(Options, EqualsSyntax) {
+  auto o = parse({"--pes=8", "--mode=sim"});
+  EXPECT_EQ(o.get_int("pes", 0), 8);
+  EXPECT_EQ(o.get_string("mode", ""), "sim");
+}
+
+TEST(Options, SpaceSyntax) {
+  auto o = parse({"--pes", "16", "--name", "stencil"});
+  EXPECT_EQ(o.get_int("pes", 0), 16);
+  EXPECT_EQ(o.get_string("name", ""), "stencil");
+}
+
+TEST(Options, BareFlagIsTrue) {
+  auto o = parse({"--verbose"});
+  EXPECT_TRUE(o.get_bool("verbose", false));
+  EXPECT_TRUE(o.has("verbose"));
+  EXPECT_FALSE(o.has("quiet"));
+}
+
+TEST(Options, Defaults) {
+  auto o = parse({});
+  EXPECT_EQ(o.get_int("pes", 42), 42);
+  EXPECT_DOUBLE_EQ(o.get_double("alpha", 1.5), 1.5);
+  EXPECT_EQ(o.get_string("mode", "threaded"), "threaded");
+  EXPECT_FALSE(o.get_bool("lb", false));
+  EXPECT_TRUE(o.get_bool("overlap", true));
+}
+
+TEST(Options, BoolValues) {
+  auto o = parse({"--a=1", "--b=true", "--c=yes", "--d=on", "--e=0",
+                  "--f=false"});
+  EXPECT_TRUE(o.get_bool("a", false));
+  EXPECT_TRUE(o.get_bool("b", false));
+  EXPECT_TRUE(o.get_bool("c", false));
+  EXPECT_TRUE(o.get_bool("d", false));
+  EXPECT_FALSE(o.get_bool("e", true));
+  EXPECT_FALSE(o.get_bool("f", true));
+}
+
+TEST(Options, Positional) {
+  auto o = parse({"input.dat", "--pes=4", "output.dat"});
+  ASSERT_EQ(o.positional().size(), 2u);
+  EXPECT_EQ(o.positional()[0], "input.dat");
+  EXPECT_EQ(o.positional()[1], "output.dat");
+}
+
+TEST(Options, DoubleParsing) {
+  auto o = parse({"--alpha=2.5e-6"});
+  EXPECT_DOUBLE_EQ(o.get_double("alpha", 0.0), 2.5e-6);
+}
+
+TEST(Options, NegativeNumberAsValue) {
+  auto o = parse({"--offset=-3"});
+  EXPECT_EQ(o.get_int("offset", 0), -3);
+}
+
+}  // namespace

@@ -1,0 +1,56 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  cxu::Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  cxu::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInRange) {
+  cxu::Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformLoHi) {
+  cxu::Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(3.0, 7.0);
+    EXPECT_GE(x, 3.0);
+    EXPECT_LT(x, 7.0);
+  }
+}
+
+TEST(Rng, RangeInclusiveCoversAll) {
+  cxu::Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.range(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(Rng, MeanApproximatesHalf) {
+  cxu::Rng rng(2026);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+}  // namespace

@@ -1,0 +1,31 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Table, AlignsColumns) {
+  cxu::Table t({"cores", "time"});
+  t.add_row({"8", "1600.21"});
+  t.add_row({"128", "110.0"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("cores"), std::string::npos);
+  EXPECT_NE(s.find("1600.21"), std::string::npos);
+  // Header and rows start at the same column for the second field.
+  const auto header_line = s.substr(0, s.find('\n'));
+  EXPECT_NE(header_line.find("time"), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(cxu::Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(cxu::Table::num(2.0, 0), "2");
+  EXPECT_EQ(cxu::Table::num(1234.5, 1), "1234.5");
+}
+
+TEST(Table, ShortRowsTolerated) {
+  cxu::Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_NO_THROW((void)t.to_string());
+}
+
+}  // namespace
