@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libcharmx_bench_common.a"
+)

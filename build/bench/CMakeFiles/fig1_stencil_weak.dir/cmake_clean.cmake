@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_stencil_weak.dir/fig1_stencil_weak.cpp.o"
+  "CMakeFiles/fig1_stencil_weak.dir/fig1_stencil_weak.cpp.o.d"
+  "fig1_stencil_weak"
+  "fig1_stencil_weak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_stencil_weak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

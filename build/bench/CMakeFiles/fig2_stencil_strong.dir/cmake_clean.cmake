@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_stencil_strong.dir/fig2_stencil_strong.cpp.o"
+  "CMakeFiles/fig2_stencil_strong.dir/fig2_stencil_strong.cpp.o.d"
+  "fig2_stencil_strong"
+  "fig2_stencil_strong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_stencil_strong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

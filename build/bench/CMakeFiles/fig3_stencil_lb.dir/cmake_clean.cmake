@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_stencil_lb.dir/fig3_stencil_lb.cpp.o"
+  "CMakeFiles/fig3_stencil_lb.dir/fig3_stencil_lb.cpp.o.d"
+  "fig3_stencil_lb"
+  "fig3_stencil_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_stencil_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_leanmd.dir/fig4_leanmd.cpp.o"
+  "CMakeFiles/fig4_leanmd.dir/fig4_leanmd.cpp.o.d"
+  "fig4_leanmd"
+  "fig4_leanmd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_leanmd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

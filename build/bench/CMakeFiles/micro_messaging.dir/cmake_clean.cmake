@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_messaging.dir/micro_messaging.cpp.o"
+  "CMakeFiles/micro_messaging.dir/micro_messaging.cpp.o.d"
+  "micro_messaging"
+  "micro_messaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_messaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leanmd_example.dir/leanmd_example.cpp.o"
+  "CMakeFiles/leanmd_example.dir/leanmd_example.cpp.o.d"
+  "leanmd_example"
+  "leanmd_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leanmd_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

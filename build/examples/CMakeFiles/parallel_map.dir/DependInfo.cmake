@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/parallel_map.cpp" "examples/CMakeFiles/parallel_map.dir/parallel_map.cpp.o" "gcc" "examples/CMakeFiles/parallel_map.dir/parallel_map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pool/CMakeFiles/charmx_pool.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/charmx_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/charmx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/charmx_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/fiber/CMakeFiles/charmx_fiber.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/charmx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil3d.dir/stencil3d.cpp.o"
+  "CMakeFiles/stencil3d.dir/stencil3d.cpp.o.d"
+  "stencil3d"
+  "stencil3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave1d.dir/wave1d.cpp.o"
+  "CMakeFiles/wave1d.dir/wave1d.cpp.o.d"
+  "wave1d"
+  "wave1d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave1d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

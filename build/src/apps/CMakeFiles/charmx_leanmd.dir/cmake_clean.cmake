@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charmx_leanmd.dir/leanmd/leanmd_common.cpp.o"
+  "CMakeFiles/charmx_leanmd.dir/leanmd/leanmd_common.cpp.o.d"
+  "CMakeFiles/charmx_leanmd.dir/leanmd/leanmd_cpy.cpp.o"
+  "CMakeFiles/charmx_leanmd.dir/leanmd/leanmd_cpy.cpp.o.d"
+  "CMakeFiles/charmx_leanmd.dir/leanmd/leanmd_cx.cpp.o"
+  "CMakeFiles/charmx_leanmd.dir/leanmd/leanmd_cx.cpp.o.d"
+  "libcharmx_leanmd.a"
+  "libcharmx_leanmd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charmx_leanmd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/stencil/stencil_common.cpp" "src/apps/CMakeFiles/charmx_stencil.dir/stencil/stencil_common.cpp.o" "gcc" "src/apps/CMakeFiles/charmx_stencil.dir/stencil/stencil_common.cpp.o.d"
+  "/root/repo/src/apps/stencil/stencil_cpy.cpp" "src/apps/CMakeFiles/charmx_stencil.dir/stencil/stencil_cpy.cpp.o" "gcc" "src/apps/CMakeFiles/charmx_stencil.dir/stencil/stencil_cpy.cpp.o.d"
+  "/root/repo/src/apps/stencil/stencil_cx.cpp" "src/apps/CMakeFiles/charmx_stencil.dir/stencil/stencil_cx.cpp.o" "gcc" "src/apps/CMakeFiles/charmx_stencil.dir/stencil/stencil_cx.cpp.o.d"
+  "/root/repo/src/apps/stencil/stencil_mpi.cpp" "src/apps/CMakeFiles/charmx_stencil.dir/stencil/stencil_mpi.cpp.o" "gcc" "src/apps/CMakeFiles/charmx_stencil.dir/stencil/stencil_mpi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/charmx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/charmx_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/charmx_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/charmx_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/fiber/CMakeFiles/charmx_fiber.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/charmx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

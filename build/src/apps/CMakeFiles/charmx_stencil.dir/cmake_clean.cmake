@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charmx_stencil.dir/stencil/stencil_common.cpp.o"
+  "CMakeFiles/charmx_stencil.dir/stencil/stencil_common.cpp.o.d"
+  "CMakeFiles/charmx_stencil.dir/stencil/stencil_cpy.cpp.o"
+  "CMakeFiles/charmx_stencil.dir/stencil/stencil_cpy.cpp.o.d"
+  "CMakeFiles/charmx_stencil.dir/stencil/stencil_cx.cpp.o"
+  "CMakeFiles/charmx_stencil.dir/stencil/stencil_cx.cpp.o.d"
+  "CMakeFiles/charmx_stencil.dir/stencil/stencil_mpi.cpp.o"
+  "CMakeFiles/charmx_stencil.dir/stencil/stencil_mpi.cpp.o.d"
+  "libcharmx_stencil.a"
+  "libcharmx_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charmx_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

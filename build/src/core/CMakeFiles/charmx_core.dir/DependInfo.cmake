@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/collection.cpp" "src/core/CMakeFiles/charmx_core.dir/collection.cpp.o" "gcc" "src/core/CMakeFiles/charmx_core.dir/collection.cpp.o.d"
+  "/root/repo/src/core/lb.cpp" "src/core/CMakeFiles/charmx_core.dir/lb.cpp.o" "gcc" "src/core/CMakeFiles/charmx_core.dir/lb.cpp.o.d"
+  "/root/repo/src/core/reduction.cpp" "src/core/CMakeFiles/charmx_core.dir/reduction.cpp.o" "gcc" "src/core/CMakeFiles/charmx_core.dir/reduction.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/charmx_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/charmx_core.dir/registry.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/core/CMakeFiles/charmx_core.dir/runtime.cpp.o" "gcc" "src/core/CMakeFiles/charmx_core.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/charmx_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/fiber/CMakeFiles/charmx_fiber.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/charmx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charmx_core.dir/collection.cpp.o"
+  "CMakeFiles/charmx_core.dir/collection.cpp.o.d"
+  "CMakeFiles/charmx_core.dir/lb.cpp.o"
+  "CMakeFiles/charmx_core.dir/lb.cpp.o.d"
+  "CMakeFiles/charmx_core.dir/reduction.cpp.o"
+  "CMakeFiles/charmx_core.dir/reduction.cpp.o.d"
+  "CMakeFiles/charmx_core.dir/registry.cpp.o"
+  "CMakeFiles/charmx_core.dir/registry.cpp.o.d"
+  "CMakeFiles/charmx_core.dir/runtime.cpp.o"
+  "CMakeFiles/charmx_core.dir/runtime.cpp.o.d"
+  "libcharmx_core.a"
+  "libcharmx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charmx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

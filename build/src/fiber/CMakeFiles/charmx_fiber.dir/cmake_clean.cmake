@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charmx_fiber.dir/fiber.cpp.o"
+  "CMakeFiles/charmx_fiber.dir/fiber.cpp.o.d"
+  "libcharmx_fiber.a"
+  "libcharmx_fiber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charmx_fiber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/machine.cpp" "src/machine/CMakeFiles/charmx_machine.dir/machine.cpp.o" "gcc" "src/machine/CMakeFiles/charmx_machine.dir/machine.cpp.o.d"
+  "/root/repo/src/machine/network.cpp" "src/machine/CMakeFiles/charmx_machine.dir/network.cpp.o" "gcc" "src/machine/CMakeFiles/charmx_machine.dir/network.cpp.o.d"
+  "/root/repo/src/machine/sim_machine.cpp" "src/machine/CMakeFiles/charmx_machine.dir/sim_machine.cpp.o" "gcc" "src/machine/CMakeFiles/charmx_machine.dir/sim_machine.cpp.o.d"
+  "/root/repo/src/machine/threaded_machine.cpp" "src/machine/CMakeFiles/charmx_machine.dir/threaded_machine.cpp.o" "gcc" "src/machine/CMakeFiles/charmx_machine.dir/threaded_machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/charmx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

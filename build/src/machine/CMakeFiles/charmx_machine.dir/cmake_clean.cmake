@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charmx_machine.dir/machine.cpp.o"
+  "CMakeFiles/charmx_machine.dir/machine.cpp.o.d"
+  "CMakeFiles/charmx_machine.dir/network.cpp.o"
+  "CMakeFiles/charmx_machine.dir/network.cpp.o.d"
+  "CMakeFiles/charmx_machine.dir/sim_machine.cpp.o"
+  "CMakeFiles/charmx_machine.dir/sim_machine.cpp.o.d"
+  "CMakeFiles/charmx_machine.dir/threaded_machine.cpp.o"
+  "CMakeFiles/charmx_machine.dir/threaded_machine.cpp.o.d"
+  "libcharmx_machine.a"
+  "libcharmx_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charmx_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/dchare.cpp" "src/model/CMakeFiles/charmx_model.dir/dchare.cpp.o" "gcc" "src/model/CMakeFiles/charmx_model.dir/dchare.cpp.o.d"
+  "/root/repo/src/model/dclass.cpp" "src/model/CMakeFiles/charmx_model.dir/dclass.cpp.o" "gcc" "src/model/CMakeFiles/charmx_model.dir/dclass.cpp.o.d"
+  "/root/repo/src/model/dist_array.cpp" "src/model/CMakeFiles/charmx_model.dir/dist_array.cpp.o" "gcc" "src/model/CMakeFiles/charmx_model.dir/dist_array.cpp.o.d"
+  "/root/repo/src/model/expr.cpp" "src/model/CMakeFiles/charmx_model.dir/expr.cpp.o" "gcc" "src/model/CMakeFiles/charmx_model.dir/expr.cpp.o.d"
+  "/root/repo/src/model/reducers.cpp" "src/model/CMakeFiles/charmx_model.dir/reducers.cpp.o" "gcc" "src/model/CMakeFiles/charmx_model.dir/reducers.cpp.o.d"
+  "/root/repo/src/model/value.cpp" "src/model/CMakeFiles/charmx_model.dir/value.cpp.o" "gcc" "src/model/CMakeFiles/charmx_model.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/charmx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/charmx_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/fiber/CMakeFiles/charmx_fiber.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/charmx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

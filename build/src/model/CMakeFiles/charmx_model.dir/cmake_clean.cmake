@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charmx_model.dir/dchare.cpp.o"
+  "CMakeFiles/charmx_model.dir/dchare.cpp.o.d"
+  "CMakeFiles/charmx_model.dir/dclass.cpp.o"
+  "CMakeFiles/charmx_model.dir/dclass.cpp.o.d"
+  "CMakeFiles/charmx_model.dir/dist_array.cpp.o"
+  "CMakeFiles/charmx_model.dir/dist_array.cpp.o.d"
+  "CMakeFiles/charmx_model.dir/expr.cpp.o"
+  "CMakeFiles/charmx_model.dir/expr.cpp.o.d"
+  "CMakeFiles/charmx_model.dir/reducers.cpp.o"
+  "CMakeFiles/charmx_model.dir/reducers.cpp.o.d"
+  "CMakeFiles/charmx_model.dir/value.cpp.o"
+  "CMakeFiles/charmx_model.dir/value.cpp.o.d"
+  "libcharmx_model.a"
+  "libcharmx_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charmx_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

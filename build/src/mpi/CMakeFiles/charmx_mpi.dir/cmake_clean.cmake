@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charmx_mpi.dir/mpi.cpp.o"
+  "CMakeFiles/charmx_mpi.dir/mpi.cpp.o.d"
+  "libcharmx_mpi.a"
+  "libcharmx_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charmx_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charmx_pool.dir/pool.cpp.o"
+  "CMakeFiles/charmx_pool.dir/pool.cpp.o.d"
+  "libcharmx_pool.a"
+  "libcharmx_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charmx_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charmx_util.dir/log.cpp.o"
+  "CMakeFiles/charmx_util.dir/log.cpp.o.d"
+  "CMakeFiles/charmx_util.dir/options.cpp.o"
+  "CMakeFiles/charmx_util.dir/options.cpp.o.d"
+  "libcharmx_util.a"
+  "libcharmx_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charmx_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

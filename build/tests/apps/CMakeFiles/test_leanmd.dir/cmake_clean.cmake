@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_leanmd.dir/test_leanmd.cpp.o"
+  "CMakeFiles/test_leanmd.dir/test_leanmd.cpp.o.d"
+  "test_leanmd"
+  "test_leanmd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_leanmd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/apps
+# Build directory: /root/repo/build/tests/apps
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_stencil "/root/repo/build/tests/apps/test_stencil")
+set_tests_properties(test_stencil PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/apps/CMakeLists.txt;1;charmx_add_test;/root/repo/tests/apps/CMakeLists.txt;0;")
+add_test(test_leanmd "/root/repo/build/tests/apps/test_leanmd")
+set_tests_properties(test_leanmd PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/apps/CMakeLists.txt;2;charmx_add_test;/root/repo/tests/apps/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_collection.dir/test_collection.cpp.o"
+  "CMakeFiles/test_core_collection.dir/test_collection.cpp.o.d"
+  "test_core_collection"
+  "test_core_collection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_index.dir/test_index.cpp.o"
+  "CMakeFiles/test_core_index.dir/test_index.cpp.o.d"
+  "test_core_index"
+  "test_core_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

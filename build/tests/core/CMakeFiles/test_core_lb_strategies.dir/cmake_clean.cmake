@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_lb_strategies.dir/test_lb_strategies.cpp.o"
+  "CMakeFiles/test_core_lb_strategies.dir/test_lb_strategies.cpp.o.d"
+  "test_core_lb_strategies"
+  "test_core_lb_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_lb_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

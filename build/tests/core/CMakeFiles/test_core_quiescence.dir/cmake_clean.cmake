@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_quiescence.dir/test_quiescence.cpp.o"
+  "CMakeFiles/test_core_quiescence.dir/test_quiescence.cpp.o.d"
+  "test_core_quiescence"
+  "test_core_quiescence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_quiescence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_reduction.dir/test_reduction.cpp.o"
+  "CMakeFiles/test_core_reduction.dir/test_reduction.cpp.o.d"
+  "test_core_reduction"
+  "test_core_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

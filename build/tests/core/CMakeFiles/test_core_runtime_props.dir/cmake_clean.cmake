@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_runtime_props.dir/test_runtime_props.cpp.o"
+  "CMakeFiles/test_core_runtime_props.dir/test_runtime_props.cpp.o.d"
+  "test_core_runtime_props"
+  "test_core_runtime_props.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_runtime_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

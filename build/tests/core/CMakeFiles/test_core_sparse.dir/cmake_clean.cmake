@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_sparse.dir/test_sparse.cpp.o"
+  "CMakeFiles/test_core_sparse.dir/test_sparse.cpp.o.d"
+  "test_core_sparse"
+  "test_core_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_when_wait.dir/test_when_wait.cpp.o"
+  "CMakeFiles/test_core_when_wait.dir/test_when_wait.cpp.o.d"
+  "test_core_when_wait"
+  "test_core_when_wait.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_when_wait.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_core_index "/root/repo/build/tests/core/test_core_index")
+set_tests_properties(test_core_index PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/core/CMakeLists.txt;1;charmx_add_test;/root/repo/tests/core/CMakeLists.txt;0;")
+add_test(test_core_collection "/root/repo/build/tests/core/test_core_collection")
+set_tests_properties(test_core_collection PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/core/CMakeLists.txt;2;charmx_add_test;/root/repo/tests/core/CMakeLists.txt;0;")
+add_test(test_core_lb_strategies "/root/repo/build/tests/core/test_core_lb_strategies")
+set_tests_properties(test_core_lb_strategies PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/core/CMakeLists.txt;3;charmx_add_test;/root/repo/tests/core/CMakeLists.txt;0;")
+add_test(test_core_runtime_basic "/root/repo/build/tests/core/test_core_runtime_basic")
+set_tests_properties(test_core_runtime_basic PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/core/CMakeLists.txt;4;charmx_add_test;/root/repo/tests/core/CMakeLists.txt;0;")
+add_test(test_core_when_wait "/root/repo/build/tests/core/test_core_when_wait")
+set_tests_properties(test_core_when_wait PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/core/CMakeLists.txt;5;charmx_add_test;/root/repo/tests/core/CMakeLists.txt;0;")
+add_test(test_core_reduction "/root/repo/build/tests/core/test_core_reduction")
+set_tests_properties(test_core_reduction PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/core/CMakeLists.txt;6;charmx_add_test;/root/repo/tests/core/CMakeLists.txt;0;")
+add_test(test_core_migration "/root/repo/build/tests/core/test_core_migration")
+set_tests_properties(test_core_migration PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/core/CMakeLists.txt;7;charmx_add_test;/root/repo/tests/core/CMakeLists.txt;0;")
+add_test(test_core_lb_runtime "/root/repo/build/tests/core/test_core_lb_runtime")
+set_tests_properties(test_core_lb_runtime PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/core/CMakeLists.txt;8;charmx_add_test;/root/repo/tests/core/CMakeLists.txt;0;")
+add_test(test_core_sparse "/root/repo/build/tests/core/test_core_sparse")
+set_tests_properties(test_core_sparse PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/core/CMakeLists.txt;9;charmx_add_test;/root/repo/tests/core/CMakeLists.txt;0;")
+add_test(test_core_quiescence "/root/repo/build/tests/core/test_core_quiescence")
+set_tests_properties(test_core_quiescence PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/core/CMakeLists.txt;10;charmx_add_test;/root/repo/tests/core/CMakeLists.txt;0;")
+add_test(test_core_runtime_props "/root/repo/build/tests/core/test_core_runtime_props")
+set_tests_properties(test_core_runtime_props PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/core/CMakeLists.txt;11;charmx_add_test;/root/repo/tests/core/CMakeLists.txt;0;")

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/fiber
+# Build directory: /root/repo/build/tests/fiber
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_fiber "/root/repo/build/tests/fiber/test_fiber")
+set_tests_properties(test_fiber PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/fiber/CMakeLists.txt;1;charmx_add_test;/root/repo/tests/fiber/CMakeLists.txt;0;")

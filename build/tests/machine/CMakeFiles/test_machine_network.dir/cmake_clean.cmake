@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_network.dir/test_network.cpp.o"
+  "CMakeFiles/test_machine_network.dir/test_network.cpp.o.d"
+  "test_machine_network"
+  "test_machine_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/machine
+# Build directory: /root/repo/build/tests/machine
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_machine_threaded "/root/repo/build/tests/machine/test_machine_threaded")
+set_tests_properties(test_machine_threaded PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/machine/CMakeLists.txt;1;charmx_add_test;/root/repo/tests/machine/CMakeLists.txt;0;")
+add_test(test_machine_sim "/root/repo/build/tests/machine/test_machine_sim")
+set_tests_properties(test_machine_sim PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/machine/CMakeLists.txt;2;charmx_add_test;/root/repo/tests/machine/CMakeLists.txt;0;")
+add_test(test_machine_network "/root/repo/build/tests/machine/test_machine_network")
+set_tests_properties(test_machine_network PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/machine/CMakeLists.txt;3;charmx_add_test;/root/repo/tests/machine/CMakeLists.txt;0;")

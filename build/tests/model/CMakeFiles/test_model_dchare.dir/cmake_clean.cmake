@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_dchare.dir/test_dchare.cpp.o"
+  "CMakeFiles/test_model_dchare.dir/test_dchare.cpp.o.d"
+  "test_model_dchare"
+  "test_model_dchare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_dchare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

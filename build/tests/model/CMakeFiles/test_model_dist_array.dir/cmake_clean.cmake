@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_dist_array.dir/test_dist_array.cpp.o"
+  "CMakeFiles/test_model_dist_array.dir/test_dist_array.cpp.o.d"
+  "test_model_dist_array"
+  "test_model_dist_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_dist_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_expr.dir/test_expr.cpp.o"
+  "CMakeFiles/test_model_expr.dir/test_expr.cpp.o.d"
+  "test_model_expr"
+  "test_model_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/model
+# Build directory: /root/repo/build/tests/model
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_model_value "/root/repo/build/tests/model/test_model_value")
+set_tests_properties(test_model_value PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/model/CMakeLists.txt;1;charmx_add_test;/root/repo/tests/model/CMakeLists.txt;0;")
+add_test(test_model_expr "/root/repo/build/tests/model/test_model_expr")
+set_tests_properties(test_model_expr PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/model/CMakeLists.txt;2;charmx_add_test;/root/repo/tests/model/CMakeLists.txt;0;")
+add_test(test_model_dchare "/root/repo/build/tests/model/test_model_dchare")
+set_tests_properties(test_model_dchare PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/model/CMakeLists.txt;3;charmx_add_test;/root/repo/tests/model/CMakeLists.txt;0;")
+add_test(test_model_dist_array "/root/repo/build/tests/model/test_model_dist_array")
+set_tests_properties(test_model_dist_array PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/model/CMakeLists.txt;4;charmx_add_test;/root/repo/tests/model/CMakeLists.txt;0;")

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/mpi
+# Build directory: /root/repo/build/tests/mpi
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_mpi "/root/repo/build/tests/mpi/test_mpi")
+set_tests_properties(test_mpi PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/mpi/CMakeLists.txt;1;charmx_add_test;/root/repo/tests/mpi/CMakeLists.txt;0;")

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/pool
+# Build directory: /root/repo/build/tests/pool
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_pool "/root/repo/build/tests/pool/test_pool")
+set_tests_properties(test_pool PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/pool/CMakeLists.txt;1;charmx_add_test;/root/repo/tests/pool/CMakeLists.txt;0;")

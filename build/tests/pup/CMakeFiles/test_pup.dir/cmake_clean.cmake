@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pup.dir/test_pup.cpp.o"
+  "CMakeFiles/test_pup.dir/test_pup.cpp.o.d"
+  "test_pup"
+  "test_pup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

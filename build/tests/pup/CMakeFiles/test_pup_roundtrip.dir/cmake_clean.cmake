@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pup_roundtrip.dir/test_roundtrip.cpp.o"
+  "CMakeFiles/test_pup_roundtrip.dir/test_roundtrip.cpp.o.d"
+  "test_pup_roundtrip"
+  "test_pup_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pup_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/pup
+# Build directory: /root/repo/build/tests/pup
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_pup "/root/repo/build/tests/pup/test_pup")
+set_tests_properties(test_pup PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/pup/CMakeLists.txt;1;charmx_add_test;/root/repo/tests/pup/CMakeLists.txt;0;")
+add_test(test_pup_roundtrip "/root/repo/build/tests/pup/test_pup_roundtrip")
+set_tests_properties(test_pup_roundtrip PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/pup/CMakeLists.txt;2;charmx_add_test;/root/repo/tests/pup/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_options.dir/test_options.cpp.o"
+  "CMakeFiles/test_util_options.dir/test_options.cpp.o.d"
+  "test_util_options"
+  "test_util_options.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

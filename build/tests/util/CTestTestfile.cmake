@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/util
+# Build directory: /root/repo/build/tests/util
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_util_options "/root/repo/build/tests/util/test_util_options")
+set_tests_properties(test_util_options PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/util/CMakeLists.txt;1;charmx_add_test;/root/repo/tests/util/CMakeLists.txt;0;")
+add_test(test_util_stats "/root/repo/build/tests/util/test_util_stats")
+set_tests_properties(test_util_stats PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/util/CMakeLists.txt;2;charmx_add_test;/root/repo/tests/util/CMakeLists.txt;0;")
+add_test(test_util_rng "/root/repo/build/tests/util/test_util_rng")
+set_tests_properties(test_util_rng PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/util/CMakeLists.txt;3;charmx_add_test;/root/repo/tests/util/CMakeLists.txt;0;")
+add_test(test_util_table "/root/repo/build/tests/util/test_util_table")
+set_tests_properties(test_util_table PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/util/CMakeLists.txt;4;charmx_add_test;/root/repo/tests/util/CMakeLists.txt;0;")
