@@ -7,11 +7,23 @@
 #include "apps/stencil/stencil_cpy.hpp"
 #include "machine/machine.hpp"
 #include "model/cpy.hpp"
+#include "trace/trace.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
 namespace bench {
+
+/// Wire --trace / --trace-out=<path> / --trace-buffer=<events> into
+/// cx::trace. Call once right after parsing options, then
+/// trace_report() after the last run: the trace covers the most recent
+/// Runtime (for a sweep, the final configuration).
+inline void trace_from_options(const cxu::Options& opt) {
+  cx::trace::configure_from_options(opt);
+}
+
+/// Write the JSON timeline and print the summary table if --trace is on.
+inline void trace_report() { cx::trace::report_if_enabled(); }
 
 /// Simulated-machine config for a "Blue Waters"-like system: 3D torus,
 /// 32 PEs per node (the paper's fig. 1/4 platform).

@@ -19,6 +19,7 @@
 
 int main(int argc, char** argv) {
   cxu::Options opt(argc, argv);
+  bench::trace_from_options(opt);
   const int iters = static_cast<int>(opt.get_int("iters", 12));
   const int block = static_cast<int>(opt.get_int("block", 24));
   std::vector<int> cores = {1024, 2048, 4096, 8192, 16384};
@@ -78,5 +79,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nexpected shape (paper fig. 1): flat weak scaling; cx fastest;\n"
       "cpy within ~6%% of cx; mpi between them.\n");
+  bench::trace_report();  // covers the last (largest) cpy sweep point
   return 0;
 }

@@ -18,6 +18,7 @@
 
 int main(int argc, char** argv) {
   cxu::Options opt(argc, argv);
+  bench::trace_from_options(opt);
   const int cells = static_cast<int>(opt.get_int("cells", 20));
   const int steps = static_cast<int>(opt.get_int("steps", 3));
   const int ppc = static_cast<int>(opt.get_int("ppc", 250));
@@ -72,5 +73,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nexpected shape (paper fig. 4): near-linear scaling; cpy within\n"
       "~20%% of cx, a larger gap than stencil3d (fine-grained chares).\n");
+  bench::trace_report();  // covers the last (largest) cpy sweep point
   return 0;
 }

@@ -54,6 +54,7 @@ double time_same_pe(int payload, int messages, bool fastpath) {
 
 int main(int argc, char** argv) {
   cxu::Options opt(argc, argv);
+  bench::trace_from_options(opt);
   const int messages = static_cast<int>(opt.get_int("messages", 1000));
 
   std::printf(
@@ -76,5 +77,6 @@ int main(int argc, char** argv) {
       "envelope bookkeeping costs more than a small memcpy, so the win\n"
       "shows for large payloads -- the NumPy-array case the paper's\n"
       "optimization targets.\n");
+  bench::trace_report();  // covers the last run (64k-double serialized)
   return 0;
 }

@@ -10,6 +10,7 @@
 
 int main(int argc, char** argv) {
   cxu::Options opt(argc, argv);
+  bench::trace_from_options(opt);
   const int tasks = static_cast<int>(opt.get_int("tasks", 2000));
 
   cxpool::register_function("noop", [](const cpy::Value& x) { return x; });
@@ -50,5 +51,6 @@ int main(int argc, char** argv) {
       "\nnoop throughput is master-limited (one getTask round trip per\n"
       "task). On a single-core host the threaded backend interleaves\n"
       "rather than parallelizes, so grained throughput stays flat.\n");
+  bench::trace_report();  // covers the last run (5-PE case)
   return 0;
 }

@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "pool/pool.hpp"
+#include "trace/trace.hpp"
 #include "util/options.hpp"
 
 using cpy::List;
@@ -22,6 +23,7 @@ using cpy::Value;
 
 int main(int argc, char** argv) {
   cxu::Options opt(argc, argv);
+  cx::trace::configure_from_options(opt);  // --trace [--trace-out=...]
   cx::RuntimeConfig cfg;
   cfg.machine.num_pes = static_cast<int>(opt.get_int("pes", 4));
   const auto ntasks = opt.get_int("tasks", 16);
@@ -61,5 +63,6 @@ int main(int argc, char** argv) {
                 static_cast<long long>(ntasks - 1), cubes.repr().c_str());
     cx::exit();
   });
+  cx::trace::report_if_enabled();
   return 0;
 }

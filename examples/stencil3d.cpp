@@ -15,6 +15,7 @@
 #include "apps/stencil/stencil_cpy.hpp"
 #include "apps/stencil/stencil_cx.hpp"
 #include "apps/stencil/stencil_mpi.hpp"
+#include "trace/trace.hpp"
 #include "util/options.hpp"
 
 namespace {
@@ -30,6 +31,7 @@ void parse_triplet(const std::string& s, int& a, int& b, int& c) {
 
 int main(int argc, char** argv) {
   cxu::Options opt(argc, argv);
+  cx::trace::configure_from_options(opt);  // --trace [--trace-out=...]
   stencil::Params p;
   parse_triplet(opt.get_string("blocks", "2,2,2"), p.geo.bx, p.geo.by,
                 p.geo.bz);
@@ -74,5 +76,6 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.lb_migrations),
                 r.imbalance_before, r.imbalance_after);
   }
+  cx::trace::report_if_enabled();
   return 0;
 }

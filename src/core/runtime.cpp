@@ -17,6 +17,7 @@
 #include "core/send_iface.hpp"
 #include "fiber/fiber.hpp"
 #include "machine/sim_machine.hpp"
+#include "trace/trace.hpp"
 #include "util/log.hpp"
 
 namespace cx {
@@ -376,6 +377,7 @@ struct Runtime::Impl {
   explicit Impl(RuntimeConfig c) : cfg(std::move(c)) {
     machine = cxm::make_machine(cfg.machine);
     P = machine->num_pes();
+    cx::trace::begin_run(P, machine->is_simulated());
     pes.reserve(static_cast<std::size_t>(P));
     for (int i = 0; i < P; ++i) pes.push_back(std::make_unique<PeState>());
     register_handlers();
@@ -444,10 +446,16 @@ struct Runtime::Impl {
     if (it == ps.fibers.end()) return;  // already completed
     Chare* owner = it->second.owner;
     const double t0 = machine->now();
+    CX_TRACE_EVENT(mype(), t0, cx::trace::EventKind::FiberResume, 0, 0);
     f->resume();
     const double dt = machine->now() - t0;
     if (owner) owner->load_ += dt;
-    if (f->done()) ps.fibers.erase(f);
+    if (f->done()) {
+      ps.fibers.erase(f);
+    } else {
+      CX_TRACE_EVENT(mype(), machine->now(),
+                     cx::trace::EventKind::FiberSuspend, 0, 0);
+    }
     if (owner) post_execute(owner);
   }
 
@@ -552,6 +560,9 @@ struct Runtime::Impl {
     const EpInfo& info = Registry::instance().ep(ep);
     if (info.when && !info.when(obj, tuple.get())) {
       obj->buffered_.push_back({ep, std::move(tuple), reply, bdone});
+      CX_TRACE_EVENT(mype(), machine->now(),
+                     cx::trace::EventKind::WhenBuffer, obj->coll_,
+                     obj->buffered_.size());
       return;
     }
     execute(obj, ep, std::move(tuple), reply, bdone);
@@ -576,15 +587,27 @@ struct Runtime::Impl {
     if (info.threaded) {
       obj->active_fibers_++;
       run_fiber(
-          [body = std::move(body), obj]() {
+          [this, body = std::move(body), obj, coll, ep]() {
+            // The recorded span covers the whole threaded entry, including
+            // any time suspended on futures/wait (see FiberSuspend events).
+            const double t0 = machine->now();
+            CX_TRACE_EVENT(mype(), t0, cx::trace::EventKind::EntryBegin,
+                           coll, ep);
             body();
+            const double t1 = machine->now();
+            CX_TRACE_EVENT(mype(), t1, cx::trace::EventKind::EntryEnd, ep,
+                           static_cast<std::uint64_t>((t1 - t0) * 1e9));
             obj->active_fibers_--;
           },
           obj);
     } else {
       const double t0 = machine->now();
+      CX_TRACE_EVENT(mype(), t0, cx::trace::EventKind::EntryBegin, coll, ep);
       body();
-      obj->load_ += machine->now() - t0;
+      const double t1 = machine->now();
+      obj->load_ += t1 - t0;
+      CX_TRACE_EVENT(mype(), t1, cx::trace::EventKind::EntryEnd, ep,
+                     static_cast<std::uint64_t>((t1 - t0) * 1e9));
       post_execute(obj);
     }
   }
@@ -663,6 +686,8 @@ struct Runtime::Impl {
                        header_plus(eh, info.pack_args(pi.args.get()))));
     }
     obj->buffered_.clear();
+    CX_TRACE_EVENT(mype(), machine->now(), cx::trace::EventKind::MigrateOut,
+                   coll, static_cast<std::uint64_t>(to_pe));
     // Serialize user + runtime state.
     MigrateHeader mh;
     mh.coll = coll;
@@ -751,6 +776,8 @@ struct Runtime::Impl {
   void lb_round(CollectionId coll, LbCollState& st) {
     const auto& strategy = lookup_lb_strategy(cfg.lb_strategy);
     auto moves = strategy(st.records, P, cfg.seed + lb_stats.rounds);
+    CX_TRACE_EVENT(mype(), machine->now(), cx::trace::EventKind::LbDecision,
+                   moves.size(), st.records.size());
     lb_stats.rounds++;
     lb_stats.migrations += moves.size();
     lb_stats.last_imbalance_before = imbalance_ratio(st.records, P);
@@ -1031,6 +1058,8 @@ void Runtime::Impl::on_reduce(MessagePtr msg) {
     Callback cb = rs.cb;
     std::vector<std::byte> acc = std::move(rs.acc);
     ps.red_root.erase({h.coll, h.red_no});
+    CX_TRACE_EVENT(mype(), machine->now(),
+                   cx::trace::EventKind::RedDeliver, h.coll, h.red_no);
     deliver_callback(cb, std::move(acc));
   }
 }
@@ -1072,6 +1101,8 @@ void Runtime::Impl::on_migrate(MessagePtr msg) {
   obj->load_ = 0.0;
   cm.elements[h.idx].reset(obj);
   cm.overrides.erase(h.idx);
+  CX_TRACE_EVENT(mype(), machine->now(), cx::trace::EventKind::MigrateIn,
+                 h.coll, 0);
   obj->on_migrated();
   flush_pending(cm, h.idx);
   if (h.for_lb) {
@@ -1572,6 +1603,8 @@ void contribute_bytes(Chare& chare, std::vector<std::byte> value,
   ReduceHeader h;
   h.coll = chare.collection();
   h.red_no = I.next_red_no(chare);
+  CX_TRACE_EVENT(I.mype(), I.machine->now(),
+                 cx::trace::EventKind::RedContribute, h.coll, h.red_no);
   h.combiner = combiner;
   h.cb = target;
   h.count = 1;

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "trace/trace.hpp"
 #include "util/log.hpp"
 
 namespace cxm {
@@ -42,6 +43,9 @@ void SimMachine::send(MessagePtr msg) {
     clock_[static_cast<std::size_t>(src)] += net_->cpu_overhead();
     arrival = clock_[static_cast<std::size_t>(src)] +
               net_->delay(src, dst, msg->wire_size());
+    CX_TRACE_EVENT(src, clock_[static_cast<std::size_t>(src)],
+                   cx::trace::EventKind::MsgSend,
+                   static_cast<std::uint64_t>(dst), msg->wire_size());
   }
   if (fifo_) {
     auto& last = last_arrival_[{src, dst}];
@@ -71,7 +75,13 @@ void SimMachine::run() {
     MessagePtr msg(ev.msg);
     const int pe = msg->dst_pe;
     auto& clk = clock_[static_cast<std::size_t>(pe)];
-    clk = std::max(clk, ev.time);
+    if (ev.time > clk) {
+      // The PE's virtual clock jumps forward to the arrival: that gap is
+      // scheduler idle time in the simulated timeline.
+      CX_TRACE_EVENT(pe, ev.time, cx::trace::EventKind::Idle,
+                     static_cast<std::uint64_t>((ev.time - clk) * 1e9), 0);
+      clk = ev.time;
+    }
     clk += net_->cpu_overhead();  // receiver-side software overhead
     current_pe_ = pe;
     cxu::set_log_pe(pe);
@@ -80,6 +90,9 @@ void SimMachine::run() {
       CX_LOG_ERROR("dropping message with unknown handler ", h);
       continue;
     }
+    CX_TRACE_EVENT(pe, clk, cx::trace::EventKind::MsgRecv,
+                   static_cast<std::uint32_t>(msg->src_pe),
+                   msg->wire_size());
     handlers_[h](std::move(msg));
     ++events_processed_;
   }

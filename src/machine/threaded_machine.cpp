@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "trace/trace.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
@@ -35,6 +36,9 @@ void ThreadedMachine::send(MessagePtr msg) {
   if (dst < 0 || dst >= num_pes_) {
     throw std::out_of_range("send: bad destination PE");
   }
+  msg->src_pe = t_current_pe;
+  CX_TRACE_EVENT(t_current_pe, now(), cx::trace::EventKind::MsgSend,
+                 static_cast<std::uint64_t>(dst), msg->wire_size());
   Mailbox& mb = *mailboxes_[static_cast<std::size_t>(dst)];
   {
     std::lock_guard<std::mutex> lock(mb.mutex);
@@ -83,20 +87,36 @@ void ThreadedMachine::pe_loop(int pe) {
   Mailbox& mb = *mailboxes_[static_cast<std::size_t>(pe)];
   while (true) {
     MessagePtr msg;
+    double idle_ns = -1.0;
     {
       std::unique_lock<std::mutex> lock(mb.mutex);
-      mb.cv.wait(lock, [&] {
-        return !mb.queue.empty() || stop_.load(std::memory_order_acquire);
-      });
-      if (mb.queue.empty()) break;  // stop requested and drained
-      msg = std::move(mb.queue.front());
-      mb.queue.pop_front();
+      if (mb.queue.empty() && !stop_.load(std::memory_order_acquire)) {
+        // The scheduler is about to sleep: the span until the wakeup is
+        // an idle span on this PE.
+        const double t0 = cxu::wall_time();
+        mb.cv.wait(lock, [&] {
+          return !mb.queue.empty() || stop_.load(std::memory_order_acquire);
+        });
+        idle_ns = (cxu::wall_time() - t0) * 1e9;
+      }
+      if (!mb.queue.empty()) {
+        msg = std::move(mb.queue.front());
+        mb.queue.pop_front();
+      }
     }
+    if (idle_ns >= 0.0) {
+      CX_TRACE_EVENT(pe, now(), cx::trace::EventKind::Idle,
+                     static_cast<std::uint64_t>(idle_ns), 0);
+    }
+    if (!msg) break;  // stop requested and drained
     const std::uint32_t h = msg->handler;
     if (h >= handlers_.size()) {
       CX_LOG_ERROR("dropping message with unknown handler ", h);
       continue;
     }
+    CX_TRACE_EVENT(pe, now(), cx::trace::EventKind::MsgRecv,
+                   static_cast<std::uint32_t>(msg->src_pe),
+                   msg->wire_size());
     handlers_[h](std::move(msg));
     if (stop_.load(std::memory_order_acquire)) {
       // Finish promptly on stop; remaining queued messages are dropped by

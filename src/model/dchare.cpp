@@ -1,9 +1,11 @@
 #include "model/dchare.hpp"
 
 #include <atomic>
+#include <functional>
 #include <stdexcept>
 
 #include "model/reducers.hpp"
+#include "trace/trace.hpp"
 
 namespace cpy {
 
@@ -58,6 +60,9 @@ DChare::DChare(std::string cls, Args ctor_args) : cls_(std::move(cls)) {
 
 Value DChare::dyn_call(std::string method, Args args) {
   cx::charge(g_dispatch_overhead.load(std::memory_order_relaxed));
+  CX_TRACE_EVENT(cx::my_pe(), cx::now(),
+                 cx::trace::EventKind::DynDispatch,
+                 std::hash<std::string>{}(method), 0);
   const MethodDef& def = resolve(method);
   return def.fn(*this, args);
 }

@@ -3,6 +3,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "trace/trace.hpp"
 #include "util/log.hpp"
 
 namespace cxpool {
@@ -44,13 +45,27 @@ void define_worker() {
                             Value::none(), Value::none()});
             return Value::none();
           });
-  cls.def("apply", {"task_id"}, [](DChare& self, Args& a) {
-    const Value task = self["tasks"].item(a[0]);
-    const TaskFn& fn = lookup_function(self["fname"].as_str());
-    Value result = fn(task);
+  cls.def("apply", {"job_id", "task_id"}, [](DChare& self, Args& a) {
+    // A stale assignment can arrive after this worker was handed to a new
+    // job (the old job failed and released its processors early); ignore it
+    // rather than corrupting the new job's state.
+    if (!self["job_id"].equals(a[0])) return Value::none();
+    Value result;
+    try {
+      const Value task = self["tasks"].item(a[1]);
+      const TaskFn& fn = lookup_function(self["fname"].as_str());
+      result = fn(task);
+    } catch (const std::exception& e) {
+      // A failing task (unknown function name, or the function threw)
+      // must fail the job, not kill the run: report it to the master,
+      // which resolves the job's future with an error value.
+      cpy::element_from(self["master"])
+          .send("jobError", {self["job_id"], Value(std::string(e.what()))});
+      return Value::none();
+    }
     cpy::element_from(self["master"])
         .send("getTask", {self["thisIndex"].item(Value(0)), self["job_id"],
-                          a[0], std::move(result)});
+                          a[1], std::move(result)});
     return Value::none();
   });
 }
@@ -58,7 +73,66 @@ void define_worker() {
 // ---------------------------------------------------------------------------
 // MapManager: the master on PE 0. Job bookkeeping lives entirely in the
 // attribute dict (so the master is migratable like any chare). The
-// user's future travels boxed inside a Value.
+// user's future travels boxed inside a Value. Jobs that cannot get any
+// processor (all busy) wait in a FIFO queue and are dispatched as other
+// jobs finish — a saturated pool must never deadlock.
+
+/// Release a finished/failed job's processors back to the free list.
+void release_procs(DChare& self, Dict& job) {
+  auto& free = self["free_procs"].as_list();
+  for (const Value& p : job["procs"].as_list()) free.push_back(p);
+  job["procs"] = Value::list({});
+}
+
+/// Grant processors to queued jobs (FIFO) while any are free, and start
+/// workers on them. Partial grants are allowed (the paper clamps the
+/// request to what is free); only a zero grant keeps a job queued.
+void dispatch_queued(DChare& self) {
+  auto& free = self["free_procs"].as_list();
+  auto& queued = self["queued"].as_list();
+  auto& jobs = self["jobs"].as_dict();
+  while (!queued.empty() && !free.empty()) {
+    const std::int64_t job_id = queued.front().as_int();
+    queued.erase(queued.begin());
+    const auto jit = jobs.find(std::to_string(job_id));
+    if (jit == jobs.end()) continue;  // job already failed/cancelled
+    auto& job = jit->second.as_dict();
+    std::int64_t want = job["want"].as_int();
+    if (want > static_cast<std::int64_t>(free.size())) {
+      CX_LOG_WARN("pool: job ", job_id, " requested ", want,
+                  " procs, only ", free.size(), " free; clamping");
+      want = static_cast<std::int64_t>(free.size());
+    }
+    List procs;
+    for (std::int64_t i = 0; i < want; ++i) {
+      procs.push_back(free.back());
+      free.pop_back();
+    }
+    job["procs"] = Value::list(procs);
+    CX_TRACE_EVENT(cx::my_pe(), cx::now(),
+                   cx::trace::EventKind::PoolJobStart,
+                   static_cast<std::uint64_t>(job_id), procs.size());
+    auto workers = cpy::collection_from(self["workers"]);
+    for (const Value& p : procs) {
+      workers[cx::Index(static_cast<int>(p.as_int()))].send(
+          "start", {Value(job_id), job["fname"], job["tasks"],
+                    cpy::to_value(cpy::proxy_of(self))});
+    }
+  }
+}
+
+/// Resolve the job's future, return its processors and dispatch waiters.
+void finish_job(DChare& self, const std::string& key, Dict& job,
+                const Value& result) {
+  release_procs(self, job);
+  CX_TRACE_EVENT(cx::my_pe(), cx::now(), cx::trace::EventKind::PoolJobDone,
+                 static_cast<std::uint64_t>(
+                     std::stoll(key)),
+                 job["tasks"].length());
+  cpy::future_from(job["future"]).send(result);
+  self["jobs"].as_dict().erase(key);
+  dispatch_queued(self);
+}
 
 void define_manager() {
   DClass cls("cxpool.MapManager");
@@ -77,28 +151,27 @@ void define_manager() {
     self["free_procs"] = Value::list(std::move(free));
     self["next_job_id"] = Value(0);
     self["jobs"] = Value::dict({});
+    self["queued"] = Value::list({});
     return Value::none();
   });
 
   cls.def("map_async", {"fname", "numProcs", "tasks", "future"},
           [](DChare& self, Args& a) {
-            auto& free = self["free_procs"].as_list();
             std::int64_t want = a[1].as_int();
-            if (want > static_cast<std::int64_t>(free.size())) {
-              CX_LOG_WARN("pool: requested ", want, " procs, only ",
-                          free.size(), " free; clamping");
-              want = static_cast<std::int64_t>(free.size());
-            }
-            if (want <= 0) want = 1;
-            // select free processors
-            List procs;
-            for (std::int64_t i = 0; i < want && !free.empty(); ++i) {
-              procs.push_back(free.back());
-              free.pop_back();
+            if (want <= 0) {
+              CX_LOG_WARN("pool: requested ", want,
+                          " procs; running on 1");
+              want = 1;
             }
             const std::int64_t job_id = self["next_job_id"].as_int();
             self["next_job_id"] = Value(job_id + 1);
             const std::uint64_t ntasks = a[2].length();
+            if (ntasks == 0) {
+              // Nothing to do: resolve immediately (never strand the
+              // caller's future).
+              cpy::future_from(a[3]).send(Value::list({}));
+              return Value::none();
+            }
             Dict job;
             job["fname"] = a[0];
             job["tasks"] = a[2];
@@ -106,18 +179,20 @@ void define_manager() {
                 List(static_cast<std::size_t>(ntasks), Value::none()));
             job["remaining"] = Value(static_cast<std::int64_t>(ntasks));
             job["next_task"] = Value(0);
-            job["procs"] = Value::list(procs);
+            job["want"] = Value(want);
+            job["procs"] = Value::list({});
             job["future"] = a[3];
             self["jobs"].as_dict()[std::to_string(job_id)] =
                 Value::dict(std::move(job));
-            // tell workers on the selected processors to start
-            auto workers = cpy::collection_from(self["workers"]);
-            for (const Value& p : procs) {
-              workers[cx::Index(static_cast<int>(p.as_int()))].send(
-                  "start",
-                  {Value(job_id), a[0], a[2], cpy::to_value(
-                                                  cpy::proxy_of(self))});
-            }
+            // Queue the job; with free processors it starts right away,
+            // otherwise it waits for a running job to release some. This
+            // is what keeps a saturated pool deadlock-free.
+            self["queued"].as_list().emplace_back(job_id);
+            CX_TRACE_EVENT(cx::my_pe(), cx::now(),
+                           cx::trace::EventKind::PoolJobQueued,
+                           static_cast<std::uint64_t>(job_id),
+                           self["free_procs"].length());
+            dispatch_queued(self);
             return Value::none();
           });
 
@@ -135,12 +210,7 @@ void define_manager() {
             }
             if (job["remaining"].as_int() == 0) {
               // job done: release its processors, deliver the results.
-              auto& free = self["free_procs"].as_list();
-              for (const Value& p : job["procs"].as_list()) {
-                free.push_back(p);
-              }
-              cpy::future_from(job["future"]).send(job["results"]);
-              jobs.erase(jit);
+              finish_job(self, key, job, job["results"]);
               return Value::none();
             }
             const std::int64_t next = job["next_task"].as_int();
@@ -148,10 +218,21 @@ void define_manager() {
               job["next_task"] = Value(next + 1);
               auto workers = cpy::collection_from(self["workers"]);
               workers[cx::Index(static_cast<int>(a[0].as_int()))].send(
-                  "apply", {Value(next)});
+                  "apply", {a[1], Value(next)});
             }
             return Value::none();
           });
+
+  cls.def("jobError", {"job_id", "error"}, [](DChare& self, Args& a) {
+    auto& jobs = self["jobs"].as_dict();
+    const std::string key = std::to_string(a[0].as_int());
+    const auto jit = jobs.find(key);
+    if (jit == jobs.end()) return Value::none();  // already resolved
+    auto& job = jit->second.as_dict();
+    CX_LOG_WARN("pool: job ", key, " failed: ", a[1].as_str());
+    finish_job(self, key, job, make_error(a[1].as_str()));
+    return Value::none();
+  });
 }
 
 struct PoolClasses {
@@ -179,6 +260,20 @@ const TaskFn& lookup_function(const std::string& name) {
     throw std::out_of_range("pool: unknown task function '" + name + "'");
   }
   return it->second;
+}
+
+Value make_error(const std::string& message) {
+  return Value::dict({{std::string(kErrorKey), Value(message)}});
+}
+
+bool is_error(const Value& result) {
+  return result.kind() == cpy::Kind::Dict &&
+         result.as_dict().count(std::string(kErrorKey)) != 0;
+}
+
+std::string error_message(const Value& result) {
+  if (!is_error(result)) return {};
+  return result.as_dict().at(std::string(kErrorKey)).as_str();
 }
 
 Pool::Pool() {

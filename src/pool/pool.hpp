@@ -21,6 +21,16 @@
 //   auto f1 = pool.map_async("square", 2, {1, 2, 3, 4, 5});
 //   auto f2 = pool.map_async("square", 2, {1, 3, 5, 7, 9});
 //   auto results1 = f1.get();   // [1, 4, 9, 16, 25]
+//
+// Scheduling: each job asks for numProcs processors. Requests are
+// clamped to what is free; a job that finds every processor busy waits
+// in a FIFO queue and starts as soon as a running job releases
+// processors — the future always eventually resolves, even when jobs
+// saturate the PE set.
+//
+// Failure: if a task function is unknown or throws, the job fails and
+// its future resolves to an error value (check with is_error /
+// error_message) instead of killing the run.
 
 #include <functional>
 #include <string>
@@ -36,6 +46,18 @@ void register_function(const std::string& name, TaskFn fn);
 
 /// Look up a task function; throws std::out_of_range if unknown.
 const TaskFn& lookup_function(const std::string& name);
+
+/// Dict key marking a failed job's result value.
+inline constexpr const char* kErrorKey = "__pool_error__";
+
+/// Build the error value a failed job's future resolves to.
+cpy::Value make_error(const std::string& message);
+
+/// True if a map/map_async result reports a failed job.
+[[nodiscard]] bool is_error(const cpy::Value& result);
+
+/// The failure reason carried by an error result ("" if not an error).
+[[nodiscard]] std::string error_message(const cpy::Value& result);
 
 class Pool {
  public:

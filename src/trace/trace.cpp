@@ -1,0 +1,461 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+#include "util/log.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+namespace cx::trace {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+/// One PE's trace state. The owning PE thread is the only writer; the
+/// ring index is published with a release store so post-run readers see
+/// completed slots. Cache-line aligned so neighbouring PEs don't share.
+struct alignas(64) PeTrace {
+  std::vector<Event> ring;
+  std::atomic<std::uint64_t> head{0};  ///< monotonically increasing
+  Counters counters;
+  // Full-run event span, independent of ring overwrites (the retained
+  // window alone would understate the span once events drop).
+  double t_first = 0.0;
+  double t_last = 0.0;
+};
+
+struct State {
+  Config cfg;
+  std::vector<std::unique_ptr<PeTrace>> pes;
+  bool simulated = false;
+  std::mutex mutex;  ///< guards configure/begin_run, not the hot path
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+int hist_bucket(double seconds) {
+  const double us = seconds * 1e6;
+  if (us < 2.0) return 0;
+  const int b = static_cast<int>(std::log2(us));
+  return std::min(b, kHistBuckets - 1);
+}
+
+void bump_counters(Counters& c, EventKind kind, std::uint64_t a,
+                   std::uint64_t b) {
+  switch (kind) {
+    case EventKind::MsgSend:
+      c.msgs_sent++;
+      c.bytes_sent += b;
+      break;
+    case EventKind::MsgRecv:
+      c.msgs_recv++;
+      c.bytes_recv += b;
+      break;
+    case EventKind::Idle:
+      c.idle_spans++;
+      c.idle_time += static_cast<double>(a) * 1e-9;
+      break;
+    case EventKind::EntryBegin:
+      break;
+    case EventKind::EntryEnd: {
+      c.entries++;
+      const double dur = static_cast<double>(b) * 1e-9;
+      c.entry_time += dur;
+      c.entry_hist[hist_bucket(dur)]++;
+      break;
+    }
+    case EventKind::WhenBuffer:
+      c.when_buffered++;
+      break;
+    case EventKind::RedContribute:
+      c.reductions_contributed++;
+      break;
+    case EventKind::RedDeliver:
+      c.reductions_delivered++;
+      break;
+    case EventKind::MigrateOut:
+      c.migrations_out++;
+      break;
+    case EventKind::MigrateIn:
+      c.migrations_in++;
+      break;
+    case EventKind::LbDecision:
+      c.lb_decisions++;
+      break;
+    case EventKind::FiberSuspend:
+      c.fiber_suspends++;
+      break;
+    case EventKind::FiberResume:
+      c.fiber_resumes++;
+      break;
+    case EventKind::DynDispatch:
+      c.dyn_dispatches++;
+      break;
+    case EventKind::PoolJobQueued:
+      c.pool_jobs_queued++;
+      break;
+    case EventKind::PoolJobStart:
+      c.pool_jobs_started++;
+      break;
+    case EventKind::PoolJobDone:
+      c.pool_jobs_done++;
+      break;
+  }
+}
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      default:
+        os << ch;
+    }
+  }
+}
+
+void json_counters(std::ostream& os, const Counters& c) {
+  os << "{\"msgs_sent\":" << c.msgs_sent << ",\"bytes_sent\":" << c.bytes_sent
+     << ",\"msgs_recv\":" << c.msgs_recv << ",\"bytes_recv\":" << c.bytes_recv
+     << ",\"entries\":" << c.entries << ",\"entry_time\":" << c.entry_time
+     << ",\"idle_time\":" << c.idle_time << ",\"idle_spans\":" << c.idle_spans
+     << ",\"when_buffered\":" << c.when_buffered
+     << ",\"reductions_contributed\":" << c.reductions_contributed
+     << ",\"reductions_delivered\":" << c.reductions_delivered
+     << ",\"migrations_out\":" << c.migrations_out
+     << ",\"migrations_in\":" << c.migrations_in
+     << ",\"lb_decisions\":" << c.lb_decisions
+     << ",\"fiber_suspends\":" << c.fiber_suspends
+     << ",\"fiber_resumes\":" << c.fiber_resumes
+     << ",\"dyn_dispatches\":" << c.dyn_dispatches
+     << ",\"pool_jobs_queued\":" << c.pool_jobs_queued
+     << ",\"pool_jobs_started\":" << c.pool_jobs_started
+     << ",\"pool_jobs_done\":" << c.pool_jobs_done
+     << ",\"dropped_events\":" << c.dropped_events << ",\"entry_hist_us\":[";
+  for (int i = 0; i < kHistBuckets; ++i) {
+    if (i > 0) os << ',';
+    os << c.entry_hist[i];
+  }
+  os << "]}";
+}
+
+std::string human_bytes(std::uint64_t b) {
+  std::ostringstream os;
+  if (b >= (1u << 20)) {
+    os << cxu::Table::num(static_cast<double>(b) / (1u << 20), 1) << " MiB";
+  } else if (b >= (1u << 10)) {
+    os << cxu::Table::num(static_cast<double>(b) / (1u << 10), 1) << " KiB";
+  } else {
+    os << b << " B";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+void Counters::merge(const Counters& o) {
+  msgs_sent += o.msgs_sent;
+  bytes_sent += o.bytes_sent;
+  msgs_recv += o.msgs_recv;
+  bytes_recv += o.bytes_recv;
+  entries += o.entries;
+  entry_time += o.entry_time;
+  idle_time += o.idle_time;
+  idle_spans += o.idle_spans;
+  when_buffered += o.when_buffered;
+  reductions_contributed += o.reductions_contributed;
+  reductions_delivered += o.reductions_delivered;
+  migrations_out += o.migrations_out;
+  migrations_in += o.migrations_in;
+  lb_decisions += o.lb_decisions;
+  fiber_suspends += o.fiber_suspends;
+  fiber_resumes += o.fiber_resumes;
+  dyn_dispatches += o.dyn_dispatches;
+  pool_jobs_queued += o.pool_jobs_queued;
+  pool_jobs_started += o.pool_jobs_started;
+  pool_jobs_done += o.pool_jobs_done;
+  dropped_events += o.dropped_events;
+  for (int i = 0; i < kHistBuckets; ++i) entry_hist[i] += o.entry_hist[i];
+}
+
+const char* kind_name(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::MsgSend:
+      return "msg_send";
+    case EventKind::MsgRecv:
+      return "msg_recv";
+    case EventKind::Idle:
+      return "idle";
+    case EventKind::EntryBegin:
+      return "entry_begin";
+    case EventKind::EntryEnd:
+      return "entry_end";
+    case EventKind::WhenBuffer:
+      return "when_buffer";
+    case EventKind::RedContribute:
+      return "red_contribute";
+    case EventKind::RedDeliver:
+      return "red_deliver";
+    case EventKind::MigrateOut:
+      return "migrate_out";
+    case EventKind::MigrateIn:
+      return "migrate_in";
+    case EventKind::LbDecision:
+      return "lb_decision";
+    case EventKind::FiberSuspend:
+      return "fiber_suspend";
+    case EventKind::FiberResume:
+      return "fiber_resume";
+    case EventKind::DynDispatch:
+      return "dyn_dispatch";
+    case EventKind::PoolJobQueued:
+      return "pool_job_queued";
+    case EventKind::PoolJobStart:
+      return "pool_job_start";
+    case EventKind::PoolJobDone:
+      return "pool_job_done";
+  }
+  return "unknown";
+}
+
+void configure(Config cfg) {
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.cfg = std::move(cfg);
+  if (s.cfg.buffer_events == 0) s.cfg.buffer_events = 1;
+  detail::g_enabled.store(s.cfg.enabled, std::memory_order_relaxed);
+}
+
+void configure_from_options(const cxu::Options& opt) {
+  Config cfg;
+  cfg.enabled = opt.get_bool("trace", false);
+  cfg.out_path = opt.get_string("trace-out", "trace.json");
+  cfg.buffer_events = static_cast<std::size_t>(
+      opt.get_int("trace-buffer", 1 << 16));
+  configure(std::move(cfg));
+}
+
+const Config& config() noexcept { return state().cfg; }
+
+void begin_run(int num_pes, bool simulated) {
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.pes.clear();
+  s.simulated = simulated;
+  if (!s.cfg.enabled) return;
+  // Rings are allocated eagerly, so clamp the per-PE capacity to keep the
+  // total bounded when a simulated run uses thousands of virtual PEs
+  // (oldest events are overwritten and counted as dropped).
+  constexpr std::uint64_t kMaxTotalEvents = 1ull << 22;  // ~128 MiB
+  std::size_t per_pe = s.cfg.buffer_events;
+  const std::uint64_t want =
+      static_cast<std::uint64_t>(per_pe) * static_cast<std::uint64_t>(num_pes);
+  if (want > kMaxTotalEvents) {
+    per_pe = std::max<std::size_t>(
+        64, static_cast<std::size_t>(kMaxTotalEvents /
+                                     static_cast<std::uint64_t>(num_pes)));
+    CX_LOG_WARN("trace: clamping ring to ", per_pe, " events/PE for ",
+                num_pes, " PEs (requested ", s.cfg.buffer_events, ")");
+  }
+  s.pes.reserve(static_cast<std::size_t>(num_pes));
+  for (int i = 0; i < num_pes; ++i) {
+    auto pt = std::make_unique<PeTrace>();
+    pt->ring.resize(per_pe);
+    s.pes.push_back(std::move(pt));
+  }
+}
+
+void record(int pe, double t, EventKind kind, std::uint64_t a,
+            std::uint64_t b) {
+  auto& s = state();
+  if (pe < 0 || static_cast<std::size_t>(pe) >= s.pes.size()) return;
+  PeTrace& pt = *s.pes[static_cast<std::size_t>(pe)];
+  const std::uint64_t h = pt.head.load(std::memory_order_relaxed);
+  const std::size_t cap = pt.ring.size();
+  Event& slot = pt.ring[static_cast<std::size_t>(h % cap)];
+  slot.time = t;
+  slot.a = a;
+  slot.b = b;
+  slot.kind = kind;
+  if (h >= cap) pt.counters.dropped_events++;
+  if (h == 0) pt.t_first = t;
+  pt.t_last = t;
+  bump_counters(pt.counters, kind, a, b);
+  pt.head.store(h + 1, std::memory_order_release);
+}
+
+std::vector<Event> events(int pe) {
+  auto& s = state();
+  std::vector<Event> out;
+  if (pe < 0 || static_cast<std::size_t>(pe) >= s.pes.size()) return out;
+  const PeTrace& pt = *s.pes[static_cast<std::size_t>(pe)];
+  const std::uint64_t h = pt.head.load(std::memory_order_acquire);
+  const std::uint64_t cap = pt.ring.size();
+  const std::uint64_t n = std::min(h, cap);
+  out.reserve(static_cast<std::size_t>(n));
+  // Oldest retained slot first.
+  for (std::uint64_t i = h - n; i < h; ++i) {
+    out.push_back(pt.ring[static_cast<std::size_t>(i % cap)]);
+  }
+  return out;
+}
+
+std::uint64_t total_events() {
+  auto& s = state();
+  std::uint64_t n = 0;
+  for (const auto& pt : s.pes) {
+    n += pt->head.load(std::memory_order_acquire);
+  }
+  return n;
+}
+
+int traced_pes() noexcept { return static_cast<int>(state().pes.size()); }
+
+bool traced_run_was_simulated() noexcept { return state().simulated; }
+
+Counters counters(int pe) {
+  auto& s = state();
+  if (pe < 0 || static_cast<std::size_t>(pe) >= s.pes.size()) return {};
+  return s.pes[static_cast<std::size_t>(pe)]->counters;
+}
+
+Counters aggregate() {
+  Counters total;
+  for (int pe = 0; pe < traced_pes(); ++pe) total.merge(counters(pe));
+  return total;
+}
+
+std::string summary_table() {
+  const int P = traced_pes();
+  // Per-PE wall span (first to last event) for the idle percentage.
+  std::ostringstream os;
+  os << "cx::trace summary — " << (traced_run_was_simulated()
+                                       ? "virtual (simulated) time"
+                                       : "wall time")
+     << ", " << P << " PE(s), " << total_events() << " events\n\n";
+  cxu::Table table({"pe", "msgs sent", "bytes sent", "msgs recv", "entries",
+                    "entry s", "idle s", "idle %", "dropped"});
+  auto row = [&](const std::string& label, const Counters& c, double span) {
+    const double idle_pct = span > 0 ? 100.0 * c.idle_time / span : 0.0;
+    table.add_row({label, std::to_string(c.msgs_sent),
+                   human_bytes(c.bytes_sent), std::to_string(c.msgs_recv),
+                   std::to_string(c.entries), cxu::Table::num(c.entry_time, 4),
+                   cxu::Table::num(c.idle_time, 4),
+                   cxu::Table::num(idle_pct, 1),
+                   std::to_string(c.dropped_events)});
+  };
+  double total_span = 0.0;
+  for (int pe = 0; pe < P; ++pe) {
+    const PeTrace& pt = *state().pes[static_cast<std::size_t>(pe)];
+    const double span =
+        pt.head.load(std::memory_order_acquire) > 0 ? pt.t_last - pt.t_first
+                                                    : 0.0;
+    total_span = std::max(total_span, span);
+    row(std::to_string(pe), counters(pe), span);
+  }
+  row("total", aggregate(), total_span * P);
+  os << table.to_string();
+  // Entry-method time histogram (log2 microsecond buckets).
+  const Counters total = aggregate();
+  if (total.entries > 0) {
+    os << "\nentry-method time histogram (us, log2 buckets):\n";
+    for (int i = 0; i < kHistBuckets; ++i) {
+      if (total.entry_hist[i] == 0) continue;
+      const double lo = i == 0 ? 0.0 : std::pow(2.0, i);
+      const double hi = std::pow(2.0, i + 1);
+      os << "  [" << cxu::Table::num(lo, 0) << ", " << cxu::Table::num(hi, 0)
+         << ")  " << total.entry_hist[i] << "\n";
+    }
+  }
+  return os.str();
+}
+
+void write_json(std::ostream& os) {
+  const int P = traced_pes();
+  struct Tagged {
+    Event ev;
+    int pe;
+  };
+  std::vector<Tagged> all;
+  all.reserve(static_cast<std::size_t>(total_events()));
+  for (int pe = 0; pe < P; ++pe) {
+    for (const Event& ev : events(pe)) all.push_back({ev, pe});
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Tagged& x, const Tagged& y) {
+                     if (x.ev.time != y.ev.time) return x.ev.time < y.ev.time;
+                     return x.pe < y.pe;
+                   });
+  os << "{\"version\":1,\"simulated\":"
+     << (traced_run_was_simulated() ? "true" : "false")
+     << ",\"num_pes\":" << P << ",\"events\":[";
+  bool first = true;
+  for (const Tagged& t : all) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"t\":" << t.ev.time << ",\"pe\":" << t.pe << ",\"kind\":\"";
+    json_escape(os, kind_name(t.ev.kind));
+    os << "\",\"a\":" << t.ev.a << ",\"b\":" << t.ev.b << '}';
+  }
+  os << "],\"counters\":{\"per_pe\":[";
+  for (int pe = 0; pe < P; ++pe) {
+    if (pe > 0) os << ',';
+    json_counters(os, counters(pe));
+  }
+  os << "],\"total\":";
+  json_counters(os, aggregate());
+  os << "}}\n";
+}
+
+bool write_json(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) {
+    CX_LOG_ERROR("trace: cannot open '", path, "' for writing");
+    return false;
+  }
+  write_json(f);
+  return true;
+}
+
+void report_if_enabled() {
+  if (!enabled()) return;
+  const auto& cfg = config();
+  if (write_json(cfg.out_path)) {
+    std::printf("trace: wrote %llu events to %s\n",
+                static_cast<unsigned long long>(total_events()),
+                cfg.out_path.c_str());
+  }
+  if (cfg.print_summary) {
+    std::fputs(summary_table().c_str(), stdout);
+  }
+}
+
+void reset() {
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.pes.clear();
+  s.cfg = Config{};
+  s.simulated = false;
+  detail::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace cx::trace

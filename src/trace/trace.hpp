@@ -1,0 +1,202 @@
+#pragma once
+// cx::trace — runtime-wide event tracing and metrics (Projections-lite).
+//
+// Every runtime layer records typed events into a per-PE lock-free ring
+// buffer: message sends/receives with byte counts, entry-method begin/end
+// with chare identity, scheduler idle spans, reduction contribute/deliver,
+// when-buffer depth, migration, LB strategy decisions, fiber
+// suspend/resume, dynamic-dispatch and pool job lifecycle. Each PE writes
+// only its own ring (single producer, no synchronization beyond a release
+// store), so recording is wait-free; counters aggregate into per-PE and
+// global summaries (messages, bytes, idle %, entry-method time
+// histograms).
+//
+// Timestamps come from the machine backend that records them: wall clock
+// on ThreadedMachine, virtual clock on SimMachine — so DES figure runs
+// are traceable with the same pipeline.
+//
+// Usage (benches/examples):
+//
+//   cxu::Options opt(argc, argv);
+//   cx::trace::configure_from_options(opt);   // --trace, --trace-out=...
+//   ... run the program ...
+//   cx::trace::report_if_enabled();           // JSON timeline + summary
+//
+// The disabled path costs one relaxed atomic load + branch per hook; the
+// hooks compile out entirely with -DCHARMX_TRACE_DISABLED.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cxu {
+class Options;
+}
+
+namespace cx::trace {
+
+// Payload meaning per kind (a, b are generic 64-bit slots):
+//   MsgSend       a = dst PE            b = bytes on the wire
+//   MsgRecv       a = src PE (0xffffffff = external/bootstrap)
+//                                       b = bytes on the wire
+//   Idle          a = span nanoseconds  b = 0        (time = span end)
+//   EntryBegin    a = collection id     b = entry-point id
+//   EntryEnd      a = entry-point id    b = span nanoseconds
+//   WhenBuffer    a = collection id     b = buffer depth after enqueue
+//   RedContribute a = collection id     b = reduction number
+//   RedDeliver    a = collection id     b = reduction number
+//   MigrateOut    a = collection id     b = destination PE
+//   MigrateIn     a = collection id     b = 0
+//   LbDecision    a = migrations       b = load records considered
+//   FiberSuspend  a = 0                 b = 0
+//   FiberResume   a = 0                 b = 0
+//   DynDispatch   a = method-name hash  b = 0
+//   PoolJobQueued a = job id            b = free procs at enqueue
+//   PoolJobStart  a = job id            b = procs granted
+//   PoolJobDone   a = job id            b = tasks completed
+enum class EventKind : std::uint8_t {
+  MsgSend = 0,
+  MsgRecv,
+  Idle,
+  EntryBegin,
+  EntryEnd,
+  WhenBuffer,
+  RedContribute,
+  RedDeliver,
+  MigrateOut,
+  MigrateIn,
+  LbDecision,
+  FiberSuspend,
+  FiberResume,
+  DynDispatch,
+  PoolJobQueued,
+  PoolJobStart,
+  PoolJobDone,
+};
+
+/// Stable snake_case name used in the JSON timeline.
+const char* kind_name(EventKind k) noexcept;
+
+struct Event {
+  double time = 0.0;  ///< backend clock: wall (threaded) or virtual (sim)
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  EventKind kind = EventKind::MsgSend;
+};
+
+/// Number of log2 buckets in the entry-method time histogram. Bucket i
+/// holds entries with duration in [2^i, 2^(i+1)) microseconds; bucket 0
+/// also holds sub-microsecond entries.
+inline constexpr int kHistBuckets = 20;
+
+struct Counters {
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t msgs_recv = 0;
+  std::uint64_t bytes_recv = 0;
+  std::uint64_t entries = 0;
+  double entry_time = 0.0;  ///< seconds inside entry methods
+  double idle_time = 0.0;   ///< seconds the scheduler sat idle
+  std::uint64_t idle_spans = 0;
+  std::uint64_t when_buffered = 0;
+  std::uint64_t reductions_contributed = 0;
+  std::uint64_t reductions_delivered = 0;
+  std::uint64_t migrations_out = 0;
+  std::uint64_t migrations_in = 0;
+  std::uint64_t lb_decisions = 0;
+  std::uint64_t fiber_suspends = 0;
+  std::uint64_t fiber_resumes = 0;
+  std::uint64_t dyn_dispatches = 0;
+  std::uint64_t pool_jobs_queued = 0;
+  std::uint64_t pool_jobs_started = 0;
+  std::uint64_t pool_jobs_done = 0;
+  std::uint64_t dropped_events = 0;  ///< ring overwrites (oldest lost)
+  std::uint64_t entry_hist[kHistBuckets] = {0};
+
+  void merge(const Counters& o);
+};
+
+struct Config {
+  bool enabled = false;
+  std::string out_path = "trace.json";
+  /// Ring capacity in events per PE; the oldest events are overwritten
+  /// (and counted as dropped) once a PE exceeds it.
+  std::size_t buffer_events = 1u << 16;
+  bool print_summary = true;
+};
+
+/// Install a configuration. Takes effect for the next Runtime (rings are
+/// allocated in begin_run).
+void configure(Config cfg);
+
+/// Read --trace, --trace-out=<path>, --trace-buffer=<events> and install.
+void configure_from_options(const cxu::Options& opt);
+
+[[nodiscard]] const Config& config() noexcept;
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}
+
+/// True when tracing is on — the one-branch fast check every hook makes.
+[[nodiscard]] inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Called by the Runtime when a machine is brought up: sizes one ring per
+/// PE and resets counters. A fresh Runtime replaces the previous run's
+/// trace data.
+void begin_run(int num_pes, bool simulated);
+
+/// Record one event on `pe` at backend time `t`. No-op (after the enabled
+/// check the macros already make) for pe < 0 — bootstrap sends from the
+/// driver thread have no PE context. Also bumps the kind's counters.
+void record(int pe, double t, EventKind kind, std::uint64_t a = 0,
+            std::uint64_t b = 0);
+
+// ---- inspection (call after Machine::run returns; not thread-safe) ------
+
+/// Events retained for `pe`, oldest first (chronological per PE).
+[[nodiscard]] std::vector<Event> events(int pe);
+[[nodiscard]] std::uint64_t total_events();
+[[nodiscard]] int traced_pes() noexcept;
+[[nodiscard]] bool traced_run_was_simulated() noexcept;
+[[nodiscard]] Counters counters(int pe);
+[[nodiscard]] Counters aggregate();
+
+/// Per-PE summary (messages, bytes, entry/idle seconds, idle %) plus a
+/// totals row and the global entry-method time histogram.
+[[nodiscard]] std::string summary_table();
+
+/// JSON timeline: {version, simulated, num_pes, events:[...],
+/// counters:{per_pe:[...], total:{...}}}. Events carry
+/// {t, pe, kind, a, b} and are sorted by (t, pe).
+void write_json(std::ostream& os);
+/// Returns false (and logs) if the file cannot be opened.
+bool write_json(const std::string& path);
+
+/// If enabled: write the timeline to config().out_path and print the
+/// summary table to stdout. The trace covers the most recent Runtime.
+void report_if_enabled();
+
+/// Drop all trace data and restore the default (disabled) configuration.
+void reset();
+
+}  // namespace cx::trace
+
+// Hook macros — compiled out with -DCHARMX_TRACE_DISABLED; otherwise the
+// disabled-at-runtime cost is one branch.
+#ifndef CHARMX_TRACE_DISABLED
+#define CX_TRACE_EVENT(pe, t, kind, a, b)                      \
+  do {                                                         \
+    if (::cx::trace::enabled()) {                              \
+      ::cx::trace::record((pe), (t), (kind), (a), (b));        \
+    }                                                          \
+  } while (0)
+#else
+#define CX_TRACE_EVENT(pe, t, kind, a, b) \
+  do {                                    \
+  } while (0)
+#endif

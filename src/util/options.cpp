@@ -1,9 +1,20 @@
 #include "util/options.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <stdexcept>
 
 namespace cxu {
+
+namespace {
+
+[[noreturn]] void bad_value(const std::string& name, const std::string& v,
+                            const char* expected) {
+  throw std::invalid_argument("--" + name + ": expected " + expected +
+                              ", got '" + v + "'");
+}
+
+}  // namespace
 
 Options::Options(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -38,13 +49,27 @@ std::int64_t Options::get_int(const std::string& name,
                               std::int64_t def) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return def;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  const std::string& v = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v.c_str(), &end, 10);
+  // Reject empty values, trailing garbage ("--iters=abc", "--iters=3x")
+  // and out-of-range magnitudes instead of silently parsing 0.
+  if (end == v.c_str() || *end != '\0') bad_value(name, v, "an integer");
+  if (errno == ERANGE) bad_value(name, v, "an in-range integer");
+  return parsed;
 }
 
 double Options::get_double(const std::string& name, double def) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return def;
-  return std::strtod(it->second.c_str(), nullptr);
+  const std::string& v = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0') bad_value(name, v, "a number");
+  if (errno == ERANGE) bad_value(name, v, "an in-range number");
+  return parsed;
 }
 
 bool Options::get_bool(const std::string& name, bool def) const {

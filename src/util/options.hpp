@@ -7,6 +7,10 @@
 //   auto mode = opt.get_string("mode", "threaded");
 //
 // Accepted syntax: --name=value, --name value, --flag (bool true).
+//
+// get_int/get_double validate strictly: a present-but-malformed value
+// ("--iters=abc", "--alpha=1.5x") throws std::invalid_argument rather
+// than silently parsing as 0.
 
 #include <cstdint>
 #include <map>

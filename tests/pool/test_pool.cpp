@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <vector>
+
 #include "test_helpers.hpp"
 
 namespace {
@@ -146,6 +149,113 @@ TEST(Pool, ManyConcurrentJobs) {
       const Value r = futures[static_cast<std::size_t>(j)].get();
       EXPECT_EQ(r.item(Value(0)).as_int(),
                 static_cast<std::int64_t>(j) * j);
+    }
+    cx::exit();
+  });
+}
+
+TEST(Pool, SaturatedPoolQueuesJobsInsteadOfDeadlocking) {
+  // Regression: N concurrent jobs whose combined numProcs exceed the
+  // free PE set. The old selection loop granted zero processors to the
+  // overflow jobs, so their futures never resolved (deadlock). Jobs must
+  // queue and run as processors free up.
+  run_program(threaded_cfg(3), [] {  // 2 free workers (PE 0 = master)
+    Pool pool;
+    std::vector<cx::Future<Value>> futures;
+    for (int j = 0; j < 8; ++j) {
+      futures.push_back(
+          pool.map_async("square", 2, ints({j, j + 1, j + 2})));
+    }
+    for (int j = 0; j < 8; ++j) {
+      const Value r = futures[static_cast<std::size_t>(j)].get();
+      ASSERT_EQ(r.length(), 3u) << "job " << j;
+      for (int i = 0; i < 3; ++i) {
+        const std::int64_t x = j + i;
+        EXPECT_EQ(r.item(Value(i)).as_int(), x * x) << "job " << j;
+      }
+    }
+    cx::exit();
+  });
+}
+
+TEST(Pool, NumProcsLargerThanPeSet) {
+  run_program(threaded_cfg(2), [] {
+    Pool pool;
+    const Value r = pool.map("square", 1000, ints({1, 2, 3, 4}));
+    ASSERT_EQ(r.length(), 4u);
+    for (int i = 0; i < 4; ++i) {
+      const std::int64_t x = i + 1;
+      EXPECT_EQ(r.item(Value(i)).as_int(), x * x);
+    }
+    cx::exit();
+  });
+}
+
+TEST(Pool, NonPositiveNumProcsRunsOnOneWorker) {
+  run_program(threaded_cfg(3), [] {
+    Pool pool;
+    const Value r0 = pool.map("square", 0, ints({2, 3}));
+    EXPECT_EQ(r0.item(Value(0)).as_int(), 4);
+    EXPECT_EQ(r0.item(Value(1)).as_int(), 9);
+    const Value rn = pool.map("square", -5, ints({4}));
+    EXPECT_EQ(rn.item(Value(0)).as_int(), 16);
+    cx::exit();
+  });
+}
+
+TEST(Pool, EmptyTaskListResolvesImmediately) {
+  run_program(threaded_cfg(2), [] {
+    Pool pool;
+    const Value r = pool.map("square", 1, {});
+    EXPECT_EQ(r.length(), 0u);
+    cx::exit();
+  });
+}
+
+TEST(Pool, UnknownFunctionFailsTheJobNotTheRun) {
+  // Regression: an unregistered function name used to throw
+  // std::out_of_range inside Worker.apply and kill the whole run. It
+  // must fail only that job, through the job's own future.
+  run_program(threaded_cfg(3), [] {
+    Pool pool;
+    auto bad = pool.map_async("no_such_function", 1, ints({1, 2, 3}));
+    const Value err = bad.get();
+    ASSERT_TRUE(cxpool::is_error(err));
+    EXPECT_NE(cxpool::error_message(err).find("unknown task function"),
+              std::string::npos);
+    // The pool stays usable: the failed job released its processors.
+    const Value ok = pool.map("square", 2, ints({5, 6}));
+    EXPECT_EQ(ok.item(Value(0)).as_int(), 25);
+    EXPECT_EQ(ok.item(Value(1)).as_int(), 36);
+    cx::exit();
+  });
+}
+
+TEST(Pool, ThrowingTaskFunctionFailsTheJob) {
+  cxpool::register_function("explode", [](const Value&) -> Value {
+    throw std::runtime_error("task exploded");
+  });
+  run_program(threaded_cfg(2), [] {
+    Pool pool;
+    const Value err = pool.map("explode", 1, ints({1}));
+    ASSERT_TRUE(cxpool::is_error(err));
+    EXPECT_NE(cxpool::error_message(err).find("task exploded"),
+              std::string::npos);
+    cx::exit();
+  });
+}
+
+TEST(Pool, SaturationOnSimBackend) {
+  run_program(sim_cfg(4), [] {
+    Pool pool;
+    std::vector<cx::Future<Value>> futures;
+    for (int j = 0; j < 5; ++j) {
+      futures.push_back(pool.map_async("neg", 3, ints({j, j + 1})));
+    }
+    for (int j = 0; j < 5; ++j) {
+      const Value r = futures[static_cast<std::size_t>(j)].get();
+      EXPECT_EQ(r.item(Value(0)).as_int(), -j);
+      EXPECT_EQ(r.item(Value(1)).as_int(), -(j + 1));
     }
     cx::exit();
   });

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 namespace {
 
 cxu::Options parse(std::vector<const char*> args) {
@@ -64,6 +66,36 @@ TEST(Options, DoubleParsing) {
 TEST(Options, NegativeNumberAsValue) {
   auto o = parse({"--offset=-3"});
   EXPECT_EQ(o.get_int("offset", 0), -3);
+}
+
+TEST(Options, MalformedIntThrows) {
+  auto o = parse({"--iters=abc", "--n=3x", "--m="});
+  EXPECT_THROW((void)o.get_int("iters", 0), std::invalid_argument);
+  EXPECT_THROW((void)o.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW((void)o.get_int("m", 0), std::invalid_argument);
+}
+
+TEST(Options, MalformedDoubleThrows) {
+  auto o = parse({"--alpha=fast", "--beta=1.5x"});
+  EXPECT_THROW((void)o.get_double("alpha", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)o.get_double("beta", 0.0), std::invalid_argument);
+}
+
+TEST(Options, OutOfRangeIntThrows) {
+  auto o = parse({"--big=99999999999999999999999999"});
+  EXPECT_THROW((void)o.get_int("big", 0), std::invalid_argument);
+}
+
+TEST(Options, OutOfRangeDoubleThrows) {
+  auto o = parse({"--huge=1e999999"});
+  EXPECT_THROW((void)o.get_double("huge", 0.0), std::invalid_argument);
+}
+
+TEST(Options, AbsentValueStillReturnsDefaultWithoutValidation) {
+  // Validation applies only to present values; absent flags fall back.
+  auto o = parse({"--other=abc"});
+  EXPECT_EQ(o.get_int("iters", 7), 7);
+  EXPECT_DOUBLE_EQ(o.get_double("alpha", 0.25), 0.25);
 }
 
 }  // namespace
