@@ -7,12 +7,20 @@
 // serialization cost.
 //
 //   ./bench/micro_messaging [--messages 2000]
+//
+// --ft mode: cross-PE sends with the cx::ft seq+ack reliable-delivery
+// protocol off vs on. With it off (the default runtime configuration)
+// the no-fault fast path sends zero protocol messages — the reported
+// ack count must be 0; with it on, every cross-PE message is acked.
+//
+//   ./bench/micro_messaging --ft [--messages 2000]
 
 #include <cstdio>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "core/charm.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -50,12 +58,72 @@ double time_same_pe(int payload, int messages, bool fastpath) {
   return elapsed / messages;
 }
 
+/// Seconds per message for PE0 -> PE1 sends with the reliable-delivery
+/// protocol off/on; `acks` returns the protocol acks counted by trace.
+double time_cross_pe(int payload, int messages, bool reliable,
+                     std::uint64_t* acks) {
+  cx::trace::reset();
+  cx::trace::Config tc;
+  tc.enabled = true;
+  tc.print_summary = false;
+  cx::trace::configure(tc);
+  double elapsed = 0.0;
+  cx::RuntimeConfig cfg;
+  cfg.machine.num_pes = 2;
+  cfg.machine.faults.reliable = reliable;
+  cx::Runtime rt(cfg);
+  rt.run([&] {
+    auto sink = cx::create_chare<VecSink>(1);
+    (void)sink.call<&VecSink::get>().get();
+    const long want = static_cast<long>(messages) * payload;
+    cxu::Stopwatch sw;
+    for (int i = 0; i < messages; ++i) {
+      std::vector<double> v(static_cast<std::size_t>(payload), 1.0);
+      sink.send<&VecSink::take>(std::move(v));
+    }
+    while (sink.call<&VecSink::get>().get() < want) {
+    }
+    elapsed = sw.elapsed();
+    cx::exit();
+  });
+  if (acks != nullptr) *acks = cx::trace::aggregate().ft_acks;
+  cx::trace::reset();
+  return elapsed / messages;
+}
+
+int run_ft_mode(int messages) {
+  std::printf(
+      "micro_messaging --ft: PE0->PE1 sends with the cx::ft seq+ack\n"
+      "reliable-delivery protocol off vs on, %d msgs/case\n\n",
+      messages);
+  cxu::Table table({"payload doubles", "acks off us/msg", "acks on us/msg",
+                    "overhead", "acks off count", "acks on count"});
+  for (int payload : {16, 256, 4096}) {
+    std::uint64_t acks_off = 0, acks_on = 0;
+    const double off =
+        time_cross_pe(payload, messages, false, &acks_off) * 1e6;
+    const double on =
+        time_cross_pe(payload, messages, true, &acks_on) * 1e6;
+    table.add_row({std::to_string(payload), cxu::Table::num(off, 2),
+                   cxu::Table::num(on, 2), cxu::Table::num(on / off, 2),
+                   std::to_string(acks_off), std::to_string(acks_on)});
+  }
+  table.print();
+  std::printf(
+      "\nWith the protocol off (the default config) the fast path sends\n"
+      "no acks at all -- the 'acks off count' column must read 0. With\n"
+      "it on, every app message is acked and retransmit timers arm, the\n"
+      "price of surviving injected drops.\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   cxu::Options opt(argc, argv);
   bench::trace_from_options(opt);
   const int messages = static_cast<int>(opt.get_int("messages", 1000));
+  if (opt.get_bool("ft", false)) return run_ft_mode(messages);
 
   std::printf(
       "micro_messaging: same-PE sends with/without the by-reference\n"

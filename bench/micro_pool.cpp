@@ -21,9 +21,12 @@ int main(int argc, char** argv) {
 
   std::printf("micro_pool: distributed map throughput, %d tasks/job\n\n",
               tasks);
-  cxu::Table table({"workers", "noop tasks/s", "20us-task tasks/s"});
+  cxu::Table table({"workers", "noop tasks/s", "20us-task tasks/s",
+                    "alive", "heartbeats"});
   for (int pes : {2, 3, 5}) {
     double noop_rate = 0.0, grain_rate = 0.0;
+    std::size_t alive = 0;
+    long long heartbeats = 0;
     cx::RuntimeConfig cfg;
     cfg.machine.num_pes = pes;
     cx::Runtime rt(cfg);
@@ -41,10 +44,18 @@ int main(int argc, char** argv) {
         (void)pool.map("grain", pes - 1, items);
         grain_rate = tasks / sw.elapsed();
       }
+      // Liveness report: heartbeat counters piggyback on the task
+      // requests the workers sent anyway (zero extra messages).
+      const cpy::Value live = pool.liveness();
+      alive = live.as_dict().size();
+      for (const auto& [pe, hb] : live.as_dict()) {
+        heartbeats += hb.as_int();
+      }
       cx::exit();
     });
     table.add_row({std::to_string(pes - 1), cxu::Table::num(noop_rate, 0),
-                   cxu::Table::num(grain_rate, 0)});
+                   cxu::Table::num(grain_rate, 0), std::to_string(alive),
+                   std::to_string(heartbeats)});
   }
   table.print();
   std::printf(

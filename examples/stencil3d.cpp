@@ -15,6 +15,7 @@
 #include "apps/stencil/stencil_cpy.hpp"
 #include "apps/stencil/stencil_cx.hpp"
 #include "apps/stencil/stencil_mpi.hpp"
+#include "ft/fault.hpp"
 #include "trace/trace.hpp"
 #include "util/options.hpp"
 
@@ -47,10 +48,20 @@ int main(int argc, char** argv) {
   machine.backend = opt.get_string("backend", "threaded") == "sim"
                         ? cxm::Backend::Sim
                         : cxm::Backend::Threaded;
+  // Fault injection / reliable delivery (cx::ft): --ft-drop, --ft-dup,
+  // --ft-delay, --ft-seed, --ft-crash-pe/--ft-crash-at, ...
+  machine.faults = cx::ft::fault_config_from_options(opt);
+  p.ckpt_every =
+      static_cast<int>(opt.get_int("ft-checkpoint-every", 0));
   p.num_load_groups = static_cast<int>(
       opt.get_int("groups", machine.num_pes));
 
   const std::string variant = opt.get_string("variant", "cx");
+  if (p.ckpt_every > 0 && variant != "cx") {
+    std::fprintf(stderr,
+                 "--ft-checkpoint-every is only supported by --variant cx\n");
+    return 1;
+  }
   stencil::Result r;
   if (variant == "cx") {
     r = stencil::run_cx(p, machine, opt.get_string("strategy", "greedy"));

@@ -58,6 +58,12 @@ struct Params {
 
   int lb_period = 0;  ///< AtSync every N iterations (0 = off)
 
+  /// cx::ft: checkpoint every N iterations (0 = off). The cx variant
+  /// then runs in phases of N iterations with a collective checkpoint
+  /// between phases, and rolls back to the last checkpoint when a PE
+  /// dies mid-phase.
+  int ckpt_every = 0;
+
   void pup(pup::Er& p) {
     p | geo;
     p | iterations;
@@ -67,6 +73,7 @@ struct Params {
     p | num_load_groups;
     p | imb_drift;
     p | lb_period;
+    p | ckpt_every;
   }
 };
 

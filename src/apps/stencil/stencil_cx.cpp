@@ -1,7 +1,9 @@
 #include "apps/stencil/stencil_cx.hpp"
 
 #include <algorithm>
+#include <optional>
 
+#include "ft/ft.hpp"
 #include "util/timer.hpp"
 
 namespace stencil {
@@ -31,6 +33,18 @@ CxBlock::CxBlock(Params p) : params(std::move(p)) {
 
 void CxBlock::start(cx::Callback done) {
   done_cb = done;
+  phase_end = params.iterations;
+  begin_iteration();
+}
+
+void CxBlock::start_until(cx::Callback done, int until) {
+  done_cb = done;
+  phase_end = until;
+  if (iter >= phase_end) {
+    // Barrier broadcast (until == current iteration): just reduce.
+    contribute(block_checksum(), cx::reducer::sum<double>(), done_cb);
+    return;
+  }
   begin_iteration();
 }
 
@@ -85,7 +99,7 @@ void CxBlock::advance() {
   }
   got = 0;
   ++iter;
-  if (iter >= params.iterations) {
+  if (iter >= phase_end) {
     contribute(block_checksum(), cx::reducer::sum<double>(), done_cb);
     return;
   }
@@ -108,6 +122,7 @@ void CxBlock::pup(pup::Er& p) {
   p | iter;
   p | got;
   p | expected;
+  p | phase_end;
   done_cb.pup(p);
 }
 
@@ -122,10 +137,43 @@ Result run_cx(const Params& p, const cxm::MachineConfig& machine,
   rt.run([&] {
     auto arr = cx::create_array<CxBlock>(
         {p.geo.bx, p.geo.by, p.geo.bz}, p);
-    auto f = cx::make_future<double>();
     wall0 = cxu::wall_time();
-    arr.broadcast<&CxBlock::start>(cx::cb(f));
-    result.checksum = f.get();
+    if (p.ckpt_every > 0) {
+      // Phased run with cx::ft checkpointing: a barrier makes sure every
+      // element exists, then each phase of ckpt_every iterations ends in
+      // a collective checkpoint. A PE death mid-phase (scripted crash or
+      // retransmit give-up) is detected by the phase future timing out;
+      // the driver rolls everyone back and re-runs the phase.
+      {
+        auto barrier = cx::make_future<double>();
+        arr.broadcast<&CxBlock::start_until>(cx::cb(barrier), 0);
+        (void)barrier.get();
+      }
+      (void)cx::ft::checkpoint();
+      int done_iters = 0;
+      double sum = 0.0;
+      while (done_iters < p.iterations) {
+        const int until = std::min(done_iters + p.ckpt_every,
+                                   p.iterations);
+        auto f = cx::make_future<double>();
+        arr.broadcast<&CxBlock::start_until>(cx::cb(f), until);
+        std::optional<double> phase;
+        while (!(phase = f.get_for(1.0))) {
+          if (cx::ft::failed_pes().empty()) continue;  // slow, not dead
+          cx::ft::restore();
+          f = cx::make_future<double>();
+          arr.broadcast<&CxBlock::start_until>(cx::cb(f), until);
+        }
+        sum = *phase;
+        done_iters = until;
+        if (done_iters < p.iterations) (void)cx::ft::checkpoint();
+      }
+      result.checksum = sum;
+    } else {
+      auto f = cx::make_future<double>();
+      arr.broadcast<&CxBlock::start>(cx::cb(f));
+      result.checksum = f.get();
+    }
     wall1 = cxu::wall_time();
     cx::exit();
   });

@@ -20,6 +20,11 @@ class CxBlock : public cx::Chare {
   /// to `done` after the last iteration.
   void start(cx::Callback done);
 
+  /// Phased variant (cx::ft checkpointing): iterate until `iter` reaches
+  /// `until`, then contribute the checksum to `done`. Broadcasting with
+  /// until == iter acts as a pure barrier/reduction.
+  void start_until(cx::Callback done, int until);
+
   /// Ghost-face delivery, guarded by when(iter == this->iter).
   void recv_ghost(int iter, int face, std::vector<double> data);
 
@@ -32,6 +37,7 @@ class CxBlock : public cx::Chare {
   int iter = 0;
   int got = 0;
   int expected = 0;
+  int phase_end = 0;  ///< iteration this phase stops at (see start_until)
   cx::Callback done_cb;
 
  private:

@@ -9,8 +9,14 @@
 // get() suspends the calling fiber — the PE keeps scheduling other work
 // while waiting, so blocking a future never blocks the process (§II-D).
 // get() must run on the creating PE inside a threaded entry method.
+//
+// get_for(timeout) is the fault-aware variant (cx::ft): it gives up after
+// `timeout` seconds of backend time (virtual under the simulator, wall
+// under threads) so a caller can detect a dead producer and degrade
+// gracefully instead of hanging.
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "core/ids.hpp"
@@ -22,6 +28,8 @@ namespace detail {
 // Implemented in runtime.cpp.
 ReplyTo make_future_slot();
 std::vector<std::byte> future_get_bytes(const ReplyTo& f);
+std::optional<std::vector<std::byte>> future_get_bytes_for(const ReplyTo& f,
+                                                           double timeout_s);
 bool future_ready(const ReplyTo& f);
 void future_send_bytes(const ReplyTo& f, std::vector<std::byte>&& bytes);
 }  // namespace detail
@@ -36,6 +44,15 @@ class Future {
   [[nodiscard]] T get() const {
     auto bytes = detail::future_get_bytes(slot_);
     return pup::from_bytes<T>(bytes);
+  }
+
+  /// Like get(), but give up after `timeout_s` seconds of backend time.
+  /// Returns nullopt on timeout; the future stays valid and may still
+  /// be fulfilled (and get()/get_for() retried) later.
+  [[nodiscard]] std::optional<T> get_for(double timeout_s) const {
+    auto bytes = detail::future_get_bytes_for(slot_, timeout_s);
+    if (!bytes.has_value()) return std::nullopt;
+    return pup::from_bytes<T>(*bytes);
   }
 
   /// Fulfill the future from anywhere (routed to the creating PE).
@@ -66,6 +83,10 @@ class Future<void> {
   explicit Future(const ReplyTo& slot) : slot_(slot) {}
 
   void get() const { (void)detail::future_get_bytes(slot_); }
+  /// True if the completion arrived within `timeout_s` seconds.
+  [[nodiscard]] bool get_for(double timeout_s) const {
+    return detail::future_get_bytes_for(slot_, timeout_s).has_value();
+  }
   void send() const { detail::future_send_bytes(slot_, {}); }
   [[nodiscard]] bool ready() const { return detail::future_ready(slot_); }
   [[nodiscard]] const ReplyTo& slot() const noexcept { return slot_; }

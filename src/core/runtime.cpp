@@ -1,10 +1,12 @@
 #include "core/runtime.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <cassert>
 #include <map>
 #include <optional>
+#include <set>
 #include <stdexcept>
 #include <unordered_map>
 #include <vector>
@@ -16,6 +18,7 @@
 #include "core/registry.hpp"
 #include "core/send_iface.hpp"
 #include "fiber/fiber.hpp"
+#include "ft/ft.hpp"
 #include "machine/sim_machine.hpp"
 #include "trace/trace.hpp"
 #include "util/log.hpp"
@@ -233,9 +236,119 @@ struct CreateHeader {
   }
 };
 
+// ---- cx::ft wire headers -------------------------------------------------
+
+struct FtFailureHeader {
+  cx::ft::PeFailure failure;
+  void pup(pup::Er& p) { p | failure; }
+};
+
+struct CkptHeader {
+  std::uint64_t epoch = 0;
+  ReplyTo reply;  ///< resolved when all PEs have stored their blob
+  void pup(pup::Er& p) {
+    p | epoch;
+    p | reply;
+  }
+};
+
+struct CkptAckHeader {
+  std::uint64_t epoch = 0;
+  ReplyTo reply;
+  void pup(pup::Er& p) {
+    p | epoch;
+    p | reply;
+  }
+};
+
+struct RestoreHeader {
+  std::uint64_t epoch = 0;
+  ReplyTo reply;
+  void pup(pup::Er& p) {
+    p | epoch;
+    p | reply;
+  }
+};
+
+struct RestoreAckHeader {
+  ReplyTo reply;
+  void pup(pup::Er& p) { p | reply; }
+};
+
+// ---- cx::ft checkpoint blobs ---------------------------------------------
+// One PeBlob captures everything the scheduler owns on one PE. Iteration
+// order of the live unordered_maps is not deterministic, so every list is
+// sorted before packing — a fault-free run and a restored run must produce
+// byte-identical blobs (the tests compare digests).
+
+struct ElementBlob {
+  Index idx;
+  std::uint32_t red_no = 0;
+  std::vector<std::byte> state;  ///< the chare's own pup()
+  void pup(pup::Er& p) {
+    p | idx;
+    p | red_no;
+    p | state;
+  }
+};
+
+struct OverrideBlob {
+  Index idx;
+  std::int32_t pe = 0;
+  void pup(pup::Er& p) {
+    p | idx;
+    p | pe;
+  }
+};
+
+struct CollBlob {
+  CollectionInfo info;
+  std::vector<ElementBlob> elements;    ///< sorted by Index
+  std::vector<OverrideBlob> overrides;  ///< sorted by Index
+  void pup(pup::Er& p) {
+    p | info;
+    p | elements;
+    p | overrides;
+  }
+};
+
+struct RedBlob {
+  CollectionId coll = kInvalidCollection;
+  std::uint32_t red_no = 0;
+  std::uint64_t count = 0;
+  bool has_acc = false;
+  std::vector<std::byte> acc;
+  CombineId combiner = kNoCombine;
+  Callback cb;
+  void pup(pup::Er& p) {
+    p | coll;
+    p | red_no;
+    p | count;
+    p | has_acc;
+    p | acc;
+    p | combiner;
+    p | cb;
+  }
+};
+
+struct PeBlob {
+  std::vector<CollBlob> colls;     ///< sorted by collection id
+  std::vector<RedBlob> reductions; ///< red_root is a std::map: already ordered
+  std::uint64_t created = 0;
+  std::uint64_t processed = 0;
+  FutureId next_future = 0;
+  void pup(pup::Er& p) {
+    p | colls;
+    p | reductions;
+    p | created;
+    p | processed;
+    p | next_future;
+  }
+};
+
 // In-process (same-PE) payloads: the zero-serialization fast path.
 struct LocalEnvelope {
-  enum class Kind { Entry, Resume, Start } kind = Kind::Entry;
+  enum class Kind { Entry, Resume, Start, Timer } kind = Kind::Entry;
   // Entry:
   CollectionId coll = kInvalidCollection;
   Index idx;
@@ -248,6 +361,8 @@ struct LocalEnvelope {
   Fiber* fiber = nullptr;
   // Start:
   std::function<void()> fn;
+  // Timer (Future::get_for deadline; delivered via Machine::send_after):
+  std::uint64_t timer_token = 0;
 };
 
 template <typename H>
@@ -331,6 +446,10 @@ struct PeState {
   std::unordered_map<CollectionId, int> size_acks;
   std::uint64_t created = 0;    ///< app messages sent from this PE
   std::uint64_t processed = 0;  ///< app messages handled on this PE
+  /// Armed Future::get_for deadlines: token -> suspended fiber. A timer
+  /// whose token is gone (value arrived first) is a no-op on delivery.
+  std::unordered_map<std::uint64_t, Fiber*> timer_waiters;
+  std::uint64_t next_timer_token = 0;
 };
 
 }  // namespace
@@ -352,7 +471,9 @@ struct Runtime::Impl {
                 h_loc = 0, h_insert = 0, h_done_inserting = 0,
                 h_insert_count = 0, h_set_size = 0, h_size_ack = 0,
                 h_lb_sync = 0, h_lb_cmd = 0, h_lb_ack = 0, h_lb_resume = 0,
-                h_qd_start = 0, h_qd_probe = 0, h_qd_reply = 0;
+                h_qd_start = 0, h_qd_probe = 0, h_qd_reply = 0,
+                h_ft_failure = 0, h_ckpt = 0, h_ckpt_ack = 0, h_restore = 0,
+                h_restore_ack = 0;
 
   // LB coordinator state (touched on PE 0 only).
   struct LbCollState {
@@ -374,6 +495,19 @@ struct Runtime::Impl {
   };
   QdState qd;
 
+  // Fault-tolerance coordinator state. Touched only on the PE that
+  // drives it: failure bookkeeping and callbacks on PE 0 (the failure
+  // listener routes every detection there), ack counting on whichever
+  // PE called checkpoint()/restore() — one collective at a time.
+  struct FtState {
+    std::set<int> failed;
+    std::vector<std::function<void(const cx::ft::PeFailure&)>> callbacks;
+    std::uint64_t next_epoch = 0;
+    std::map<std::uint64_t, int> ckpt_acks;  ///< epoch -> PEs stored
+    int restore_acks = 0;
+  };
+  FtState ftst;
+
   explicit Impl(RuntimeConfig c) : cfg(std::move(c)) {
     machine = cxm::make_machine(cfg.machine);
     P = machine->num_pes();
@@ -381,6 +515,14 @@ struct Runtime::Impl {
     pes.reserve(static_cast<std::size_t>(P));
     for (int i = 0; i < P; ++i) pes.push_back(std::make_unique<PeState>());
     register_handlers();
+    cx::ft::CheckpointStore::instance().reset(P);
+    machine->set_failure_listener([this](const cx::ft::PeFailure& f) {
+      // Route every detection (scripted crash, inject_kill, retransmit
+      // give-up) to PE 0's scheduler as an uncounted control message.
+      FtFailureHeader h;
+      h.failure = f;
+      raw_send(make_msg(h_ft_failure, 0, header_bytes(h)));
+    });
   }
 
   [[nodiscard]] int mype() const { return machine->current_pe(); }
@@ -852,6 +994,11 @@ struct Runtime::Impl {
   void on_qd_start(MessagePtr msg);
   void on_qd_probe(MessagePtr msg);
   void on_qd_reply(MessagePtr msg);
+  void on_ft_failure(MessagePtr msg);
+  void on_ckpt(MessagePtr msg);
+  void on_ckpt_ack(MessagePtr msg);
+  void on_restore(MessagePtr msg);
+  void on_restore_ack(MessagePtr msg);
 };
 
 void Runtime::Impl::register_handlers() {
@@ -880,11 +1027,29 @@ void Runtime::Impl::register_handlers() {
   h_qd_start = reg(&Impl::on_qd_start);
   h_qd_probe = reg(&Impl::on_qd_probe);
   h_qd_reply = reg(&Impl::on_qd_reply);
+  // ft handlers stay at the end: earlier ids are wire-stable across the
+  // pre-ft message-count baselines.
+  h_ft_failure = reg(&Impl::on_ft_failure);
+  h_ckpt = reg(&Impl::on_ckpt);
+  h_ckpt_ack = reg(&Impl::on_ckpt_ack);
+  h_restore = reg(&Impl::on_restore);
+  h_restore_ack = reg(&Impl::on_restore_ack);
 }
 
 void Runtime::Impl::on_local(MessagePtr msg) {
-  me().processed++;
   auto* env = static_cast<LocalEnvelope*>(msg->local.get());
+  if (env->kind == LocalEnvelope::Kind::Timer) {
+    // Timers ride on Machine::send_after, which is uncounted: no
+    // processed++ here, or quiescence detection would never settle.
+    auto& ps = me();
+    const auto it = ps.timer_waiters.find(env->timer_token);
+    if (it == ps.timer_waiters.end()) return;  // disarmed: value arrived
+    Fiber* f = it->second;
+    ps.timer_waiters.erase(it);
+    resume_fiber(f);
+    return;
+  }
+  me().processed++;
   switch (env->kind) {
     case LocalEnvelope::Kind::Start:
       run_fiber(std::move(env->fn), nullptr);
@@ -919,6 +1084,8 @@ void Runtime::Impl::on_local(MessagePtr msg) {
       }
       return;
     }
+    case LocalEnvelope::Kind::Timer:
+      return;  // handled above
   }
 }
 
@@ -1347,6 +1514,174 @@ void Runtime::Impl::on_qd_reply(MessagePtr msg) {
   qd_start_wave();
 }
 
+// ---- cx::ft handlers (all uncounted control traffic: no processed++) -----
+
+void Runtime::Impl::on_ft_failure(MessagePtr msg) {
+  FtFailureHeader h = pup::from_bytes<FtFailureHeader>(msg->data);
+  const int pe = h.failure.pe;
+  if (pe < 0 || pe >= P) return;
+  if (!ftst.failed.insert(pe).second) return;  // already known
+  CX_LOG_WARN("cx::ft: PE ", pe, " failed (",
+              cx::ft::failure_kind_name(h.failure.kind),
+              ") at t=", h.failure.time);
+  // Its local checkpoint memory died with it; the buddy copy remains.
+  cx::ft::CheckpointStore::instance().drop_primary(pe);
+  auto cbs = ftst.callbacks;  // a callback may register further callbacks
+  for (auto& cb : cbs) cb(h.failure);
+}
+
+void Runtime::Impl::on_ckpt(MessagePtr msg) {
+  CkptHeader h = pup::from_bytes<CkptHeader>(msg->data);
+  auto& ps = me();
+  PeBlob blob;
+  blob.created = ps.created;
+  blob.processed = ps.processed;
+  blob.next_future = ps.next_future;
+  std::vector<CollectionId> cids;
+  cids.reserve(ps.colls.size());
+  for (auto& [cid, cm] : ps.colls) cids.push_back(cid);
+  std::sort(cids.begin(), cids.end());
+  for (const CollectionId cid : cids) {
+    CollMeta& cm = ps.colls.at(cid);
+    CollBlob cb;
+    cb.info = cm.info;
+    std::vector<Index> order;
+    order.reserve(cm.elements.size());
+    for (auto& [idx, obj] : cm.elements) order.push_back(idx);
+    std::sort(order.begin(), order.end());
+    for (const Index& idx : order) {
+      Chare* obj = cm.elements.at(idx).get();
+      ElementBlob eb;
+      eb.idx = idx;
+      eb.red_no = obj->red_no_;
+      pup::Sizer sz;
+      obj->pup(sz);
+      eb.state.resize(sz.size());
+      pup::Packer pk(eb.state.data(), eb.state.size());
+      obj->pup(pk);
+      cb.elements.push_back(std::move(eb));
+    }
+    order.clear();
+    for (auto& [idx, pe] : cm.overrides) order.push_back(idx);
+    std::sort(order.begin(), order.end());
+    for (const Index& idx : order) {
+      cb.overrides.push_back({idx, cm.overrides.at(idx)});
+    }
+    blob.colls.push_back(std::move(cb));
+  }
+  for (auto& [key, rs] : ps.red_root) {
+    RedBlob rb;
+    rb.coll = key.first;
+    rb.red_no = key.second;
+    rb.count = rs.count;
+    rb.has_acc = rs.has_acc;
+    rb.acc = rs.acc;
+    rb.combiner = rs.combiner;
+    rb.cb = rs.cb;
+    blob.reductions.push_back(std::move(rb));
+  }
+  auto bytes = pup::to_bytes(blob);
+  CX_TRACE_EVENT(mype(), machine->now(), cx::trace::EventKind::FtCheckpoint,
+                 h.epoch, bytes.size());
+  cx::ft::CheckpointStore::instance().store(mype(), h.epoch,
+                                            std::move(bytes));
+  CkptAckHeader a;
+  a.epoch = h.epoch;
+  a.reply = h.reply;
+  raw_send(make_msg(h_ckpt_ack, h.reply.pe, header_bytes(a)));
+}
+
+void Runtime::Impl::on_ckpt_ack(MessagePtr msg) {
+  CkptAckHeader h = pup::from_bytes<CkptAckHeader>(msg->data);
+  if (++ftst.ckpt_acks[h.epoch] < P) return;
+  ftst.ckpt_acks.erase(h.epoch);
+  send_future_bytes(h.reply, {});
+}
+
+void Runtime::Impl::on_restore(MessagePtr msg) {
+  RestoreHeader h = pup::from_bytes<RestoreHeader>(msg->data);
+  auto& ps = me();
+  // Discard post-checkpoint scheduler state. Futures and live fibers
+  // survive: the restore driver itself is suspended on one.
+  ps.colls.clear();
+  ps.stash.clear();
+  ps.red_root.clear();
+  ps.bcast_done_root.clear();
+  ps.ins_count.clear();
+  ps.size_acks.clear();
+  if (mype() == 0) {
+    lb.clear();
+    qd = QdState{};
+  }
+  const auto bytes = cx::ft::CheckpointStore::instance().latest(mype());
+  if (!bytes.empty()) {
+    PeBlob blob = pup::from_bytes<PeBlob>(bytes);
+    for (auto& cb : blob.colls) {
+      CollMeta& cm = ps.colls[cb.info.id];
+      cm.info = cb.info;
+      const auto& fac = Registry::instance().factory(cb.info.ctor);
+      if (fac.construct_default == nullptr) {
+        CX_LOG_ERROR("chare type of collection ", cb.info.id,
+                     " is not default-constructible; cannot restore");
+        throw std::logic_error(
+            "restore requires default-constructible chares");
+      }
+      for (auto& eb : cb.elements) {
+        t_staged_coll = cb.info.id;
+        t_staged_idx = eb.idx;
+        Chare* obj = fac.construct_default();
+        t_staged_coll = kInvalidCollection;
+        pup::Unpacker u(eb.state.data(), eb.state.size());
+        obj->pup(u);
+        obj->red_no_ = eb.red_no;
+        obj->load_ = 0.0;
+        cm.elements[eb.idx].reset(obj);
+        obj->on_migrated();
+      }
+      for (auto& ob : cb.overrides) cm.overrides[ob.idx] = ob.pe;
+    }
+    for (auto& rb : blob.reductions) {
+      RedState rs;
+      rs.count = rb.count;
+      rs.has_acc = rb.has_acc;
+      rs.acc = rb.acc;
+      rs.combiner = rb.combiner;
+      rs.cb = rb.cb;
+      ps.red_root[{rb.coll, rb.red_no}] = std::move(rs);
+    }
+    // Roll the quiescence counters back too, so created/processed match
+    // a run that never diverged from this checkpoint.
+    ps.created = blob.created;
+    ps.processed = blob.processed;
+    // Same for the future-id counter: element state PUPs callbacks,
+    // which embed future ids, so a restored run must re-issue the ids a
+    // never-diverged run would (the digest tests compare them). Stale
+    // post-checkpoint slots are dropped; a slot with a suspended waiter
+    // (the restore ack the driver itself blocks on) survives, and
+    // make_future_slot skips over any survivor when reallocating.
+    for (auto it = ps.futures.begin(); it != ps.futures.end();) {
+      if (it->first > blob.next_future && it->second.waiter == nullptr) {
+        it = ps.futures.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    ps.next_future = blob.next_future;
+  }
+  CX_TRACE_EVENT(mype(), machine->now(), cx::trace::EventKind::FtRestore,
+                 h.epoch, bytes.size());
+  RestoreAckHeader a;
+  a.reply = h.reply;
+  raw_send(make_msg(h_restore_ack, h.reply.pe, header_bytes(a)));
+}
+
+void Runtime::Impl::on_restore_ack(MessagePtr msg) {
+  RestoreAckHeader h = pup::from_bytes<RestoreAckHeader>(msg->data);
+  if (++ftst.restore_acks < P) return;
+  ftst.restore_acks = 0;
+  send_future_bytes(h.reply, {});
+}
+
 // ---------------------------------------------------------------------------
 // Runtime public API
 
@@ -1617,7 +1952,11 @@ ReplyTo make_future_slot() {
   auto& ps = I.me();
   ReplyTo r;
   r.pe = I.mype();
-  r.fid = ++ps.next_future;
+  // Skip ids still occupied: after a restore rolls next_future back, a
+  // slot with a suspended waiter may sit above the counter.
+  do {
+    r.fid = ++ps.next_future;
+  } while (ps.futures.count(r.fid) != 0);
   return r;
 }
 
@@ -1639,6 +1978,61 @@ std::vector<std::byte> future_get_bytes(const ReplyTo& f) {
   }
 }
 
+std::optional<std::vector<std::byte>> future_get_bytes_for(const ReplyTo& f,
+                                                           double timeout_s) {
+  auto& I = Runtime::current().impl();
+  if (f.pe != I.mype()) {
+    throw std::logic_error("Future::get_for() must run on the creating PE");
+  }
+  {
+    auto& slot = I.me().futures[f.fid];
+    if (slot.value.has_value()) return *slot.value;
+  }
+  Fiber* cur = Fiber::current();
+  if (cur == nullptr) {
+    throw std::logic_error(
+        "Future::get_for() requires a threaded entry method");
+  }
+  // Arm a deadline: an uncounted self-timer delivered via send_after.
+  auto& ps = I.me();
+  const std::uint64_t token = ++ps.next_timer_token;
+  ps.timer_waiters[token] = cur;
+  {
+    LocalEnvelope env;
+    env.kind = LocalEnvelope::Kind::Timer;
+    env.timer_token = token;
+    auto m = std::make_unique<Message>();
+    m->handler = I.h_local;
+    m->dst_pe = I.mype();
+    m->local = std::make_shared<LocalEnvelope>(std::move(env));
+    m->local_size = 0;
+    I.machine->send_after(std::move(m), timeout_s);
+  }
+  for (;;) {
+    {
+      // Re-acquire the slot each pass: the map may rehash while we
+      // are suspended (same discipline as future_get_bytes).
+      auto& slot = I.me().futures[f.fid];
+      if (slot.value.has_value()) {
+        // Disarm: the timer event may still fire, but its token lookup
+        // will miss and the delivery no-ops.
+        I.me().timer_waiters.erase(token);
+        return *slot.value;
+      }
+      slot.waiter = cur;
+    }
+    Fiber::yield();
+    if (I.me().timer_waiters.count(token) == 0) {
+      // The deadline fired (it erased its own token before resuming us).
+      auto& slot = I.me().futures[f.fid];
+      if (slot.value.has_value()) return *slot.value;  // lost race: value won
+      // Timed out: a later fulfill must not resume a recycled fiber.
+      slot.waiter = nullptr;
+      return std::nullopt;
+    }
+  }
+}
+
 bool future_ready(const ReplyTo& f) {
   auto& I = Runtime::current().impl();
   if (f.pe != I.mype()) return false;
@@ -1651,5 +2045,69 @@ void future_send_bytes(const ReplyTo& f, std::vector<std::byte>&& bytes) {
 }
 
 }  // namespace detail
+
+// ---------------------------------------------------------------------------
+// cx::ft public API (declared in ft/ft.hpp; lives here because the
+// collectives must walk the scheduler's live per-PE state)
+
+namespace ft {
+
+std::uint64_t checkpoint() {
+  auto& I = Runtime::current().impl();
+  const std::uint64_t epoch = ++I.ftst.next_epoch;
+  const ReplyTo reply = detail::make_future_slot();
+  CkptHeader h;
+  h.epoch = epoch;
+  h.reply = reply;
+  for (int pe = 0; pe < I.P; ++pe) {
+    I.raw_send(I.make_msg(I.h_ckpt, pe, header_bytes(h)));
+  }
+  (void)detail::future_get_bytes(reply);  // blocks the driver fiber
+  I.me().futures.erase(reply.fid);  // one-shot internal slot
+  return epoch;
+}
+
+void restore() {
+  auto& I = Runtime::current().impl();
+  const std::uint64_t epoch = CheckpointStore::instance().latest_epoch();
+  if (epoch == 0) {
+    throw std::logic_error("cx::ft::restore(): no checkpoint to restore");
+  }
+  // Bring dead PEs back first so the restore collective reaches them.
+  const std::vector<int> dead(I.ftst.failed.begin(), I.ftst.failed.end());
+  for (const int pe : dead) I.machine->revive_pe(pe);
+  I.ftst.failed.clear();
+  const ReplyTo reply = detail::make_future_slot();
+  RestoreHeader h;
+  h.epoch = epoch;
+  h.reply = reply;
+  for (int pe = 0; pe < I.P; ++pe) {
+    I.raw_send(I.make_msg(I.h_restore, pe, header_bytes(h)));
+  }
+  (void)detail::future_get_bytes(reply);
+  // Release the ack slot: with next_future rolled back to the checkpoint
+  // value, the id must be reusable or post-restore allocations would
+  // diverge from a never-diverged run's.
+  I.me().futures.erase(reply.fid);
+}
+
+std::uint64_t checkpoint_digest() {
+  return CheckpointStore::instance().digest();
+}
+
+void set_checkpoint_dir(const std::string& dir) {
+  CheckpointStore::instance().set_disk_dir(dir);
+}
+
+void on_failure(std::function<void(const PeFailure&)> cb) {
+  Runtime::current().impl().ftst.callbacks.push_back(std::move(cb));
+}
+
+std::vector<int> failed_pes() {
+  const auto& failed = Runtime::current().impl().ftst.failed;
+  return {failed.begin(), failed.end()};
+}
+
+}  // namespace ft
 
 }  // namespace cx

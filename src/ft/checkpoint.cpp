@@ -1,0 +1,96 @@
+#include "ft/checkpoint.hpp"
+
+#include <fstream>
+
+namespace cx::ft {
+
+std::uint64_t fnv1a(const void* data, std::size_t n,
+                    std::uint64_t h) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+CheckpointStore& CheckpointStore::instance() {
+  static CheckpointStore store;
+  return store;
+}
+
+void CheckpointStore::reset(int num_pes) {
+  std::lock_guard<std::mutex> lk(mu_);
+  num_pes_ = num_pes;
+  epoch_ = 0;
+  primary_.assign(static_cast<std::size_t>(num_pes), {});
+  buddy_.assign(static_cast<std::size_t>(num_pes), {});
+  blob_epoch_.assign(static_cast<std::size_t>(num_pes), 0);
+}
+
+void CheckpointStore::store(int pe, std::uint64_t epoch,
+                            std::vector<std::byte> blob) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (pe < 0 || pe >= num_pes_) return;
+  buddy_[static_cast<std::size_t>(pe)] = blob;  // "on" (pe+1) % P
+  blob_epoch_[static_cast<std::size_t>(pe)] = epoch;
+  if (epoch > epoch_) epoch_ = epoch;
+  if (!disk_dir_.empty()) {
+    const std::string path = disk_dir_ + "/ckpt_e" + std::to_string(epoch) +
+                             "_pe" + std::to_string(pe) + ".bin";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (out) {
+      out.write(reinterpret_cast<const char*>(blob.data()),
+                static_cast<std::streamsize>(blob.size()));
+    }
+  }
+  primary_[static_cast<std::size_t>(pe)] = std::move(blob);
+}
+
+std::uint64_t CheckpointStore::latest_epoch() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return epoch_;
+}
+
+std::vector<std::byte> CheckpointStore::latest(int pe) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (pe < 0 || pe >= num_pes_) return {};
+  const auto i = static_cast<std::size_t>(pe);
+  if (!primary_[i].empty()) return primary_[i];
+  return buddy_[i];
+}
+
+void CheckpointStore::drop_primary(int pe) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (pe < 0 || pe >= num_pes_) return;
+  primary_[static_cast<std::size_t>(pe)].clear();
+  primary_[static_cast<std::size_t>(pe)].shrink_to_fit();
+}
+
+std::uint64_t CheckpointStore::digest() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (int pe = 0; pe < num_pes_; ++pe) {
+    const auto i = static_cast<std::size_t>(pe);
+    const auto& blob = primary_[i].empty() ? buddy_[i] : primary_[i];
+    const std::uint64_t n = blob.size();
+    h = fnv1a(&n, sizeof(n), h);
+    h = fnv1a(blob.data(), blob.size(), h);
+  }
+  return h;
+}
+
+void CheckpointStore::set_disk_dir(std::string dir) {
+  std::lock_guard<std::mutex> lk(mu_);
+  disk_dir_ = std::move(dir);
+}
+
+void CheckpointStore::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& b : primary_) b.clear();
+  for (auto& b : buddy_) b.clear();
+  for (auto& e : blob_epoch_) e = 0;
+  epoch_ = 0;
+}
+
+}  // namespace cx::ft

@@ -1,0 +1,71 @@
+#pragma once
+// cx::ft checkpoint storage — in-memory double checkpointing in the
+// style of Charm++'s buddy scheme, scaled to our single-process
+// backends. Every PE's PUPed state blob is stored twice: a "primary"
+// copy owned by the PE itself and a "buddy" copy conceptually held by
+// PE (pe+1) % P. When a PE crashes, the runtime drops its primary copy
+// (that memory died with the PE) and the restore path reads the buddy
+// copy instead — so a restart survives exactly one failed PE per buddy
+// pair, matching the in-memory double-checkpoint guarantee.
+//
+// An optional on-disk snapshot mirrors each blob to
+// <dir>/ckpt_e<epoch>_pe<pe>.bin for post-mortem inspection.
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cx::ft {
+
+/// FNV-1a 64-bit; used for checkpoint digests (cheap, deterministic,
+/// and good enough to detect state divergence in tests).
+std::uint64_t fnv1a(const void* data, std::size_t n,
+                    std::uint64_t h = 0xcbf29ce484222325ULL) noexcept;
+
+class CheckpointStore {
+ public:
+  /// Process-wide store (both backends run in one process; a real
+  /// distributed port would shard this per node).
+  static CheckpointStore& instance();
+
+  /// Forget everything and size for a fresh machine of `num_pes`.
+  void reset(int num_pes);
+
+  /// Record PE `pe`'s state blob for checkpoint `epoch`: primary copy
+  /// plus buddy copy on (pe+1) % P, plus the optional disk mirror.
+  void store(int pe, std::uint64_t epoch, std::vector<std::byte> blob);
+
+  /// Latest fully-stored epoch (0 = no checkpoint yet).
+  [[nodiscard]] std::uint64_t latest_epoch() const;
+
+  /// PE `pe`'s blob from the latest epoch: the primary copy when it
+  /// survived, else the buddy copy. Returns an empty vector when the
+  /// PE has no checkpoint at all.
+  [[nodiscard]] std::vector<std::byte> latest(int pe) const;
+
+  /// Simulate the loss of a crashed PE's local checkpoint memory; the
+  /// buddy copy becomes the only source for restore.
+  void drop_primary(int pe);
+
+  /// Digest over every PE's latest blob (buddy fallback included) —
+  /// equal digests mean equal checkpointed runtime state.
+  [[nodiscard]] std::uint64_t digest() const;
+
+  /// Enable/disable the on-disk mirror ("" disables).
+  void set_disk_dir(std::string dir);
+
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  int num_pes_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::vector<std::vector<std::byte>> primary_;  ///< [pe] -> blob
+  std::vector<std::vector<std::byte>> buddy_;    ///< [pe] -> blob of pe
+  std::vector<std::uint64_t> blob_epoch_;        ///< [pe] -> epoch stored
+  std::string disk_dir_;
+};
+
+}  // namespace cx::ft

@@ -1,0 +1,40 @@
+#include "ft/fault.hpp"
+
+#include "util/options.hpp"
+
+namespace cx::ft {
+
+const char* failure_kind_name(FailureKind k) noexcept {
+  switch (k) {
+    case FailureKind::Crashed:
+      return "crashed";
+    case FailureKind::Unreachable:
+      return "unreachable";
+    case FailureKind::Hung:
+      return "hung";
+  }
+  return "unknown";
+}
+
+FaultConfig fault_config_from_options(const cxu::Options& opt) {
+  FaultConfig cfg;
+  cfg.seed = opt.get_seed("ft-seed", cfg.seed);
+  cfg.drop = opt.get_prob("ft-drop", cfg.drop);
+  cfg.dup = opt.get_prob("ft-dup", cfg.dup);
+  cfg.delay = opt.get_prob("ft-delay", cfg.delay);
+  cfg.delay_s = opt.get_double("ft-delay-ms", cfg.delay_s * 1e3) * 1e-3;
+  // Injecting faults without reliable delivery hangs most programs (a
+  // lost ghost message stalls the stencil forever), so injection turns
+  // the protocol on by default; --ft-reliable=0 opts out for ablations.
+  cfg.reliable = opt.get_bool("ft-reliable", cfg.injecting());
+  cfg.rto = opt.get_double("ft-rto-ms", cfg.rto * 1e3) * 1e-3;
+  cfg.max_retries = static_cast<int>(
+      opt.get_int("ft-retries", cfg.max_retries));
+  cfg.crash_pe = static_cast<int>(opt.get_int("ft-crash-pe", cfg.crash_pe));
+  cfg.crash_at = opt.get_double("ft-crash-at", cfg.crash_at);
+  cfg.hang_pe = static_cast<int>(opt.get_int("ft-hang-pe", cfg.hang_pe));
+  cfg.hang_at = opt.get_double("ft-hang-at", cfg.hang_at);
+  return cfg;
+}
+
+}  // namespace cx::ft

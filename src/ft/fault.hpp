@@ -1,0 +1,140 @@
+#pragma once
+// cx::ft — fault model shared by both machine backends.
+//
+// A FaultConfig describes which failures a run injects (seeded message
+// drop/duplicate/delay probabilities, scripted PE crash/hang on the Sim
+// backend) and how the reliable-delivery protocol reacts (retransmit
+// timeout, exponential backoff, give-up threshold). It travels inside
+// cxm::MachineConfig so every backend sees the same knobs.
+//
+// All randomness flows through one seeded FaultInjector per machine, so a
+// Sim run with the same seed replays the exact same fault script — the
+// property the ft test tier and the DES figure runs rely on.
+
+#include <cstdint>
+#include <functional>
+
+#include "pup/pup.hpp"
+#include "util/rng.hpp"
+
+namespace cxu {
+class Options;
+}
+
+namespace cx::ft {
+
+enum class FailureKind : std::uint8_t {
+  Crashed = 0,      ///< PE stopped executing (scripted or inject_kill)
+  Unreachable = 1,  ///< retransmits to the PE exhausted (ack give-up)
+  Hung = 2,         ///< PE stopped draining its mailbox (scripted)
+};
+
+/// A typed PE-failure notification, surfaced to the runtime instead of
+/// letting a lost peer hang the scheduler forever.
+struct PeFailure {
+  std::int32_t pe = -1;
+  FailureKind kind = FailureKind::Crashed;
+  double time = 0.0;  ///< backend clock at detection
+
+  void pup(pup::Er& p) {
+    p | pe;
+    p | kind;
+    p | time;
+  }
+};
+
+const char* failure_kind_name(FailureKind k) noexcept;
+
+struct FaultConfig {
+  std::uint64_t seed = 1;  ///< drives every injection decision
+
+  // Network fault injection (per cross-PE message, both backends).
+  double drop = 0.0;        ///< P(message silently lost)
+  double dup = 0.0;         ///< P(message delivered twice)
+  double delay = 0.0;       ///< P(message held back before delivery)
+  double delay_s = 1.0e-3;  ///< mean extra latency of a delayed message
+
+  // Reliable delivery (send-side seq + ack, retransmit with backoff).
+  bool reliable = false;
+  double rto = 10.0e-3;    ///< initial retransmit timeout (seconds)
+  double backoff = 2.0;    ///< rto multiplier per attempt
+  double jitter = 0.25;    ///< retransmit jitter as a fraction of the rto
+  int max_retries = 8;     ///< attempts before PeFailure{Unreachable}
+
+  // Scripted faults (Sim backend: virtual-time triggers; the threaded
+  // backend crashes PEs programmatically via Machine::inject_kill).
+  int crash_pe = -1;
+  double crash_at = 0.0;  ///< virtual time of the scripted crash
+  int hang_pe = -1;
+  double hang_at = 0.0;   ///< virtual time the PE stops draining
+
+  [[nodiscard]] bool injecting() const noexcept {
+    return drop > 0.0 || dup > 0.0 || delay > 0.0;
+  }
+  [[nodiscard]] bool scripted() const noexcept {
+    return crash_pe >= 0 || hang_pe >= 0;
+  }
+  /// True when any ft machinery must be active. When false, both
+  /// backends keep the exact pre-ft send/deliver path: no acks, no
+  /// buffering, no extra branches beyond this one check.
+  [[nodiscard]] bool enabled() const noexcept {
+    return injecting() || reliable || scripted();
+  }
+};
+
+/// Parse the --ft-* flag family (see README "Fault injection &
+/// checkpointing"): --ft-seed, --ft-drop, --ft-dup, --ft-delay,
+/// --ft-delay-ms, --ft-reliable, --ft-rto-ms, --ft-retries,
+/// --ft-crash-pe, --ft-crash-at, --ft-hang-pe, --ft-hang-at.
+/// Probabilities are validated via Options::get_prob (throw outside
+/// [0,1]); injection implies reliable delivery unless --ft-reliable=0.
+FaultConfig fault_config_from_options(const cxu::Options& opt);
+
+/// Per-message injection decisions, drawn from one seeded stream. The
+/// Sim backend calls this from its single scheduler thread; the threaded
+/// backend serializes calls with a mutex (only when ft is enabled, so
+/// the fault-free fast path never pays for it).
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultConfig& cfg)
+      : cfg_(cfg), rng_(cfg.seed) {}
+
+  struct Decision {
+    bool drop = false;
+    bool dup = false;
+    double extra_delay = 0.0;  ///< seconds added before delivery
+  };
+
+  /// Decide the fate of one cross-PE message. Consumes RNG draws in a
+  /// fixed order so identical seeds give identical fault scripts.
+  Decision on_wire() {
+    Decision d;
+    if (cfg_.drop > 0.0 && rng_.uniform() < cfg_.drop) {
+      d.drop = true;
+      return d;  // a dropped message consumes no further draws
+    }
+    if (cfg_.dup > 0.0 && rng_.uniform() < cfg_.dup) d.dup = true;
+    if (cfg_.delay > 0.0 && rng_.uniform() < cfg_.delay) {
+      // Uniform in (0, 2*mean): bounded, mean = delay_s.
+      d.extra_delay = rng_.uniform(0.0, 2.0 * cfg_.delay_s);
+    }
+    return d;
+  }
+
+  /// Retransmit timeout for `attempts` prior tries: exponential backoff
+  /// plus seeded jitter (desynchronizes retransmit storms).
+  double retry_timeout(int attempts) {
+    double t = cfg_.rto;
+    for (int i = 0; i < attempts; ++i) t *= cfg_.backoff;
+    if (cfg_.jitter > 0.0) t += rng_.uniform(0.0, cfg_.jitter * t);
+    return t;
+  }
+
+  [[nodiscard]] const FaultConfig& config() const noexcept { return cfg_; }
+
+ private:
+  FaultConfig cfg_;
+  cxu::Rng rng_;
+};
+
+}  // namespace cx::ft

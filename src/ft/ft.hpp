@@ -1,0 +1,54 @@
+#pragma once
+// cx::ft public API — the pieces an application touches. The heavy
+// lifting (collective checkpoint, crash recovery) lives in the runtime
+// scheduler (src/core/runtime.cpp) because it must walk live chare
+// collections and reduction state; this header is the stable surface.
+//
+//   cx::ft::on_failure([](const cx::ft::PeFailure& f) { ... });
+//   std::uint64_t epoch = cx::ft::checkpoint();   // collective, blocking
+//   if (!cx::ft::failed_pes().empty()) cx::ft::restore();
+//
+// checkpoint()/restore() must be called from the driver fiber (the
+// cx::run body), between phases — the same discipline Charm++ demands
+// of its synchronous checkpoint call.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ft/checkpoint.hpp"
+#include "ft/fault.hpp"
+
+namespace cx::ft {
+
+/// Collective checkpoint: PUPs every chare/group/array element, the
+/// location tables, and in-flight reduction state on every PE into the
+/// CheckpointStore (primary + buddy copies, optional disk mirror).
+/// Blocks the driver fiber until all PEs have stored. Returns the new
+/// checkpoint epoch (monotonically increasing from 1).
+std::uint64_t checkpoint();
+
+/// Restore every PE from the latest checkpoint: revives crashed/hung
+/// PEs, discards post-checkpoint runtime state (collections, stashes,
+/// pending reductions, unacked sends), reconstructs all elements via
+/// their PUP constructors, and resets quiescence counters to the
+/// checkpointed values. Blocks the driver fiber until done.
+void restore();
+
+/// Digest of the latest stored checkpoint (see CheckpointStore::digest).
+std::uint64_t checkpoint_digest();
+
+/// Mirror future checkpoints to on-disk snapshots under `dir`
+/// (pass "" to disable). The directory must already exist.
+void set_checkpoint_dir(const std::string& dir);
+
+/// Register a callback invoked on PE 0's scheduler whenever a PE
+/// failure is detected (scripted crash, inject_kill, or retransmit
+/// give-up). Callbacks run on the scheduler, so they may send messages
+/// but must not block.
+void on_failure(std::function<void(const PeFailure&)> cb);
+
+/// PEs currently marked failed (crashed, hung, or unreachable).
+std::vector<int> failed_pes();
+
+}  // namespace cx::ft

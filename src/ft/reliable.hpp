@@ -1,0 +1,100 @@
+#pragma once
+// cx::ft reliable-delivery bookkeeping, shared by both machine backends.
+//
+// The protocol: every cross-PE data message carries a per-(src,dst)
+// sequence number; the receiver dedups (duplicates are acked but not
+// delivered) and sends a machine-level ack; the sender keeps a copy and
+// retransmits on timeout with exponential backoff + jitter until acked
+// or until max_retries is exhausted — at which point it surfaces a typed
+// PeFailure{Unreachable} instead of retrying forever.
+//
+// This header holds only the passive state (windows, dedup trackers,
+// pending-copy records); the timer mechanics live in each backend
+// (DES timer events in SimMachine, cv wait deadlines in
+// ThreadedMachine) because they are fundamentally clock-specific.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace cx::ft {
+
+/// Receiver-side duplicate suppression for one (src,dst) link: a
+/// low-water mark plus a sparse set of out-of-order deliveries, so
+/// memory stays bounded by the reorder window rather than the message
+/// count.
+struct SeqTracker {
+  std::uint64_t base = 0;         ///< every seq <= base was delivered
+  std::set<std::uint64_t> ahead;  ///< delivered seqs > base
+
+  /// Record `seq`; returns true if this is its first delivery.
+  bool first_delivery(std::uint64_t seq) {
+    if (seq <= base) return false;
+    if (!ahead.insert(seq).second) return false;
+    while (!ahead.empty() && *ahead.begin() == base + 1) {
+      ahead.erase(ahead.begin());
+      ++base;
+    }
+    return true;
+  }
+};
+
+/// A sender-side copy of an unacked message, ready to retransmit.
+struct PendingSend {
+  std::uint32_t handler = 0;
+  std::int32_t dst_pe = 0;
+  std::vector<std::byte> data;
+  std::uint64_t size_override = 0;
+  std::uint64_t seq = 0;
+  int attempts = 0;        ///< retransmissions so far
+  double deadline = 0.0;   ///< backend clock of the next retransmit
+};
+
+/// Sender-side state for every destination reachable from one PE. Only
+/// the owning PE's thread touches it (sends happen on the sender's
+/// scheduler thread; acks are routed back to the sender's mailbox), so
+/// no locking is needed.
+struct SenderWindow {
+  std::map<std::int32_t, std::uint64_t> next_seq;  ///< per destination
+  /// Unacked copies keyed (dst, seq); ordered so due-scan is cheap.
+  std::map<std::pair<std::int32_t, std::uint64_t>, PendingSend> pending;
+
+  std::uint64_t allocate(std::int32_t dst) { return ++next_seq[dst]; }
+
+  bool acked(std::int32_t dst, std::uint64_t seq) {
+    return pending.erase({dst, seq}) > 0;
+  }
+
+  /// Earliest retransmit deadline, or +inf when nothing is pending.
+  [[nodiscard]] double next_deadline() const {
+    double d = kNever;
+    for (const auto& [key, p] : pending) {
+      if (p.deadline < d) d = p.deadline;
+    }
+    return d;
+  }
+
+  /// Drop every unacked copy headed to `dst` (the PE was declared
+  /// failed; retrying a dead peer only generates noise).
+  void abandon(std::int32_t dst) {
+    auto it = pending.lower_bound({dst, 0});
+    while (it != pending.end() && it->first.first == dst) {
+      it = pending.erase(it);
+    }
+  }
+
+  static constexpr double kNever = 1.0e300;
+};
+
+/// Receiver-side dedup state for one PE (keyed by source).
+struct ReceiverWindow {
+  std::map<std::int32_t, SeqTracker> from;
+
+  bool first_delivery(std::int32_t src, std::uint64_t seq) {
+    return from[src].first_delivery(seq);
+  }
+};
+
+}  // namespace cx::ft

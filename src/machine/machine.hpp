@@ -23,6 +23,7 @@
 #include <memory>
 #include <string>
 
+#include "ft/fault.hpp"
 #include "machine/message.hpp"
 #include "machine/network.hpp"
 
@@ -39,6 +40,10 @@ struct MachineConfig {
   std::string network = "simple";  ///< "simple" | "torus" | "dragonfly"
   NetworkParams net{};
   std::uint64_t seed = 1;  ///< tie-break seed (reserved; DES is FIFO-stable)
+  /// Fault-tolerance knobs (cx::ft). Defaults are all-off: both
+  /// backends keep the exact pre-ft fast path when faults.enabled()
+  /// is false.
+  cx::ft::FaultConfig faults{};
 };
 
 class Machine {
@@ -81,6 +86,37 @@ class Machine {
 
   /// True when the machine uses virtual time (SimMachine).
   [[nodiscard]] virtual bool is_simulated() const noexcept = 0;
+
+  // ---- fault tolerance (cx::ft) -----------------------------------------
+
+  /// Deliver `msg` to msg->dst_pe after `delay_s` seconds of the calling
+  /// PE's clock, without charging network cost. Used for runtime timers
+  /// (future timeouts); delivery goes through the normal handler table.
+  virtual void send_after(MessagePtr msg, double delay_s) = 0;
+
+  /// Mark `pe` crashed: it stops processing (and acking) everything from
+  /// now on. Notifies the failure listener. Callable from handler context.
+  virtual void inject_kill(int pe) = 0;
+
+  /// Undo inject_kill / a scripted crash or hang, as part of restart.
+  /// Messages the PE accumulated while down are discarded.
+  virtual void revive_pe(int pe) = 0;
+
+  /// True when `pe` is currently marked crashed, hung, or unreachable.
+  [[nodiscard]] virtual bool pe_failed(int pe) const noexcept = 0;
+
+  using FailureListener = std::function<void(const cx::ft::PeFailure&)>;
+
+  /// Install the callback invoked (from machine context — scheduler
+  /// thread on Sim, a PE thread on Threaded) when a PE failure is
+  /// detected: scripted crash, inject_kill, or retransmit give-up.
+  /// At most one notification fires per failed PE.
+  void set_failure_listener(FailureListener cb) {
+    failure_listener_ = std::move(cb);
+  }
+
+ protected:
+  FailureListener failure_listener_;
 };
 
 /// Create a machine from a config.

@@ -14,6 +14,14 @@
 
 namespace cxm {
 
+// cx::ft wire flags (Message::ft_flags). All zero on the fault-free
+// fast path; the machine backends only inspect them when fault
+// tolerance is enabled in MachineConfig.
+inline constexpr std::uint8_t kFtReliable = 1;    ///< carries a seq, wants an ack
+inline constexpr std::uint8_t kFtAck = 2;         ///< machine-level ack
+inline constexpr std::uint8_t kFtTimer = 4;       ///< internal retransmit timer
+inline constexpr std::uint8_t kFtRetransmit = 8;  ///< resent copy
+
 struct Message {
   std::uint32_t handler = 0;  ///< machine handler id (see Machine)
   std::int32_t src_pe = -1;   ///< sending PE (-1 = external / bootstrap)
@@ -29,6 +37,13 @@ struct Message {
   /// payload size. Used by modeled-kernel simulation runs that ship
   /// token payloads standing in for full-size data.
   std::uint64_t size_override = 0;
+
+  /// cx::ft reliable-delivery header: per-(src,dst) sequence number,
+  /// protocol flags, and the peer PE an ack/timer refers to. All unused
+  /// (and never inspected) when fault tolerance is disabled.
+  std::uint64_t ft_seq = 0;
+  std::int32_t ft_peer = -1;
+  std::uint8_t ft_flags = 0;
 
   [[nodiscard]] std::uint64_t wire_size() const noexcept {
     if (size_override != 0) return size_override;

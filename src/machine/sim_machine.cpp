@@ -9,12 +9,32 @@
 
 namespace cxm {
 
+namespace {
+// FtDrop trace reasons (slot a).
+constexpr std::uint64_t kDropInjected = 0;
+constexpr std::uint64_t kDropDuplicate = 1;
+constexpr std::uint64_t kDropDeadDst = 2;
+}  // namespace
+
 SimMachine::SimMachine(const MachineConfig& cfg)
     : num_pes_(cfg.num_pes),
       clock_(static_cast<std::size_t>(cfg.num_pes), 0.0),
-      net_(make_network(cfg.network, cfg.net, cfg.num_pes)) {
+      net_(make_network(cfg.network, cfg.net, cfg.num_pes)),
+      ft_(cfg.faults) {
   if (num_pes_ < 1) throw std::invalid_argument("num_pes must be >= 1");
   fifo_ = std::getenv("CHARMX_SIM_FIFO") != nullptr;
+  ft_enabled_ = ft_.enabled();
+  if (ft_enabled_) inj_ = std::make_unique<cx::ft::FaultInjector>(ft_);
+  // Failure bookkeeping is always sized: inject_kill() must work even
+  // without any --ft-* config (e.g. the pool kills a worker directly).
+  const auto n = static_cast<std::size_t>(num_pes_);
+  senders_.resize(n);
+  receivers_.resize(n);
+  crashed_.assign(n, 0);
+  hung_.assign(n, 0);
+  unreachable_.assign(n, 0);
+  failure_notified_.assign(n, 0);
+  parked_.resize(n);
 }
 
 SimMachine::~SimMachine() {
@@ -22,12 +42,25 @@ SimMachine::~SimMachine() {
     delete heap_.top().msg;
     heap_.pop();
   }
+  for (auto& q : parked_) {
+    for (Message* m : q) delete m;
+  }
 }
 
 std::uint32_t SimMachine::register_handler(Handler h) {
   if (running_) throw std::logic_error("register_handler after run()");
   handlers_.push_back(std::move(h));
   return static_cast<std::uint32_t>(handlers_.size() - 1);
+}
+
+void SimMachine::push_timer(int pe, int dst, std::uint64_t seq, double at) {
+  auto* m = new Message();
+  m->dst_pe = pe;  // the timer fires on the sending PE
+  m->src_pe = pe;
+  m->ft_peer = dst;
+  m->ft_seq = seq;
+  m->ft_flags = kFtTimer;
+  heap_.push(Event{at, seq_++, m});
 }
 
 void SimMachine::send(MessagePtr msg) {
@@ -47,12 +80,57 @@ void SimMachine::send(MessagePtr msg) {
                    cx::trace::EventKind::MsgSend,
                    static_cast<std::uint64_t>(dst), msg->wire_size());
   }
+  if (ft_enabled_ && src >= 0 && dst != src && !msg->local) {
+    const double send_time = clock_[static_cast<std::size_t>(src)];
+    if (ft_.reliable && msg->ft_flags == 0) {
+      const std::uint64_t seq =
+          senders_[static_cast<std::size_t>(src)].allocate(dst);
+      msg->ft_seq = seq;
+      msg->ft_flags = kFtReliable;
+      cx::ft::PendingSend p;
+      p.handler = msg->handler;
+      p.dst_pe = dst;
+      p.data = msg->data;
+      p.size_override = msg->size_override;
+      p.seq = seq;
+      p.deadline = send_time + inj_->retry_timeout(0);
+      const double deadline = p.deadline;
+      senders_[static_cast<std::size_t>(src)].pending.emplace(
+          std::make_pair(dst, seq), std::move(p));
+      push_timer(src, dst, seq, deadline);
+    }
+    if (ft_.injecting()) {
+      const auto d = inj_->on_wire();
+      if (d.drop) {
+        CX_TRACE_EVENT(src, send_time, cx::trace::EventKind::FtDrop,
+                       kDropInjected, msg->ft_seq);
+        return;  // lost on the wire; the pending copy recovers it
+      }
+      arrival += d.extra_delay;
+      if (d.dup) {
+        heap_.push(Event{arrival, seq_++, new Message(*msg)});
+      }
+    }
+  }
   if (fifo_) {
     auto& last = last_arrival_[{src, dst}];
     arrival = std::max(arrival, last);
     last = arrival;
   }
   heap_.push(Event{arrival, seq_++, msg.release()});
+}
+
+void SimMachine::send_after(MessagePtr msg, double delay_s) {
+  const int dst = msg->dst_pe;
+  if (dst < 0 || dst >= num_pes_) {
+    throw std::out_of_range("send_after: bad destination PE");
+  }
+  const int src = current_pe_;
+  msg->src_pe = src;
+  const double base = src >= 0 ? clock_[static_cast<std::size_t>(src)] : 0.0;
+  // A timer delivery, not a network message: no overhead, no cost model,
+  // no fault injection.
+  heap_.push(Event{base + delay_s, seq_++, msg.release()});
 }
 
 double SimMachine::now() const {
@@ -66,6 +144,110 @@ void SimMachine::charge(double seconds) {
   }
 }
 
+void SimMachine::fail_pe(int pe, cx::ft::FailureKind kind, double time) {
+  const auto i = static_cast<std::size_t>(pe);
+  if (failure_notified_[i]) return;
+  failure_notified_[i] = 1;
+  CX_TRACE_EVENT(pe, time, cx::trace::EventKind::FtFailure,
+                 static_cast<std::uint64_t>(pe),
+                 static_cast<std::uint64_t>(kind));
+  if (failure_listener_) {
+    failure_listener_(cx::ft::PeFailure{pe, kind, time});
+  }
+}
+
+void SimMachine::check_scripted(double time) {
+  if (ft_.crash_pe >= 0 && ft_.crash_pe < num_pes_ &&
+      !crash_script_fired_ && time >= ft_.crash_at) {
+    const auto i = static_cast<std::size_t>(ft_.crash_pe);
+    crash_script_fired_ = true;
+    crashed_[i] = 1;
+    any_failed_ = true;
+    // The PE died: its unacked sends die with it (nothing retransmits).
+    senders_[i].pending.clear();
+    fail_pe(ft_.crash_pe, cx::ft::FailureKind::Crashed, time);
+  }
+  if (ft_.hang_pe >= 0 && ft_.hang_pe < num_pes_ && !hang_script_fired_ &&
+      time >= ft_.hang_at) {
+    const auto i = static_cast<std::size_t>(ft_.hang_pe);
+    hang_script_fired_ = true;
+    hung_[i] = 1;
+    any_failed_ = true;
+    // A hung scheduler fires no timers either; unacked sends are stuck.
+    senders_[i].pending.clear();
+    // No notification here: a hang is only *detected* when peers'
+    // retransmits to it give up (FailureKind::Unreachable).
+  }
+}
+
+void SimMachine::inject_kill(int pe) {
+  if (pe < 0 || pe >= num_pes_) return;
+  any_failed_ = true;
+  const auto i = static_cast<std::size_t>(pe);
+  if (crashed_[i]) return;
+  crashed_[i] = 1;
+  senders_[i].pending.clear();
+  fail_pe(pe, cx::ft::FailureKind::Crashed,
+          current_pe_ >= 0 ? clock_[static_cast<std::size_t>(current_pe_)]
+                           : 0.0);
+}
+
+void SimMachine::revive_pe(int pe) {
+  if (pe < 0 || pe >= num_pes_) return;
+  const auto i = static_cast<std::size_t>(pe);
+  crashed_[i] = 0;
+  hung_[i] = 0;
+  unreachable_[i] = 0;
+  failure_notified_[i] = 0;
+  for (Message* m : parked_[i]) delete m;
+  parked_[i].clear();
+  // Peers stop retrying the old traffic: the restore path rebuilds
+  // application state, so pre-failure messages must not resurface.
+  for (auto& sw : senders_) sw.abandon(pe);
+}
+
+bool SimMachine::pe_failed(int pe) const noexcept {
+  if (pe < 0 || pe >= num_pes_) return false;
+  const auto i = static_cast<std::size_t>(pe);
+  return crashed_[i] != 0 || hung_[i] != 0 || unreachable_[i] != 0;
+}
+
+void SimMachine::handle_timer(int pe, const Message& msg, double time) {
+  const auto i = static_cast<std::size_t>(pe);
+  if (crashed_[i] != 0 || hung_[i] != 0) return;  // dead PEs fire nothing
+  const int dst = msg.ft_peer;
+  auto it = senders_[i].pending.find({dst, msg.ft_seq});
+  if (it == senders_[i].pending.end()) return;  // already acked: stale timer
+  auto& clk = clock_[i];
+  if (time > clk) clk = time;
+  current_pe_ = pe;
+  cx::ft::PendingSend& p = it->second;
+  if (p.attempts >= ft_.max_retries) {
+    // Give up: declare the destination unreachable and stop all traffic
+    // to it, surfacing a typed failure instead of retrying forever.
+    senders_[i].abandon(dst);
+    if (dst >= 0 && dst < num_pes_) {
+      unreachable_[static_cast<std::size_t>(dst)] = 1;
+      fail_pe(dst, cx::ft::FailureKind::Unreachable, clk);
+    }
+    return;
+  }
+  p.attempts++;
+  CX_TRACE_EVENT(pe, clk, cx::trace::EventKind::FtRetransmit,
+                 static_cast<std::uint64_t>(dst),
+                 static_cast<std::uint64_t>(p.attempts));
+  auto copy = std::make_unique<Message>();
+  copy->handler = p.handler;
+  copy->dst_pe = p.dst_pe;
+  copy->data = p.data;
+  copy->size_override = p.size_override;
+  copy->ft_seq = p.seq;
+  copy->ft_flags = kFtReliable | kFtRetransmit;
+  p.deadline = clk + inj_->retry_timeout(p.attempts);
+  push_timer(pe, dst, p.seq, p.deadline);
+  send(std::move(copy));
+}
+
 void SimMachine::run() {
   running_ = true;
   stop_ = false;
@@ -74,6 +256,23 @@ void SimMachine::run() {
     heap_.pop();
     MessagePtr msg(ev.msg);
     const int pe = msg->dst_pe;
+    if (ft_enabled_ || any_failed_) {
+      if (ft_.scripted()) check_scripted(ev.time);
+      if (msg->ft_flags & kFtTimer) {
+        handle_timer(pe, *msg, ev.time);
+        continue;
+      }
+      const auto i = static_cast<std::size_t>(pe);
+      if (crashed_[i] != 0) {
+        CX_TRACE_EVENT(pe, ev.time, cx::trace::EventKind::FtDrop,
+                       kDropDeadDst, msg->ft_seq);
+        continue;
+      }
+      if (hung_[i] != 0) {
+        parked_[i].push_back(msg.release());
+        continue;
+      }
+    }
     auto& clk = clock_[static_cast<std::size_t>(pe)];
     if (ev.time > clk) {
       // The PE's virtual clock jumps forward to the arrival: that gap is
@@ -85,6 +284,32 @@ void SimMachine::run() {
     clk += net_->cpu_overhead();  // receiver-side software overhead
     current_pe_ = pe;
     cxu::set_log_pe(pe);
+    if (ft_enabled_ && msg->ft_flags != 0) {
+      if (msg->ft_flags & kFtAck) {
+        senders_[static_cast<std::size_t>(pe)].acked(msg->src_pe,
+                                                     msg->ft_seq);
+        ++events_processed_;
+        continue;
+      }
+      if (msg->ft_flags & kFtReliable) {
+        // Always ack — even duplicates, since the original ack may have
+        // been lost on the wire.
+        auto ack = std::make_unique<Message>();
+        ack->dst_pe = msg->src_pe;
+        ack->ft_seq = msg->ft_seq;
+        ack->ft_peer = pe;
+        ack->ft_flags = kFtAck;
+        CX_TRACE_EVENT(pe, clk, cx::trace::EventKind::FtAck,
+                       static_cast<std::uint64_t>(msg->src_pe), msg->ft_seq);
+        send(std::move(ack));
+        if (!receivers_[static_cast<std::size_t>(pe)].first_delivery(
+                msg->src_pe, msg->ft_seq)) {
+          CX_TRACE_EVENT(pe, clk, cx::trace::EventKind::FtDrop,
+                         kDropDuplicate, msg->ft_seq);
+          continue;
+        }
+      }
+    }
     const std::uint32_t h = msg->handler;
     if (h >= handlers_.size()) {
       CX_LOG_ERROR("dropping message with unknown handler ", h);

@@ -10,12 +10,23 @@
 // Event ordering: a single min-heap keyed by (arrival time, sequence).
 // Handlers can only generate events with arrival >= their own start time,
 // so per-PE FIFO arrival order equals pop order and causality holds.
+//
+// Fault tolerance (cx::ft): when MachineConfig::faults is enabled the
+// simulator injects seeded drop/duplicate/delay on cross-PE messages,
+// runs the seq+ack reliable-delivery protocol with retransmit timer
+// events, and executes scripted PE crash/hang at a virtual time. All
+// fault decisions flow through one seeded FaultInjector consumed in
+// deterministic event order, so the same seed replays the same fault
+// script. When faults are disabled, send/run take exactly one extra
+// branch and the event stream is byte-identical to the pre-ft backend.
 
 #include <cstdint>
 #include <map>
 #include <queue>
 #include <vector>
 
+#include "ft/fault.hpp"
+#include "ft/reliable.hpp"
 #include "machine/machine.hpp"
 
 namespace cxm {
@@ -37,6 +48,11 @@ class SimMachine final : public Machine {
   void run() override;
   void stop() override { stop_ = true; }
   [[nodiscard]] bool is_simulated() const noexcept override { return true; }
+
+  void send_after(MessagePtr msg, double delay_s) override;
+  void inject_kill(int pe) override;
+  void revive_pe(int pe) override;
+  [[nodiscard]] bool pe_failed(int pe) const noexcept override;
 
   /// Max virtual time reached across PEs (the simulated makespan).
   [[nodiscard]] double makespan() const;
@@ -60,6 +76,11 @@ class SimMachine final : public Machine {
     }
   };
 
+  void push_timer(int pe, int dst, std::uint64_t seq, double at);
+  void handle_timer(int pe, const Message& msg, double time);
+  void check_scripted(double time);
+  void fail_pe(int pe, cx::ft::FailureKind kind, double time);
+
   int num_pes_;
   std::vector<Handler> handlers_;
   std::vector<double> clock_;
@@ -75,6 +96,28 @@ class SimMachine final : public Machine {
   /// matching the in-order delivery of real transport layers.
   bool fifo_ = false;
   std::map<std::pair<int, int>, double> last_arrival_;
+
+  // ---- cx::ft state (all empty / untouched when ft_enabled_ is false) ----
+  cx::ft::FaultConfig ft_;
+  bool ft_enabled_ = false;
+  /// A PE failed at some point (config-independent: inject_kill works
+  /// without any --ft-* flags), so run() must check liveness per event.
+  bool any_failed_ = false;
+  std::unique_ptr<cx::ft::FaultInjector> inj_;
+  std::vector<cx::ft::SenderWindow> senders_;
+  std::vector<cx::ft::ReceiverWindow> receivers_;
+  std::vector<std::uint8_t> crashed_;
+  std::vector<std::uint8_t> hung_;
+  std::vector<std::uint8_t> unreachable_;
+  /// Scripted faults are one-shot: once fired they stay fired, so a
+  /// revived PE is not instantly re-killed (virtual time never rewinds
+  /// below crash_at/hang_at again).
+  bool crash_script_fired_ = false;
+  bool hang_script_fired_ = false;
+  std::vector<std::uint8_t> failure_notified_;
+  /// Messages that arrived at a hung PE (its mailbox fills; nothing
+  /// drains). Discarded on revive — restore rebuilds state anyway.
+  std::vector<std::vector<Message*>> parked_;
 };
 
 }  // namespace cxm

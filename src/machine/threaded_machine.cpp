@@ -1,5 +1,7 @@
 #include "machine/threaded_machine.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "trace/trace.hpp"
@@ -10,14 +12,31 @@ namespace cxm {
 
 namespace {
 thread_local int t_current_pe = -1;
-}
+
+// FtDrop trace reasons (slot a).
+constexpr std::uint64_t kDropInjected = 0;
+constexpr std::uint64_t kDropDuplicate = 1;
+constexpr std::uint64_t kDropDeadDst = 2;
+}  // namespace
 
 ThreadedMachine::ThreadedMachine(const MachineConfig& cfg)
-    : num_pes_(cfg.num_pes) {
+    : num_pes_(cfg.num_pes),
+      ft_(cfg.faults),
+      crashed_(static_cast<std::size_t>(cfg.num_pes)),
+      unreachable_(static_cast<std::size_t>(cfg.num_pes)),
+      failure_notified_(static_cast<std::size_t>(cfg.num_pes), 0) {
   if (num_pes_ < 1) throw std::invalid_argument("num_pes must be >= 1");
   mailboxes_.reserve(static_cast<std::size_t>(num_pes_));
   for (int i = 0; i < num_pes_; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+  ft_enabled_ = ft_.enabled();
+  if (ft_enabled_) {
+    inj_ = std::make_unique<cx::ft::FaultInjector>(ft_);
+    ft_pes_.reserve(static_cast<std::size_t>(num_pes_));
+    for (int i = 0; i < num_pes_; ++i) {
+      ft_pes_.push_back(std::make_unique<FtPeState>());
+    }
   }
 }
 
@@ -31,20 +50,81 @@ std::uint32_t ThreadedMachine::register_handler(Handler h) {
 
 int ThreadedMachine::current_pe() const noexcept { return t_current_pe; }
 
-void ThreadedMachine::send(MessagePtr msg) {
-  const int dst = msg->dst_pe;
-  if (dst < 0 || dst >= num_pes_) {
-    throw std::out_of_range("send: bad destination PE");
-  }
-  msg->src_pe = t_current_pe;
-  CX_TRACE_EVENT(t_current_pe, now(), cx::trace::EventKind::MsgSend,
-                 static_cast<std::uint64_t>(dst), msg->wire_size());
+void ThreadedMachine::enqueue(int dst, MessagePtr msg) {
   Mailbox& mb = *mailboxes_[static_cast<std::size_t>(dst)];
   {
     std::lock_guard<std::mutex> lock(mb.mutex);
     mb.queue.push_back(std::move(msg));
   }
   mb.cv.notify_one();
+}
+
+void ThreadedMachine::enqueue_delayed(int dst, MessagePtr msg,
+                                      double deadline) {
+  Mailbox& mb = *mailboxes_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard<std::mutex> lock(mb.mutex);
+    mb.delayed.emplace(deadline, std::move(msg));
+  }
+  mb.cv.notify_one();  // the PE re-bounds its wait by the new deadline
+}
+
+void ThreadedMachine::send(MessagePtr msg) {
+  const int dst = msg->dst_pe;
+  if (dst < 0 || dst >= num_pes_) {
+    throw std::out_of_range("send: bad destination PE");
+  }
+  const int src = t_current_pe;
+  msg->src_pe = src;
+  CX_TRACE_EVENT(src, now(), cx::trace::EventKind::MsgSend,
+                 static_cast<std::uint64_t>(dst), msg->wire_size());
+  if (ft_enabled_ && src >= 0 && dst != src && !msg->local) {
+    FtPeState& me = *ft_pes_[static_cast<std::size_t>(src)];
+    if (ft_.reliable && msg->ft_flags == 0) {
+      const std::uint64_t seq = me.sw.allocate(dst);
+      msg->ft_seq = seq;
+      msg->ft_flags = kFtReliable;
+      cx::ft::PendingSend p;
+      p.handler = msg->handler;
+      p.dst_pe = dst;
+      p.data = msg->data;
+      p.size_override = msg->size_override;
+      p.seq = seq;
+      {
+        std::lock_guard<std::mutex> lk(inj_mutex_);
+        p.deadline = now() + inj_->retry_timeout(0);
+      }
+      me.sw.pending.emplace(std::make_pair(dst, seq), std::move(p));
+    }
+    if (ft_.injecting()) {
+      cx::ft::FaultInjector::Decision d;
+      {
+        std::lock_guard<std::mutex> lk(inj_mutex_);
+        d = inj_->on_wire();
+      }
+      if (d.drop) {
+        CX_TRACE_EVENT(src, now(), cx::trace::EventKind::FtDrop,
+                       kDropInjected, msg->ft_seq);
+        return;  // lost on the wire; the pending copy recovers it
+      }
+      if (d.dup) enqueue(dst, std::make_unique<Message>(*msg));
+      if (d.extra_delay > 0.0) {
+        enqueue_delayed(dst, std::move(msg), now() + d.extra_delay);
+        return;
+      }
+    }
+  }
+  enqueue(dst, std::move(msg));
+}
+
+void ThreadedMachine::send_after(MessagePtr msg, double delay_s) {
+  const int dst = msg->dst_pe;
+  if (dst < 0 || dst >= num_pes_) {
+    throw std::out_of_range("send_after: bad destination PE");
+  }
+  msg->src_pe = t_current_pe;
+  // A timer delivery, not a network message: no trace, no injection.
+  enqueue_delayed(dst, std::move(msg), now() + delay_s);
 }
 
 double ThreadedMachine::now() const { return cxu::wall_time() - epoch_; }
@@ -58,6 +138,100 @@ void ThreadedMachine::compute(double seconds) {
 
 void ThreadedMachine::charge(double) {
   // Real work already consumed real time; nothing to do.
+}
+
+void ThreadedMachine::notify_failure_once(int pe, cx::ft::FailureKind kind) {
+  {
+    std::lock_guard<std::mutex> lk(failure_mutex_);
+    if (failure_notified_[static_cast<std::size_t>(pe)]) return;
+    failure_notified_[static_cast<std::size_t>(pe)] = 1;
+  }
+  const double t = now();
+  CX_TRACE_EVENT(t_current_pe, t, cx::trace::EventKind::FtFailure,
+                 static_cast<std::uint64_t>(pe),
+                 static_cast<std::uint64_t>(kind));
+  if (failure_listener_) {
+    failure_listener_(cx::ft::PeFailure{pe, kind, t});
+  }
+}
+
+void ThreadedMachine::inject_kill(int pe) {
+  if (pe < 0 || pe >= num_pes_) return;
+  if (crashed_[static_cast<std::size_t>(pe)].exchange(
+          true, std::memory_order_relaxed)) {
+    return;
+  }
+  any_failed_.store(true, std::memory_order_release);
+  // Wake the PE so it starts discarding its backlog promptly.
+  Mailbox& mb = *mailboxes_[static_cast<std::size_t>(pe)];
+  {
+    std::lock_guard<std::mutex> lock(mb.mutex);
+  }
+  mb.cv.notify_all();
+  notify_failure_once(pe, cx::ft::FailureKind::Crashed);
+}
+
+void ThreadedMachine::revive_pe(int pe) {
+  if (pe < 0 || pe >= num_pes_) return;
+  crashed_[static_cast<std::size_t>(pe)].store(false,
+                                               std::memory_order_relaxed);
+  unreachable_[static_cast<std::size_t>(pe)].store(false,
+                                                   std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(failure_mutex_);
+  failure_notified_[static_cast<std::size_t>(pe)] = 0;
+}
+
+bool ThreadedMachine::pe_failed(int pe) const noexcept {
+  if (pe < 0 || pe >= num_pes_) return false;
+  return crashed_[static_cast<std::size_t>(pe)].load(
+             std::memory_order_relaxed) ||
+         unreachable_[static_cast<std::size_t>(pe)].load(
+             std::memory_order_relaxed);
+}
+
+void ThreadedMachine::retransmit_due(int pe, FtPeState& me) {
+  const double tnow = now();
+  bool rescan = true;
+  while (rescan) {
+    rescan = false;
+    for (auto it = me.sw.pending.begin(); it != me.sw.pending.end(); ++it) {
+      cx::ft::PendingSend& p = it->second;
+      const int dst = p.dst_pe;
+      const auto di = static_cast<std::size_t>(dst);
+      if (crashed_[di].load(std::memory_order_relaxed) ||
+          unreachable_[di].load(std::memory_order_relaxed)) {
+        // Known-dead peer: retrying only generates noise.
+        me.sw.abandon(dst);
+        rescan = true;
+        break;
+      }
+      if (p.deadline > tnow) continue;
+      if (p.attempts >= ft_.max_retries) {
+        unreachable_[di].store(true, std::memory_order_relaxed);
+        any_failed_.store(true, std::memory_order_release);
+        me.sw.abandon(dst);
+        notify_failure_once(dst, cx::ft::FailureKind::Unreachable);
+        rescan = true;
+        break;
+      }
+      p.attempts++;
+      CX_TRACE_EVENT(pe, tnow, cx::trace::EventKind::FtRetransmit,
+                     static_cast<std::uint64_t>(dst),
+                     static_cast<std::uint64_t>(p.attempts));
+      {
+        std::lock_guard<std::mutex> lk(inj_mutex_);
+        p.deadline = tnow + inj_->retry_timeout(p.attempts);
+      }
+      auto copy = std::make_unique<Message>();
+      copy->handler = p.handler;
+      copy->dst_pe = dst;
+      copy->data = p.data;
+      copy->size_override = p.size_override;
+      copy->ft_seq = p.seq;
+      copy->ft_flags = kFtReliable | kFtRetransmit;
+      send(std::move(copy));  // flags are set: no re-enrollment in send()
+    }
+  }
 }
 
 void ThreadedMachine::run() {
@@ -85,30 +259,88 @@ void ThreadedMachine::pe_loop(int pe) {
   t_current_pe = pe;
   cxu::set_log_pe(pe);
   Mailbox& mb = *mailboxes_[static_cast<std::size_t>(pe)];
+  FtPeState* me =
+      ft_enabled_ ? ft_pes_[static_cast<std::size_t>(pe)].get() : nullptr;
+  constexpr double kNever = cx::ft::SenderWindow::kNever;
   while (true) {
     MessagePtr msg;
-    double idle_ns = -1.0;
+    bool stopping = false;
+    double idle_s = -1.0;
     {
       std::unique_lock<std::mutex> lock(mb.mutex);
-      if (mb.queue.empty() && !stop_.load(std::memory_order_acquire)) {
-        // The scheduler is about to sleep: the span until the wakeup is
-        // an idle span on this PE.
+      for (;;) {
+        const double tnow = now();
+        // Promote deferred deliveries that have come due.
+        while (!mb.delayed.empty() && mb.delayed.begin()->first <= tnow) {
+          mb.queue.push_back(std::move(mb.delayed.begin()->second));
+          mb.delayed.erase(mb.delayed.begin());
+        }
+        if (!mb.queue.empty()) break;
+        if (stop_.load(std::memory_order_acquire)) {
+          stopping = true;
+          break;
+        }
+        // The scheduler is about to sleep: bound the wait by the next
+        // deferred delivery and (with ft on) the next retransmit
+        // deadline of our own unacked sends.
+        double dl = mb.delayed.empty() ? kNever : mb.delayed.begin()->first;
+        if (me) dl = std::min(dl, me->sw.next_deadline());
+        if (dl <= tnow) break;  // a retransmit is due; handle below
         const double t0 = cxu::wall_time();
-        mb.cv.wait(lock, [&] {
-          return !mb.queue.empty() || stop_.load(std::memory_order_acquire);
-        });
-        idle_ns = (cxu::wall_time() - t0) * 1e9;
+        if (dl >= kNever) {
+          mb.cv.wait(lock);
+        } else {
+          mb.cv.wait_for(lock, std::chrono::duration<double>(dl - tnow));
+        }
+        const double waited = cxu::wall_time() - t0;
+        idle_s = (idle_s < 0.0 ? 0.0 : idle_s) + waited;
       }
       if (!mb.queue.empty()) {
         msg = std::move(mb.queue.front());
         mb.queue.pop_front();
       }
     }
-    if (idle_ns >= 0.0) {
+    if (idle_s >= 0.0) {
       CX_TRACE_EVENT(pe, now(), cx::trace::EventKind::Idle,
-                     static_cast<std::uint64_t>(idle_ns), 0);
+                     static_cast<std::uint64_t>(idle_s * 1e9), 0);
     }
-    if (!msg) break;  // stop requested and drained
+    if (me && !me->sw.pending.empty()) retransmit_due(pe, *me);
+    if (!msg) {
+      if (stopping) break;
+      continue;  // woke only to service retransmit timers
+    }
+    if (any_failed_.load(std::memory_order_relaxed) &&
+        crashed_[static_cast<std::size_t>(pe)].load(
+            std::memory_order_relaxed)) {
+      // A crashed PE drains its mailbox but processes — and acks —
+      // nothing, so peers see it as dead.
+      CX_TRACE_EVENT(pe, now(), cx::trace::EventKind::FtDrop, kDropDeadDst,
+                     msg->ft_seq);
+      continue;
+    }
+    if (me && msg->ft_flags != 0) {
+      if (msg->ft_flags & kFtAck) {
+        me->sw.acked(msg->src_pe, msg->ft_seq);
+        continue;
+      }
+      if (msg->ft_flags & kFtReliable) {
+        // Always ack — even duplicates, since the original ack may have
+        // been lost on the wire.
+        auto ack = std::make_unique<Message>();
+        ack->dst_pe = msg->src_pe;
+        ack->ft_seq = msg->ft_seq;
+        ack->ft_peer = pe;
+        ack->ft_flags = kFtAck;
+        CX_TRACE_EVENT(pe, now(), cx::trace::EventKind::FtAck,
+                       static_cast<std::uint64_t>(msg->src_pe), msg->ft_seq);
+        send(std::move(ack));
+        if (!me->rw.first_delivery(msg->src_pe, msg->ft_seq)) {
+          CX_TRACE_EVENT(pe, now(), cx::trace::EventKind::FtDrop,
+                         kDropDuplicate, msg->ft_seq);
+          continue;
+        }
+      }
+    }
     const std::uint32_t h = msg->handler;
     if (h >= handlers_.size()) {
       CX_LOG_ERROR("dropping message with unknown handler ", h);

@@ -1,13 +1,28 @@
 #pragma once
 // ThreadedMachine — one OS thread per PE, per-PE MPSC mailbox, wall clock.
+//
+// Fault tolerance (cx::ft): with MachineConfig::faults enabled, cross-PE
+// sends pass through a seeded injector (drop/duplicate/delay) and the
+// seq+ack reliable-delivery protocol. Sender-side windows and receiver
+// dedup state are owned by each PE's thread (sends run on the sender's
+// thread; acks are routed back to the sender's mailbox), so the protocol
+// needs no extra locks — only the shared injector takes a mutex, and
+// only when injection is configured. Retransmit deadlines and delayed
+// deliveries are honored by bounding the mailbox cv wait. Scripted
+// crash/hang at a virtual time is a SimMachine feature; here PEs die via
+// Machine::inject_kill (a crashed PE keeps draining its mailbox but
+// discards — and never acks — everything).
 
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "ft/fault.hpp"
+#include "ft/reliable.hpp"
 #include "machine/machine.hpp"
 
 namespace cxm {
@@ -28,14 +43,32 @@ class ThreadedMachine final : public Machine {
   void stop() override;
   [[nodiscard]] bool is_simulated() const noexcept override { return false; }
 
+  void send_after(MessagePtr msg, double delay_s) override;
+  void inject_kill(int pe) override;
+  void revive_pe(int pe) override;
+  [[nodiscard]] bool pe_failed(int pe) const noexcept override;
+
  private:
   struct Mailbox {
     std::mutex mutex;
     std::condition_variable cv;
     std::deque<MessagePtr> queue;
+    /// Deferred deliveries (send_after, injected delays), keyed by the
+    /// absolute machine-time deadline; promoted into `queue` when due.
+    std::multimap<double, MessagePtr> delayed;
+  };
+
+  /// Per-PE protocol state, touched only by the owning PE's thread.
+  struct FtPeState {
+    cx::ft::SenderWindow sw;
+    cx::ft::ReceiverWindow rw;
   };
 
   void pe_loop(int pe);
+  void enqueue(int dst, MessagePtr msg);
+  void enqueue_delayed(int dst, MessagePtr msg, double deadline);
+  void retransmit_due(int pe, FtPeState& me);
+  void notify_failure_once(int pe, cx::ft::FailureKind kind);
 
   int num_pes_;
   std::vector<Handler> handlers_;
@@ -43,6 +76,19 @@ class ThreadedMachine final : public Machine {
   std::atomic<bool> stop_{false};
   bool running_ = false;
   double epoch_ = 0.0;
+
+  cx::ft::FaultConfig ft_;
+  bool ft_enabled_ = false;
+  std::unique_ptr<cx::ft::FaultInjector> inj_;
+  std::mutex inj_mutex_;  ///< injector draws come from many PE threads
+  std::vector<std::unique_ptr<FtPeState>> ft_pes_;
+  /// Liveness flags are always allocated: inject_kill() must work even
+  /// without any --ft-* config (e.g. pool tests kill a worker directly).
+  std::atomic<bool> any_failed_{false};
+  std::vector<std::atomic<bool>> crashed_;
+  std::vector<std::atomic<bool>> unreachable_;
+  std::mutex failure_mutex_;
+  std::vector<std::uint8_t> failure_notified_;  ///< guarded by failure_mutex_
 };
 
 }  // namespace cxm

@@ -1,8 +1,10 @@
 #include "pool/pool.hpp"
 
+#include <algorithm>
 #include <mutex>
 #include <unordered_map>
 
+#include "ft/ft.hpp"
 #include "trace/trace.hpp"
 #include "util/log.hpp"
 
@@ -31,6 +33,16 @@ struct FnRegistry {
 // start() records the job and asks for the first task; apply() runs the
 // function on one task and piggybacks the result on the next request.
 
+/// Bump this worker's heartbeat counter. The counter piggybacks on the
+/// getTask request the worker was about to send anyway, so liveness
+/// costs zero extra messages — even with cx::ft disabled.
+Value next_heartbeat(DChare& self) {
+  const std::int64_t hb =
+      self.has_attr("hb") ? self["hb"].as_int() + 1 : 1;
+  self["hb"] = Value(hb);
+  return Value(hb);
+}
+
 void define_worker() {
   DClass cls("cxpool.Worker");
   cls.def("start", {"job_id", "fname", "tasks", "master"},
@@ -42,7 +54,8 @@ void define_worker() {
             // request a new task
             cpy::element_from(a[3]).send(
                 "getTask", {self["thisIndex"].item(Value(0)), a[0],
-                            Value::none(), Value::none()});
+                            Value::none(), Value::none(),
+                            next_heartbeat(self)});
             return Value::none();
           });
   cls.def("apply", {"job_id", "task_id"}, [](DChare& self, Args& a) {
@@ -65,7 +78,7 @@ void define_worker() {
     }
     cpy::element_from(self["master"])
         .send("getTask", {self["thisIndex"].item(Value(0)), self["job_id"],
-                          a[1], std::move(result)});
+                          a[1], std::move(result), next_heartbeat(self)});
     return Value::none();
   });
 }
@@ -152,6 +165,9 @@ void define_manager() {
     self["next_job_id"] = Value(0);
     self["jobs"] = Value::dict({});
     self["queued"] = Value::list({});
+    // Worker liveness (pe -> last heartbeat seen) and dead PEs.
+    self["heartbeats"] = Value::dict({});
+    self["failed"] = Value::dict({});
     return Value::none();
   });
 
@@ -182,6 +198,14 @@ void define_manager() {
             job["want"] = Value(want);
             job["procs"] = Value::list({});
             job["future"] = a[3];
+            // Failure bookkeeping: which task each worker holds, which
+            // tasks completed (a resubmitted task may finish twice),
+            // tasks to re-run, and workers idling out of fresh work.
+            job["assigned"] = Value::dict({});
+            job["done"] = Value::list(
+                List(static_cast<std::size_t>(ntasks), Value(0)));
+            job["redo"] = Value::list({});
+            job["idle"] = Value::list({});
             self["jobs"].as_dict()[std::to_string(job_id)] =
                 Value::dict(std::move(job));
             // Queue the job; with free processors it starts right away,
@@ -196,32 +220,158 @@ void define_manager() {
             return Value::none();
           });
 
-  cls.def("getTask", {"src", "job_id", "prev_task", "prev_result"},
+  cls.def("getTask", {"src", "job_id", "prev_task", "prev_result", "hb"},
           [](DChare& self, Args& a) {
+            const std::int64_t src = a[0].as_int();
+            const std::string skey = std::to_string(src);
+            // Heartbeat rides on the request the worker sends anyway. A
+            // straggler request from a worker already declared dead must
+            // not resurrect it in the liveness report.
+            if (self["failed"].as_dict().count(skey) == 0) {
+              self["heartbeats"].as_dict()[skey] = a[4];
+            }
             auto& jobs = self["jobs"].as_dict();
             const std::string key = std::to_string(a[1].as_int());
             const auto jit = jobs.find(key);
             if (jit == jobs.end()) return Value::none();  // job finished
             auto& job = jit->second.as_dict();
             if (!a[2].is_none()) {
-              job["results"].as_list()[static_cast<std::size_t>(
-                  a[2].as_int())] = a[3];
-              job["remaining"] = Value(job["remaining"].as_int() - 1);
+              const auto t = static_cast<std::size_t>(a[2].as_int());
+              auto& done = job["done"].as_list();
+              // A resubmitted task can complete twice (the dead worker's
+              // in-flight result may still land); count it only once.
+              if (done[t].as_int() == 0) {
+                done[t] = Value(1);
+                job["results"].as_list()[t] = a[3];
+                job["remaining"] = Value(job["remaining"].as_int() - 1);
+              }
+              job["assigned"].as_dict().erase(skey);
             }
             if (job["remaining"].as_int() == 0) {
               // job done: release its processors, deliver the results.
               finish_job(self, key, job, job["results"]);
               return Value::none();
             }
-            const std::int64_t next = job["next_task"].as_int();
-            if (next < static_cast<std::int64_t>(job["tasks"].length())) {
+            if (self["failed"].as_dict().count(skey) != 0) {
+              return Value::none();  // no new work for a dead worker
+            }
+            // Re-runs of a failed worker's tasks go out first.
+            std::int64_t next = -1;
+            auto& redo = job["redo"].as_list();
+            if (!redo.empty()) {
+              next = redo.front().as_int();
+              redo.erase(redo.begin());
+            } else if (job["next_task"].as_int() <
+                       static_cast<std::int64_t>(job["tasks"].length())) {
+              next = job["next_task"].as_int();
               job["next_task"] = Value(next + 1);
+            }
+            if (next >= 0) {
+              job["assigned"].as_dict()[skey] = Value(next);
               auto workers = cpy::collection_from(self["workers"]);
-              workers[cx::Index(static_cast<int>(a[0].as_int()))].send(
+              workers[cx::Index(static_cast<int>(src))].send(
                   "apply", {a[1], Value(next)});
+            } else {
+              // Out of fresh work while the job still runs: remember the
+              // idle worker so failure recovery can hand it redo tasks.
+              job["idle"].as_list().emplace_back(src);
             }
             return Value::none();
           });
+
+  // PE-failure recovery (wired from cx::ft::on_failure by Pool's ctor):
+  // pull the dead worker out of every job, resubmit the task it held,
+  // and keep each affected job moving — idle workers get the redo work
+  // directly, free processors are recruited, and a job with no live
+  // workers left fails its future with an error instead of hanging.
+  cls.def("peFailed", {"pe"}, [](DChare& self, Args& a) {
+    const std::int64_t pe = a[0].as_int();
+    const std::string pkey = std::to_string(pe);
+    if (self["failed"].as_dict().count(pkey) != 0) return Value::none();
+    self["failed"].as_dict()[pkey] = Value(1);
+    self["heartbeats"].as_dict().erase(pkey);
+    auto& free = self["free_procs"].as_list();
+    free.erase(std::remove_if(free.begin(), free.end(),
+                              [&](const Value& v) {
+                                return v.as_int() == pe;
+                              }),
+               free.end());
+    auto& jobs = self["jobs"].as_dict();
+    std::vector<std::string> keys;
+    keys.reserve(jobs.size());
+    for (const auto& [k, v] : jobs) keys.push_back(k);
+    for (const std::string& key : keys) {
+      const auto jit = jobs.find(key);
+      if (jit == jobs.end()) continue;  // finished while we iterated
+      auto& job = jit->second.as_dict();
+      auto& procs = job["procs"].as_list();
+      const auto pit =
+          std::find_if(procs.begin(), procs.end(),
+                       [&](const Value& v) { return v.as_int() == pe; });
+      if (pit == procs.end()) continue;  // job never used this worker
+      procs.erase(pit);
+      auto& idle = job["idle"].as_list();
+      idle.erase(std::remove_if(idle.begin(), idle.end(),
+                                [&](const Value& v) {
+                                  return v.as_int() == pe;
+                                }),
+                 idle.end());
+      auto& assigned = job["assigned"].as_dict();
+      std::int64_t resubmitted = 0;
+      const auto ait = assigned.find(pkey);
+      if (ait != assigned.end()) {
+        const std::int64_t t = ait->second.as_int();
+        assigned.erase(ait);
+        if (job["done"].as_list()[static_cast<std::size_t>(t)].as_int() ==
+            0) {
+          job["redo"].as_list().emplace_back(t);
+          resubmitted = 1;
+        }
+      }
+      CX_TRACE_EVENT(cx::my_pe(), cx::now(),
+                     cx::trace::EventKind::FtResubmit,
+                     static_cast<std::uint64_t>(pe),
+                     static_cast<std::uint64_t>(resubmitted));
+      auto workers = cpy::collection_from(self["workers"]);
+      auto& redo = job["redo"].as_list();
+      // Idle survivors take the redo work immediately (they will never
+      // request again on their own)...
+      while (!redo.empty() && !idle.empty()) {
+        const std::int64_t w = idle.front().as_int();
+        idle.erase(idle.begin());
+        const std::int64_t t = redo.front().as_int();
+        redo.erase(redo.begin());
+        assigned[std::to_string(w)] = Value(t);
+        workers[cx::Index(static_cast<int>(w))].send(
+            "apply", {Value(static_cast<std::int64_t>(std::stoll(key))), Value(t)});
+      }
+      // ...then free processors are recruited for what remains; they
+      // pull from the redo list through the normal getTask path.
+      const std::size_t recruits = std::min(free.size(), redo.size());
+      for (std::size_t i = 0; i < recruits; ++i) {
+        const Value p = free.back();
+        free.pop_back();
+        procs.push_back(p);
+        workers[cx::Index(static_cast<int>(p.as_int()))].send(
+            "start", {Value(static_cast<std::int64_t>(std::stoll(key))), job["fname"], job["tasks"],
+                      cpy::to_value(cpy::proxy_of(self))});
+      }
+      if (job["remaining"].as_int() > 0 && procs.empty()) {
+        CX_LOG_WARN("pool: job ", key, " lost its last worker (PE ", pe,
+                    "); failing the job");
+        finish_job(self, key, job,
+                   make_error("worker on PE " + pkey +
+                              " failed and no processors remain"));
+      }
+    }
+    return Value::none();
+  });
+
+  // Report the per-worker heartbeat counters (pe -> last count seen).
+  cls.def("liveness", {"future"}, [](DChare& self, Args& a) {
+    cpy::future_from(a[0]).send(self["heartbeats"]);
+    return Value::none();
+  });
 
   cls.def("jobError", {"job_id", "error"}, [](DChare& self, Args& a) {
     auto& jobs = self["jobs"].as_dict();
@@ -279,6 +429,19 @@ std::string error_message(const Value& result) {
 Pool::Pool() {
   ensure_classes();
   master_ = cpy::create_chare("cxpool.MapManager", 0);
+  // Route PE-failure detections (scripted crash, inject_kill, retransmit
+  // give-up) to the master so it resubmits the dead worker's tasks.
+  cpy::DElement master = master_;
+  cx::ft::on_failure([master](const cx::ft::PeFailure& f) {
+    master.send("peFailed",
+                {Value(static_cast<std::int64_t>(f.pe))});
+  });
+}
+
+cpy::Value Pool::liveness() const {
+  auto f = cx::make_future<Value>();
+  master_.send("liveness", {cpy::to_value(f)});
+  return f.get();
 }
 
 cx::Future<cpy::Value> Pool::map_async(const std::string& fn_name,

@@ -77,6 +77,12 @@ class Pool {
     return map_async(fn_name, num_procs, std::move(tasks)).get();
   }
 
+  /// Per-worker liveness: a dict mapping PE (as a string key) to the
+  /// last heartbeat counter the master has seen from that worker.
+  /// Heartbeats piggyback on the task-request messages workers send
+  /// anyway, so this costs no extra traffic. Blocking (fiber) call.
+  [[nodiscard]] cpy::Value liveness() const;
+
   [[nodiscard]] const cpy::DElement& master() const noexcept {
     return master_;
   }

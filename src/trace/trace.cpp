@@ -112,6 +112,27 @@ void bump_counters(Counters& c, EventKind kind, std::uint64_t a,
     case EventKind::PoolJobDone:
       c.pool_jobs_done++;
       break;
+    case EventKind::FtDrop:
+      c.ft_drops++;
+      break;
+    case EventKind::FtAck:
+      c.ft_acks++;
+      break;
+    case EventKind::FtRetransmit:
+      c.ft_retransmits++;
+      break;
+    case EventKind::FtFailure:
+      c.ft_failures++;
+      break;
+    case EventKind::FtCheckpoint:
+      c.ft_checkpoints++;
+      break;
+    case EventKind::FtRestore:
+      c.ft_restores++;
+      break;
+    case EventKind::FtResubmit:
+      c.ft_resubmits++;
+      break;
   }
 }
 
@@ -150,6 +171,12 @@ void json_counters(std::ostream& os, const Counters& c) {
      << ",\"pool_jobs_queued\":" << c.pool_jobs_queued
      << ",\"pool_jobs_started\":" << c.pool_jobs_started
      << ",\"pool_jobs_done\":" << c.pool_jobs_done
+     << ",\"ft_drops\":" << c.ft_drops << ",\"ft_acks\":" << c.ft_acks
+     << ",\"ft_retransmits\":" << c.ft_retransmits
+     << ",\"ft_failures\":" << c.ft_failures
+     << ",\"ft_checkpoints\":" << c.ft_checkpoints
+     << ",\"ft_restores\":" << c.ft_restores
+     << ",\"ft_resubmits\":" << c.ft_resubmits
      << ",\"dropped_events\":" << c.dropped_events << ",\"entry_hist_us\":[";
   for (int i = 0; i < kHistBuckets; ++i) {
     if (i > 0) os << ',';
@@ -193,6 +220,13 @@ void Counters::merge(const Counters& o) {
   pool_jobs_queued += o.pool_jobs_queued;
   pool_jobs_started += o.pool_jobs_started;
   pool_jobs_done += o.pool_jobs_done;
+  ft_drops += o.ft_drops;
+  ft_acks += o.ft_acks;
+  ft_retransmits += o.ft_retransmits;
+  ft_failures += o.ft_failures;
+  ft_checkpoints += o.ft_checkpoints;
+  ft_restores += o.ft_restores;
+  ft_resubmits += o.ft_resubmits;
   dropped_events += o.dropped_events;
   for (int i = 0; i < kHistBuckets; ++i) entry_hist[i] += o.entry_hist[i];
 }
@@ -233,6 +267,20 @@ const char* kind_name(EventKind k) noexcept {
       return "pool_job_start";
     case EventKind::PoolJobDone:
       return "pool_job_done";
+    case EventKind::FtDrop:
+      return "ft_drop";
+    case EventKind::FtAck:
+      return "ft_ack";
+    case EventKind::FtRetransmit:
+      return "ft_retransmit";
+    case EventKind::FtFailure:
+      return "ft_failure";
+    case EventKind::FtCheckpoint:
+      return "ft_checkpoint";
+    case EventKind::FtRestore:
+      return "ft_restore";
+    case EventKind::FtResubmit:
+      return "ft_resubmit";
   }
   return "unknown";
 }

@@ -56,6 +56,15 @@ namespace cx::trace {
 //   PoolJobQueued a = job id            b = free procs at enqueue
 //   PoolJobStart  a = job id            b = procs granted
 //   PoolJobDone   a = job id            b = tasks completed
+//   FtDrop        a = reason (0=injected, 1=duplicate suppressed,
+//                             2=dst crashed/hung, 3=stale timer)
+//                                       b = ft sequence number
+//   FtAck         a = acked PE          b = ft sequence number
+//   FtRetransmit  a = dst PE            b = attempt number
+//   FtFailure     a = failed PE         b = FailureKind
+//   FtCheckpoint  a = epoch             b = blob bytes on this PE
+//   FtRestore     a = epoch             b = blob bytes on this PE
+//   FtResubmit    a = failed PE         b = tasks resubmitted
 enum class EventKind : std::uint8_t {
   MsgSend = 0,
   MsgRecv,
@@ -74,6 +83,13 @@ enum class EventKind : std::uint8_t {
   PoolJobQueued,
   PoolJobStart,
   PoolJobDone,
+  FtDrop,
+  FtAck,
+  FtRetransmit,
+  FtFailure,
+  FtCheckpoint,
+  FtRestore,
+  FtResubmit,
 };
 
 /// Stable snake_case name used in the JSON timeline.
@@ -112,6 +128,13 @@ struct Counters {
   std::uint64_t pool_jobs_queued = 0;
   std::uint64_t pool_jobs_started = 0;
   std::uint64_t pool_jobs_done = 0;
+  std::uint64_t ft_drops = 0;
+  std::uint64_t ft_acks = 0;
+  std::uint64_t ft_retransmits = 0;
+  std::uint64_t ft_failures = 0;
+  std::uint64_t ft_checkpoints = 0;
+  std::uint64_t ft_restores = 0;
+  std::uint64_t ft_resubmits = 0;
   std::uint64_t dropped_events = 0;  ///< ring overwrites (oldest lost)
   std::uint64_t entry_hist[kHistBuckets] = {0};
 

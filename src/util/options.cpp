@@ -72,6 +72,30 @@ double Options::get_double(const std::string& name, double def) const {
   return parsed;
 }
 
+std::uint64_t Options::get_seed(const std::string& name,
+                                std::uint64_t def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  const std::string& v = it->second;
+  // strtoull would silently wrap "-1" to 2^64-1; a negative seed is a
+  // user error, not a request for a huge one.
+  if (!v.empty() && v[0] == '-') bad_value(name, v, "a non-negative seed");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0') bad_value(name, v, "a seed");
+  if (errno == ERANGE) bad_value(name, v, "an in-range seed");
+  return parsed;
+}
+
+double Options::get_prob(const std::string& name, double def) const {
+  const double p = get_double(name, def);
+  if (p < 0.0 || p > 1.0) {
+    bad_value(name, get_string(name, ""), "a probability in [0, 1]");
+  }
+  return p;
+}
+
 bool Options::get_bool(const std::string& name, bool def) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return def;

@@ -32,6 +32,15 @@ class Options {
   [[nodiscard]] double get_double(const std::string& name, double def) const;
   [[nodiscard]] bool get_bool(const std::string& name, bool def) const;
 
+  /// Strict unsigned 64-bit parse for RNG seeds: rejects negatives,
+  /// garbage, and out-of-range values like get_int does.
+  [[nodiscard]] std::uint64_t get_seed(const std::string& name,
+                                       std::uint64_t def) const;
+
+  /// get_double plus range validation: a present value outside [0, 1]
+  /// throws std::invalid_argument (probabilities never clamp silently).
+  [[nodiscard]] double get_prob(const std::string& name, double def) const;
+
   /// Positional (non-flag) arguments in order.
   [[nodiscard]] const std::vector<std::string>& positional() const {
     return positional_;

@@ -1,0 +1,33 @@
+#pragma once
+// Shared helpers for core-runtime tests: run a program on a fresh runtime.
+
+#include <functional>
+#include <string>
+
+#include "core/charm.hpp"
+
+namespace cxtest {
+
+inline cx::RuntimeConfig threaded_cfg(int pes) {
+  cx::RuntimeConfig cfg;
+  cfg.machine.num_pes = pes;
+  cfg.machine.backend = cxm::Backend::Threaded;
+  return cfg;
+}
+
+inline cx::RuntimeConfig sim_cfg(int pes, const std::string& net = "simple") {
+  cx::RuntimeConfig cfg;
+  cfg.machine.num_pes = pes;
+  cfg.machine.backend = cxm::Backend::Sim;
+  cfg.machine.network = net;
+  return cfg;
+}
+
+/// Run `entry` on a fresh runtime; returns after the program exits.
+inline void run_program(const cx::RuntimeConfig& cfg,
+                        std::function<void()> entry) {
+  cx::Runtime rt(cfg);
+  rt.run(std::move(entry));
+}
+
+}  // namespace cxtest
