@@ -11,6 +11,7 @@
 #include "util/options.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
+#include "wire/pool.hpp"
 
 namespace bench {
 
@@ -20,6 +21,7 @@ namespace bench {
 /// Runtime (for a sweep, the final configuration).
 inline void trace_from_options(const cxu::Options& opt) {
   cx::trace::configure_from_options(opt);
+  cx::wire::configure_from_options(opt);  // --wire-pool=on|off rides along
 }
 
 /// Write the JSON timeline and print the summary table if --trace is on.

@@ -18,6 +18,7 @@
 #include "ft/fault.hpp"
 #include "trace/trace.hpp"
 #include "util/options.hpp"
+#include "wire/pool.hpp"
 
 namespace {
 
@@ -33,6 +34,7 @@ void parse_triplet(const std::string& s, int& a, int& b, int& c) {
 int main(int argc, char** argv) {
   cxu::Options opt(argc, argv);
   cx::trace::configure_from_options(opt);  // --trace [--trace-out=...]
+  cx::wire::configure_from_options(opt);   // --wire-pool=on|off
   stencil::Params p;
   parse_triplet(opt.get_string("blocks", "2,2,2"), p.geo.bx, p.geo.by,
                 p.geo.bz);

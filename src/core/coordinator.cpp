@@ -1,0 +1,167 @@
+// PE-0 coordinator roles: the measurement-based load balancer
+// (paper §II-H) and quiescence detection (two stable waves of
+// created/processed counters).
+
+#include <utility>
+#include <vector>
+
+#include "core/runtime_impl.hpp"
+#include "util/log.hpp"
+
+namespace cx {
+
+// ---- LB coordinator (PE 0) ------------------------------------------------
+
+void Runtime::Impl::lb_round(CollectionId coll, LbCollState& st) {
+  const auto& strategy = lookup_lb_strategy(cfg.lb_strategy);
+  auto moves = strategy(st.records, P, cfg.seed + lb_stats.rounds);
+  CX_TRACE_EVENT(mype(), machine->now(), cx::trace::EventKind::LbDecision,
+                 moves.size(), st.records.size());
+  lb_stats.rounds++;
+  lb_stats.migrations += moves.size();
+  lb_stats.last_imbalance_before = imbalance_ratio(st.records, P);
+  auto after = st.records;
+  for (const auto& mv : moves) {
+    for (auto& r : after) {
+      if (r.idx == mv.idx && r.pe == mv.from_pe) {
+        r.pe = mv.to_pe;
+        break;
+      }
+    }
+  }
+  lb_stats.last_imbalance_after = imbalance_ratio(after, P);
+  st.records.clear();
+  if (moves.empty()) {
+    broadcast_lb_resume(coll);
+    return;
+  }
+  st.pending_acks = moves.size();
+  for (const auto& mv : moves) {
+    LbCmdHeader h;
+    h.coll = coll;
+    h.idx = mv.idx;
+    h.to_pe = mv.to_pe;
+    rt_send(wire::make_msg(h_lb_cmd, mv.from_pe, h));
+  }
+}
+
+void Runtime::Impl::broadcast_lb_resume(CollectionId coll) {
+  LbResumeHeader h;
+  h.coll = coll;
+  h.root = mype();
+  rt_send(wire::make_msg(h_lb_resume, mype(), h));
+}
+
+void Runtime::Impl::on_lb_sync(MessagePtr msg) {
+  me().processed++;
+  ChareLoadRecord rec = pup::from_bytes<ChareLoadRecord>(msg->data);
+  auto& ps = me();
+  const auto cit = ps.colls.find(rec.coll);
+  if (cit == ps.colls.end()) {
+    stash_msg(rec.coll, std::move(msg));
+    return;
+  }
+  auto& st = lb[rec.coll];
+  st.records.push_back(rec);
+  if (st.records.size() >= cit->second.info.size) {
+    lb_round(rec.coll, st);
+  }
+}
+
+void Runtime::Impl::on_lb_cmd(MessagePtr msg) {
+  me().processed++;
+  LbCmdHeader h = pup::from_bytes<LbCmdHeader>(msg->data);
+  auto& ps = me();
+  auto& cm = ps.colls.at(h.coll);
+  Chare* obj = find_local(cm, h.idx);
+  if (obj == nullptr) {
+    CX_LOG_ERROR("LB command for non-local chare ", h.idx.to_string());
+    return;
+  }
+  do_migrate(obj, h.to_pe, /*for_lb=*/true);
+}
+
+void Runtime::Impl::on_lb_ack(MessagePtr msg) {
+  me().processed++;
+  LbAckHeader h = pup::from_bytes<LbAckHeader>(msg->data);
+  auto& st = lb[h.coll];
+  if (st.pending_acks > 0 && --st.pending_acks == 0) {
+    broadcast_lb_resume(h.coll);
+  }
+}
+
+void Runtime::Impl::on_lb_resume(MessagePtr msg) {
+  me().processed++;
+  LbResumeHeader h = pup::from_bytes<LbResumeHeader>(msg->data);
+  std::vector<int> kids;
+  tree_children(mype(), h.root, P, kids);
+  for (int k : kids) rt_send(wire::clone_payload(h_lb_resume, k, msg->data));
+  auto& ps = me();
+  const auto cit = ps.colls.find(h.coll);
+  if (cit == ps.colls.end()) return;
+  std::vector<Chare*> local;
+  for (auto& [idx, obj] : cit->second.elements) local.push_back(obj.get());
+  for (Chare* obj : local) {
+    obj->load_ = 0.0;
+    obj->resume_from_sync();
+    post_execute(obj);
+  }
+}
+
+// ---- quiescence (PE 0) ----------------------------------------------------
+
+void Runtime::Impl::qd_start_wave() {
+  qd.wave_active = true;
+  qd.phase++;
+  qd.replies = 0;
+  qd.sum_c = 0;
+  qd.sum_p = 0;
+  QdProbeHeader h;
+  h.phase = qd.phase;
+  for (int pe = 0; pe < P; ++pe) {
+    raw_send(wire::make_msg(h_qd_probe, pe, h));
+  }
+}
+
+void Runtime::Impl::on_qd_start(MessagePtr msg) {
+  QdStartHeader h = pup::from_bytes<QdStartHeader>(msg->data);
+  qd.waiters.push_back(h.cb);
+  if (!qd.wave_active) {
+    qd.have_prev = false;
+    qd_start_wave();
+  }
+}
+
+void Runtime::Impl::on_qd_probe(MessagePtr msg) {
+  QdProbeHeader h = pup::from_bytes<QdProbeHeader>(msg->data);
+  QdReplyHeader r;
+  r.phase = h.phase;
+  r.created = me().created;
+  r.processed = me().processed;
+  raw_send(wire::make_msg(h_qd_reply, 0, r));
+}
+
+void Runtime::Impl::on_qd_reply(MessagePtr msg) {
+  QdReplyHeader h = pup::from_bytes<QdReplyHeader>(msg->data);
+  if (h.phase != qd.phase) return;
+  qd.sum_c += h.created;
+  qd.sum_p += h.processed;
+  if (++qd.replies < P) return;
+  const bool settled = qd.sum_c == qd.sum_p;
+  const bool stable =
+      qd.have_prev && qd.sum_c == qd.prev_c && qd.sum_p == qd.prev_p;
+  if (settled && stable) {
+    auto waiters = std::move(qd.waiters);
+    qd.waiters.clear();
+    qd.wave_active = false;
+    qd.have_prev = false;
+    for (const auto& cb : waiters) deliver_callback(cb, {});
+    return;
+  }
+  qd.prev_c = qd.sum_c;
+  qd.prev_p = qd.sum_p;
+  qd.have_prev = true;
+  qd_start_wave();
+}
+
+}  // namespace cx

@@ -1,0 +1,335 @@
+// Entry-method delivery: fibers, when-buffering, the pooled
+// LocalEnvelope fast path (paper §II-D: same-PE sends pass the live
+// argument tuple by reference, no serialization), and proxy_send.
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/runtime_impl.hpp"
+
+namespace cx {
+
+// ---- LocalEnvelope pool ---------------------------------------------------
+// Every local resume/timer/entry send used to make_shared a fresh
+// envelope; now they recycle through a per-thread free list. Envelopes
+// are acquired on the sending thread and released on the receiving PE's
+// thread — for same-PE traffic (all of it except the Start envelope)
+// that is the same cache.
+
+namespace {
+
+constexpr std::size_t kEnvCacheCap = 256;
+
+struct EnvCache {
+  std::vector<LocalEnvelope*> free;
+  ~EnvCache() {
+    for (LocalEnvelope* e : free) delete e;
+  }
+};
+
+thread_local EnvCache t_env_cache;
+
+}  // namespace
+
+LocalEnvelope* acquire_envelope() {
+  auto& w = cx::trace::detail::g_wire;
+  if (wire::pool_enabled() && !t_env_cache.free.empty()) {
+    LocalEnvelope* e = t_env_cache.free.back();
+    t_env_cache.free.pop_back();
+    w.env_hits.fetch_add(1, std::memory_order_relaxed);
+    return e;
+  }
+  w.env_allocs.fetch_add(1, std::memory_order_relaxed);
+  return new LocalEnvelope();
+}
+
+void release_envelope(LocalEnvelope* env) noexcept {
+  if (env == nullptr) return;
+  if (wire::pool_enabled() && t_env_cache.free.size() < kEnvCacheCap) {
+    env->reset();
+    t_env_cache.free.push_back(env);
+    return;
+  }
+  delete env;
+}
+
+void drop_envelope(void* env) noexcept {
+  release_envelope(static_cast<LocalEnvelope*>(env));
+}
+
+// ---- shared topology helpers ---------------------------------------------
+
+void tree_children(int self, int root, int num_pes, std::vector<int>& out) {
+  out.clear();
+  const int q = (self - root + num_pes) % num_pes;
+  const int lim = (q == 0) ? num_pes : (q & -q);
+  for (int mask = 1; mask < lim; mask <<= 1) {
+    const int child = q + mask;
+    if (child < num_pes) out.push_back((child + root) % num_pes);
+  }
+}
+
+Index delinearize(std::uint64_t lin, const Index& dims) {
+  Index idx = dims;  // same arity
+  for (int i = dims.ndims() - 1; i >= 0; --i) {
+    idx[i] = static_cast<int>(lin % static_cast<std::uint64_t>(dims[i]));
+    lin /= static_cast<std::uint64_t>(dims[i]);
+  }
+  return idx;
+}
+
+// ---- fibers ---------------------------------------------------------------
+
+void Runtime::Impl::run_fiber(std::function<void()> body, Chare* owner) {
+  auto fib = std::make_unique<Fiber>(std::move(body));
+  Fiber* f = fib.get();
+  me().fibers[f] = FiberRec{std::move(fib), owner};
+  resume_fiber(f);
+}
+
+void Runtime::Impl::resume_fiber(Fiber* f) {
+  auto& ps = me();
+  const auto it = ps.fibers.find(f);
+  if (it == ps.fibers.end()) return;  // already completed
+  Chare* owner = it->second.owner;
+  const double t0 = machine->now();
+  CX_TRACE_EVENT(mype(), t0, cx::trace::EventKind::FiberResume, 0, 0);
+  f->resume();
+  const double dt = machine->now() - t0;
+  if (owner) owner->load_ += dt;
+  if (f->done()) {
+    ps.fibers.erase(f);
+  } else {
+    CX_TRACE_EVENT(mype(), machine->now(),
+                   cx::trace::EventKind::FiberSuspend, 0, 0);
+  }
+  if (owner) post_execute(owner);
+}
+
+// ---- delivery / execution -------------------------------------------------
+
+void Runtime::Impl::deliver(Chare* obj, EpId ep, std::shared_ptr<void> tuple,
+                            const ReplyTo& reply, const ReplyTo& bdone) {
+  const EpInfo& info = Registry::instance().ep(ep);
+  if (info.when && !info.when(obj, tuple.get())) {
+    obj->buffered_.push_back({ep, std::move(tuple), reply, bdone});
+    CX_TRACE_EVENT(mype(), machine->now(),
+                   cx::trace::EventKind::WhenBuffer, obj->coll_,
+                   obj->buffered_.size());
+    return;
+  }
+  execute(obj, ep, std::move(tuple), reply, bdone);
+}
+
+void Runtime::Impl::execute(Chare* obj, EpId ep, std::shared_ptr<void> tuple,
+                            const ReplyTo& reply, const ReplyTo& bdone) {
+  const EpInfo& info = Registry::instance().ep(ep);
+  const CollectionId coll = obj->coll_;
+  auto body = [this, obj, ep, tuple = std::move(tuple), reply, bdone,
+               coll]() {
+    Registry::instance().ep(ep).invoke(obj, tuple.get(), reply);
+    if (bdone.valid()) {
+      BcastDoneHeader h;
+      h.coll = coll;
+      h.reply = bdone;
+      h.count = 1;
+      rt_send(wire::make_msg(h_bcast_done, static_cast<int>(coll) % P, h));
+    }
+  };
+  if (info.threaded) {
+    obj->active_fibers_++;
+    run_fiber(
+        [this, body = std::move(body), obj, coll, ep]() {
+          // The recorded span covers the whole threaded entry, including
+          // any time suspended on futures/wait (see FiberSuspend events).
+          const double t0 = machine->now();
+          CX_TRACE_EVENT(mype(), t0, cx::trace::EventKind::EntryBegin,
+                         coll, ep);
+          body();
+          const double t1 = machine->now();
+          CX_TRACE_EVENT(mype(), t1, cx::trace::EventKind::EntryEnd, ep,
+                         static_cast<std::uint64_t>((t1 - t0) * 1e9));
+          obj->active_fibers_--;
+        },
+        obj);
+  } else {
+    const double t0 = machine->now();
+    CX_TRACE_EVENT(mype(), t0, cx::trace::EventKind::EntryBegin, coll, ep);
+    body();
+    const double t1 = machine->now();
+    obj->load_ += t1 - t0;
+    CX_TRACE_EVENT(mype(), t1, cx::trace::EventKind::EntryEnd, ep,
+                   static_cast<std::uint64_t>((t1 - t0) * 1e9));
+    post_execute(obj);
+  }
+}
+
+/// After any entry method runs on `obj`: retry when-buffered messages,
+/// re-check wait() conditions, perform deferred migration / AtSync.
+void Runtime::Impl::post_execute(Chare* obj) {
+  if (obj->post_active_) return;
+  obj->post_active_ = true;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = obj->buffered_.begin(); it != obj->buffered_.end();
+         ++it) {
+      const EpInfo& info = Registry::instance().ep(it->ep);
+      if (!info.when || info.when(obj, it->args.get())) {
+        PendingInvoke pi = std::move(*it);
+        obj->buffered_.erase(it);
+        execute(obj, pi.ep, std::move(pi.args), pi.reply, pi.bcast_done);
+        progress = true;
+        break;
+      }
+    }
+  }
+  for (auto& w : obj->waits_) {
+    if (!w.scheduled && w.cond()) {
+      w.scheduled = true;
+      send_resume(w.fiber);
+    }
+  }
+  obj->post_active_ = false;
+  if (obj->sync_pending_) {
+    obj->sync_pending_ = false;
+    ChareLoadRecord rec;
+    rec.coll = obj->coll_;
+    rec.idx = obj->idx_;
+    rec.pe = mype();
+    rec.load = obj->load_;
+    rt_send(wire::make_msg(h_lb_sync, 0, rec));
+  }
+  if (obj->migrate_pending_ && obj->active_fibers_ == 0) {
+    obj->migrate_pending_ = false;
+    do_migrate(obj, obj->migrate_to_, obj->migrate_for_lb_);
+  }
+}
+
+// ---- handlers -------------------------------------------------------------
+
+void Runtime::Impl::on_local(MessagePtr msg) {
+  EnvelopePtr env(static_cast<LocalEnvelope*>(msg->take_local()));
+  if (env->kind == LocalEnvelope::Kind::Timer) {
+    // Timers ride on Machine::send_after, which is uncounted: no
+    // processed++ here, or quiescence detection would never settle.
+    auto& ps = me();
+    const auto it = ps.timer_waiters.find(env->timer_token);
+    if (it == ps.timer_waiters.end()) return;  // disarmed: value arrived
+    Fiber* f = it->second;
+    ps.timer_waiters.erase(it);
+    resume_fiber(f);
+    return;
+  }
+  me().processed++;
+  switch (env->kind) {
+    case LocalEnvelope::Kind::Start:
+      run_fiber(std::move(env->fn), nullptr);
+      return;
+    case LocalEnvelope::Kind::Resume:
+      resume_fiber(env->fiber);
+      return;
+    case LocalEnvelope::Kind::Entry: {
+      auto& ps = me();
+      const auto it = ps.colls.find(env->coll);
+      auto to_remote = [&]() {
+        EntryHeader h;
+        h.coll = env->coll;
+        h.idx = env->idx;
+        h.ep = env->ep;
+        h.reply = env->reply;
+        h.bcast_done = env->bcast_done;
+        return wire::make_msg_pup(h_entry, mype(), h, [&](pup::Er& p) {
+          env->pup_args(env->tuple.get(), p);
+        });
+      };
+      if (it == ps.colls.end()) {
+        stash_msg(env->coll, to_remote());
+        return;
+      }
+      CollMeta& cm = it->second;
+      if (Chare* obj = find_local(cm, env->idx)) {
+        deliver(obj, env->ep, std::move(env->tuple), env->reply,
+                env->bcast_done);
+      } else {
+        // Element moved between send and delivery: fall back to bytes.
+        route_entry_msg(cm, env->idx, to_remote());
+      }
+      return;
+    }
+    case LocalEnvelope::Kind::Timer:
+      return;  // handled above
+  }
+}
+
+void Runtime::Impl::on_entry(MessagePtr msg) {
+  me().processed++;
+  pup::Unpacker u(msg->data.data(), msg->data.size());
+  EntryHeader h;
+  u | h;
+  auto& ps = me();
+  const auto it = ps.colls.find(h.coll);
+  if (it == ps.colls.end()) {
+    stash_msg(h.coll, std::move(msg));
+    return;
+  }
+  CollMeta& cm = it->second;
+  if (Chare* obj = find_local(cm, h.idx)) {
+    const EpInfo& info = Registry::instance().ep(h.ep);
+    auto tuple = info.unpack(u);
+    deliver(obj, h.ep, std::move(tuple), h.reply, h.bcast_done);
+  } else {
+    route_entry_msg(cm, h.idx, std::move(msg));
+  }
+}
+
+// ---- point-to-point sends (bridge from the header-only proxies) -----------
+
+namespace detail {
+
+void proxy_send(CollectionId coll, const Index& idx, EpId ep,
+                ArgsCarrier args, const ReplyTo& reply,
+                std::uint64_t nominal_bytes) {
+  auto& I = Runtime::current().impl();
+  auto& ps = I.me();
+  const auto it = ps.colls.find(coll);
+  if (local_fastpath_enabled() && it != ps.colls.end() &&
+      it->second.elements.count(idx) != 0) {
+    // Same-PE fast path: hand the live tuple over, no serialization
+    // (paper §II-D). The caller gave up ownership of the arguments.
+    LocalEnvelope* env = acquire_envelope();
+    env->kind = LocalEnvelope::Kind::Entry;
+    env->coll = coll;
+    env->idx = idx;
+    env->ep = ep;
+    env->tuple = std::move(args.tuple);
+    env->pup_args = args.pup;
+    env->reply = reply;
+    I.send_local(I.mype(), env);
+    return;
+  }
+  EntryHeader h;
+  h.coll = coll;
+  h.idx = idx;
+  h.ep = ep;
+  h.reply = reply;
+  auto msg = wire::make_msg_pup(I.h_entry, I.mype(), h, [&](pup::Er& p) {
+    args.pup(args.tuple.get(), p);
+  });
+  msg->size_override = nominal_bytes;
+  if (it == ps.colls.end()) {
+    I.stash_msg(coll, std::move(msg));
+    return;
+  }
+  if (it->second.elements.count(idx) != 0) {
+    // Local element but the by-reference fast path is disabled: deliver
+    // the packed message through the scheduler (full serialize cycle).
+    I.rt_send(std::move(msg));
+    return;
+  }
+  I.route_entry_msg(it->second, idx, std::move(msg));
+}
+
+}  // namespace detail
+}  // namespace cx

@@ -1,0 +1,246 @@
+// Fault-tolerance handlers (failure notification, checkpoint/restore
+// collectives) and the cx::ft public API. The collectives must walk
+// the scheduler's live per-PE state, so they live in core/, not ft/.
+// All ft traffic is uncounted control traffic: no processed++.
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/future.hpp"
+#include "core/runtime_impl.hpp"
+#include "util/log.hpp"
+
+namespace cx {
+
+void Runtime::Impl::on_ft_failure(MessagePtr msg) {
+  FtFailureHeader h = pup::from_bytes<FtFailureHeader>(msg->data);
+  const int pe = h.failure.pe;
+  if (pe < 0 || pe >= P) return;
+  if (!ftst.failed.insert(pe).second) return;  // already known
+  CX_LOG_WARN("cx::ft: PE ", pe, " failed (",
+              cx::ft::failure_kind_name(h.failure.kind),
+              ") at t=", h.failure.time);
+  // Its local checkpoint memory died with it; the buddy copy remains.
+  cx::ft::CheckpointStore::instance().drop_primary(pe);
+  auto cbs = ftst.callbacks;  // a callback may register further callbacks
+  for (auto& cb : cbs) cb(h.failure);
+}
+
+void Runtime::Impl::on_ckpt(MessagePtr msg) {
+  CkptHeader h = pup::from_bytes<CkptHeader>(msg->data);
+  auto& ps = me();
+  PeBlob blob;
+  blob.created = ps.created;
+  blob.processed = ps.processed;
+  blob.next_future = ps.next_future;
+  std::vector<CollectionId> cids;
+  cids.reserve(ps.colls.size());
+  for (auto& [cid, cm] : ps.colls) cids.push_back(cid);
+  std::sort(cids.begin(), cids.end());
+  for (const CollectionId cid : cids) {
+    CollMeta& cm = ps.colls.at(cid);
+    CollBlob cb;
+    cb.info = cm.info;
+    std::vector<Index> order;
+    order.reserve(cm.elements.size());
+    for (auto& [idx, obj] : cm.elements) order.push_back(idx);
+    std::sort(order.begin(), order.end());
+    for (const Index& idx : order) {
+      Chare* obj = cm.elements.at(idx).get();
+      ElementBlob eb;
+      eb.idx = idx;
+      eb.red_no = obj->red_no_;
+      pup::Sizer sz;
+      obj->pup(sz);
+      eb.state.resize(sz.size());
+      pup::Packer pk(eb.state.data(), eb.state.size());
+      obj->pup(pk);
+      cb.elements.push_back(std::move(eb));
+    }
+    order.clear();
+    for (auto& [idx, pe] : cm.overrides) order.push_back(idx);
+    std::sort(order.begin(), order.end());
+    for (const Index& idx : order) {
+      cb.overrides.push_back({idx, cm.overrides.at(idx)});
+    }
+    blob.colls.push_back(std::move(cb));
+  }
+  for (auto& [key, rs] : ps.red_root) {
+    RedBlob rb;
+    rb.coll = key.first;
+    rb.red_no = key.second;
+    rb.count = rs.count;
+    rb.has_acc = rs.has_acc;
+    rb.acc = rs.acc;
+    rb.combiner = rs.combiner;
+    rb.cb = rs.cb;
+    blob.reductions.push_back(std::move(rb));
+  }
+  auto bytes = pup::to_bytes(blob);
+  CX_TRACE_EVENT(mype(), machine->now(), cx::trace::EventKind::FtCheckpoint,
+                 h.epoch, bytes.size());
+  cx::ft::CheckpointStore::instance().store(mype(), h.epoch,
+                                            std::move(bytes));
+  CkptAckHeader a;
+  a.epoch = h.epoch;
+  a.reply = h.reply;
+  raw_send(wire::make_msg(h_ckpt_ack, h.reply.pe, a));
+}
+
+void Runtime::Impl::on_ckpt_ack(MessagePtr msg) {
+  CkptAckHeader h = pup::from_bytes<CkptAckHeader>(msg->data);
+  if (++ftst.ckpt_acks[h.epoch] < P) return;
+  ftst.ckpt_acks.erase(h.epoch);
+  send_future_bytes(h.reply, {});
+}
+
+void Runtime::Impl::on_restore(MessagePtr msg) {
+  RestoreHeader h = pup::from_bytes<RestoreHeader>(msg->data);
+  auto& ps = me();
+  // Discard post-checkpoint scheduler state. Futures and live fibers
+  // survive: the restore driver itself is suspended on one.
+  ps.colls.clear();
+  ps.stash.clear();
+  ps.red_root.clear();
+  ps.bcast_done_root.clear();
+  ps.ins_count.clear();
+  ps.size_acks.clear();
+  if (mype() == 0) {
+    lb.clear();
+    qd = QdState{};
+  }
+  const auto bytes = cx::ft::CheckpointStore::instance().latest(mype());
+  if (!bytes.empty()) {
+    PeBlob blob = pup::from_bytes<PeBlob>(bytes);
+    for (auto& cb : blob.colls) {
+      CollMeta& cm = ps.colls[cb.info.id];
+      cm.info = cb.info;
+      const auto& fac = Registry::instance().factory(cb.info.ctor);
+      if (fac.construct_default == nullptr) {
+        CX_LOG_ERROR("chare type of collection ", cb.info.id,
+                     " is not default-constructible; cannot restore");
+        throw std::logic_error(
+            "restore requires default-constructible chares");
+      }
+      for (auto& eb : cb.elements) {
+        staged_coll() = cb.info.id;
+        staged_idx() = eb.idx;
+        Chare* obj = fac.construct_default();
+        staged_coll() = kInvalidCollection;
+        pup::Unpacker u(eb.state.data(), eb.state.size());
+        obj->pup(u);
+        obj->red_no_ = eb.red_no;
+        obj->load_ = 0.0;
+        cm.elements[eb.idx].reset(obj);
+        obj->on_migrated();
+      }
+      for (auto& ob : cb.overrides) cm.overrides[ob.idx] = ob.pe;
+    }
+    for (auto& rb : blob.reductions) {
+      RedState rs;
+      rs.count = rb.count;
+      rs.has_acc = rb.has_acc;
+      rs.acc = rb.acc;
+      rs.combiner = rb.combiner;
+      rs.cb = rb.cb;
+      ps.red_root[{rb.coll, rb.red_no}] = std::move(rs);
+    }
+    // Roll the quiescence counters back too, so created/processed match
+    // a run that never diverged from this checkpoint.
+    ps.created = blob.created;
+    ps.processed = blob.processed;
+    // Same for the future-id counter: element state PUPs callbacks,
+    // which embed future ids, so a restored run must re-issue the ids a
+    // never-diverged run would (the digest tests compare them). Stale
+    // post-checkpoint slots are dropped; a slot with a suspended waiter
+    // (the restore ack the driver itself blocks on) survives, and
+    // make_future_slot skips over any survivor when reallocating.
+    for (auto it = ps.futures.begin(); it != ps.futures.end();) {
+      if (it->first > blob.next_future && it->second.waiter == nullptr) {
+        it = ps.futures.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    ps.next_future = blob.next_future;
+  }
+  CX_TRACE_EVENT(mype(), machine->now(), cx::trace::EventKind::FtRestore,
+                 h.epoch, bytes.size());
+  RestoreAckHeader a;
+  a.reply = h.reply;
+  raw_send(wire::make_msg(h_restore_ack, h.reply.pe, a));
+}
+
+void Runtime::Impl::on_restore_ack(MessagePtr msg) {
+  RestoreAckHeader h = pup::from_bytes<RestoreAckHeader>(msg->data);
+  if (++ftst.restore_acks < P) return;
+  ftst.restore_acks = 0;
+  send_future_bytes(h.reply, {});
+}
+
+// ---------------------------------------------------------------------------
+// cx::ft public API (declared in ft/ft.hpp; lives here because the
+// collectives must walk the scheduler's live per-PE state)
+
+namespace ft {
+
+std::uint64_t checkpoint() {
+  auto& I = Runtime::current().impl();
+  const std::uint64_t epoch = ++I.ftst.next_epoch;
+  const ReplyTo reply = detail::make_future_slot();
+  CkptHeader h;
+  h.epoch = epoch;
+  h.reply = reply;
+  for (int pe = 0; pe < I.P; ++pe) {
+    I.raw_send(wire::make_msg(I.h_ckpt, pe, h));
+  }
+  (void)detail::future_get_bytes(reply);  // blocks the driver fiber
+  I.me().futures.erase(reply.fid);  // one-shot internal slot
+  return epoch;
+}
+
+void restore() {
+  auto& I = Runtime::current().impl();
+  const std::uint64_t epoch = CheckpointStore::instance().latest_epoch();
+  if (epoch == 0) {
+    throw std::logic_error("cx::ft::restore(): no checkpoint to restore");
+  }
+  // Bring dead PEs back first so the restore collective reaches them.
+  const std::vector<int> dead(I.ftst.failed.begin(), I.ftst.failed.end());
+  for (const int pe : dead) I.machine->revive_pe(pe);
+  I.ftst.failed.clear();
+  const ReplyTo reply = detail::make_future_slot();
+  RestoreHeader h;
+  h.epoch = epoch;
+  h.reply = reply;
+  for (int pe = 0; pe < I.P; ++pe) {
+    I.raw_send(wire::make_msg(I.h_restore, pe, h));
+  }
+  (void)detail::future_get_bytes(reply);
+  // Release the ack slot: with next_future rolled back to the checkpoint
+  // value, the id must be reusable or post-restore allocations would
+  // diverge from a never-diverged run's.
+  I.me().futures.erase(reply.fid);
+}
+
+std::uint64_t checkpoint_digest() {
+  return CheckpointStore::instance().digest();
+}
+
+void set_checkpoint_dir(const std::string& dir) {
+  CheckpointStore::instance().set_disk_dir(dir);
+}
+
+void on_failure(std::function<void(const PeFailure&)> cb) {
+  Runtime::current().impl().ftst.callbacks.push_back(std::move(cb));
+}
+
+std::vector<int> failed_pes() {
+  const auto& failed = Runtime::current().impl().ftst.failed;
+  return {failed.begin(), failed.end()};
+}
+
+}  // namespace ft
+}  // namespace cx

@@ -30,7 +30,7 @@ ArgsCarrier make_args(Us&&... us) {
                 "entry method does not belong to this proxy's chare type");
   using Tuple = typename Traits::ArgsTuple;
   auto t = std::make_shared<Tuple>(std::forward<Us>(us)...);
-  return ArgsCarrier{std::move(t), &pack_tuple<Tuple>};
+  return ArgsCarrier{std::move(t), &pup_tuple<Tuple>};
 }
 
 template <auto M>

@@ -60,9 +60,11 @@ struct MethodTraits<R (C::*)(As...)> {
 struct EpInfo {
   /// Unpack the serialized argument tuple into a heap allocation.
   std::shared_ptr<void> (*unpack)(pup::Unpacker& u) = nullptr;
-  /// Re-serialize an argument tuple (used to forward buffered messages
-  /// when their target chare migrates).
-  std::vector<std::byte> (*pack_args)(void* args_tuple) = nullptr;
+  /// PUP-traverse an argument tuple: sizing and packing passes walk the
+  /// live tuple, so the wire builder can serialize it straight into the
+  /// message buffer (no intermediate vector). Also used to forward
+  /// buffered messages when their target chare migrates.
+  void (*pup_args)(void* args_tuple, pup::Er& p) = nullptr;
   /// Apply the method; consumes the tuple's contents (move).
   void (*invoke)(Chare* obj, void* args_tuple, const ReplyTo& reply) = nullptr;
   /// Run inside a fiber so the method may suspend.
@@ -114,8 +116,8 @@ EpId register_ep() {
     u | *t;
     return t;
   };
-  info.pack_args = +[](void* args_tuple) {
-    return pup::to_bytes(*static_cast<Tuple*>(args_tuple));
+  info.pup_args = +[](void* args_tuple, pup::Er& p) {
+    p | *static_cast<Tuple*>(args_tuple);
   };
   info.invoke = +[](Chare* obj, void* args_tuple, const ReplyTo& reply) {
     auto& t = *static_cast<Tuple*>(args_tuple);

@@ -1,1005 +1,35 @@
-#include "core/runtime.hpp"
+// Runtime glue: Impl construction, handler registration, the public
+// Runtime API, and Chare services. The scheduler logic lives in the
+// sibling TUs (delivery.cpp, location.cpp, collectives.cpp,
+// coordinator.cpp, ft_handlers.cpp); see runtime_impl.hpp for the map.
 
-#include <algorithm>
-#include <atomic>
 #include <cstdlib>
-#include <cassert>
-#include <map>
-#include <optional>
-#include <set>
 #include <stdexcept>
-#include <unordered_map>
-#include <vector>
+#include <utility>
 
-#include "core/chare.hpp"
-#include "core/collection.hpp"
-#include "core/future.hpp"
-#include "core/lb.hpp"
-#include "core/registry.hpp"
-#include "core/send_iface.hpp"
-#include "fiber/fiber.hpp"
-#include "ft/ft.hpp"
+#include "core/runtime_impl.hpp"
 #include "machine/sim_machine.hpp"
-#include "trace/trace.hpp"
-#include "util/log.hpp"
 
 namespace cx {
 
-using cxf::Fiber;
-using cxm::Message;
-using cxm::MessagePtr;
-
-namespace {
-
 Runtime* g_runtime = nullptr;
 
-// Identity staged for the Chare constructor (see construct_element).
-thread_local CollectionId t_staged_coll = kInvalidCollection;
-thread_local Index t_staged_idx;
-
-// ---- wire headers --------------------------------------------------------
-
-struct EntryHeader {
-  CollectionId coll = kInvalidCollection;
-  Index idx;
-  EpId ep = 0;
-  ReplyTo reply;
-  ReplyTo bcast_done;
-  void pup(pup::Er& p) {
-    p | coll;
-    p | idx;
-    p | ep;
-    p | reply;
-    p | bcast_done;
-  }
-};
-
-struct BcastHeader {
-  CollectionId coll = kInvalidCollection;
-  EpId ep = 0;
-  ReplyTo reply;  ///< completion slot; doubles as the broadcast key
-  std::int32_t root = 0;  ///< -2 = re-dispatched, do not forward again
-  void pup(pup::Er& p) {
-    p | coll;
-    p | ep;
-    p | reply;
-    p | root;
-  }
-};
-
-struct BcastDoneHeader {
-  CollectionId coll = kInvalidCollection;
-  ReplyTo reply;
-  std::uint64_t count = 0;
-  void pup(pup::Er& p) {
-    p | coll;
-    p | reply;
-    p | count;
-  }
-};
-
-struct ReduceHeader {
-  CollectionId coll = kInvalidCollection;
-  std::uint32_t red_no = 0;
-  CombineId combiner = kNoCombine;
-  Callback cb;
-  std::uint64_t count = 0;
-  void pup(pup::Er& p) {
-    p | coll;
-    p | red_no;
-    p | combiner;
-    p | cb;
-    p | count;
-  }
-};
-
-struct FutureHeader {
-  FutureId fid = 0;
-  void pup(pup::Er& p) { p | fid; }
-};
-
-struct MigrateHeader {
-  CollectionId coll = kInvalidCollection;
-  Index idx;
-  std::uint32_t red_no = 0;
-  bool for_lb = false;
-  void pup(pup::Er& p) {
-    p | coll;
-    p | idx;
-    p | red_no;
-    p | for_lb;
-  }
-};
-
-struct LocUpdateHeader {
-  CollectionId coll = kInvalidCollection;
-  Index idx;
-  std::int32_t pe = 0;
-  void pup(pup::Er& p) {
-    p | coll;
-    p | idx;
-    p | pe;
-  }
-};
-
-struct InsertHeader {
-  CollectionId coll = kInvalidCollection;
-  Index idx;
-  FactoryId ctor = 0;
-  std::int32_t on_pe = -1;  ///< requested placement (-1 = map decides)
-  bool routed = false;      ///< placement resolved; construct on arrival
-  void pup(pup::Er& p) {
-    p | coll;
-    p | idx;
-    p | ctor;
-    p | on_pe;
-    p | routed;
-  }
-};
-
-struct DoneInsertingHeader {
-  CollectionId coll = kInvalidCollection;
-  std::int32_t root = 0;
-  ReplyTo reply;  ///< completion future of done_inserting()
-  void pup(pup::Er& p) {
-    p | coll;
-    p | root;
-    p | reply;
-  }
-};
-
-struct InsertCountHeader {
-  CollectionId coll = kInvalidCollection;
-  std::uint64_t count = 0;
-  ReplyTo reply;
-  void pup(pup::Er& p) {
-    p | coll;
-    p | count;
-    p | reply;
-  }
-};
-
-struct SetSizeHeader {
-  CollectionId coll = kInvalidCollection;
-  std::uint64_t size = 0;
-  std::int32_t root = 0;
-  ReplyTo reply;
-  void pup(pup::Er& p) {
-    p | coll;
-    p | size;
-    p | root;
-    p | reply;
-  }
-};
-
-struct SizeAckHeader {
-  CollectionId coll = kInvalidCollection;
-  ReplyTo reply;
-  void pup(pup::Er& p) {
-    p | coll;
-    p | reply;
-  }
-};
-
-struct LbCmdHeader {
-  CollectionId coll = kInvalidCollection;
-  Index idx;
-  std::int32_t to_pe = 0;
-  void pup(pup::Er& p) {
-    p | coll;
-    p | idx;
-    p | to_pe;
-  }
-};
-
-struct LbAckHeader {
-  CollectionId coll = kInvalidCollection;
-  void pup(pup::Er& p) { p | coll; }
-};
-
-struct LbResumeHeader {
-  CollectionId coll = kInvalidCollection;
-  std::int32_t root = 0;
-  void pup(pup::Er& p) {
-    p | coll;
-    p | root;
-  }
-};
-
-struct QdStartHeader {
-  Callback cb;
-  void pup(pup::Er& p) { p | cb; }
-};
-
-struct QdProbeHeader {
-  std::uint64_t phase = 0;
-  void pup(pup::Er& p) { p | phase; }
-};
-
-struct QdReplyHeader {
-  std::uint64_t phase = 0;
-  std::uint64_t created = 0;
-  std::uint64_t processed = 0;
-  void pup(pup::Er& p) {
-    p | phase;
-    p | created;
-    p | processed;
-  }
-};
-
-struct CreateHeader {
-  CollectionInfo info;
-  std::int32_t root = 0;
-  void pup(pup::Er& p) {
-    p | info;
-    p | root;
-  }
-};
-
-// ---- cx::ft wire headers -------------------------------------------------
-
-struct FtFailureHeader {
-  cx::ft::PeFailure failure;
-  void pup(pup::Er& p) { p | failure; }
-};
-
-struct CkptHeader {
-  std::uint64_t epoch = 0;
-  ReplyTo reply;  ///< resolved when all PEs have stored their blob
-  void pup(pup::Er& p) {
-    p | epoch;
-    p | reply;
-  }
-};
-
-struct CkptAckHeader {
-  std::uint64_t epoch = 0;
-  ReplyTo reply;
-  void pup(pup::Er& p) {
-    p | epoch;
-    p | reply;
-  }
-};
-
-struct RestoreHeader {
-  std::uint64_t epoch = 0;
-  ReplyTo reply;
-  void pup(pup::Er& p) {
-    p | epoch;
-    p | reply;
-  }
-};
-
-struct RestoreAckHeader {
-  ReplyTo reply;
-  void pup(pup::Er& p) { p | reply; }
-};
-
-// ---- cx::ft checkpoint blobs ---------------------------------------------
-// One PeBlob captures everything the scheduler owns on one PE. Iteration
-// order of the live unordered_maps is not deterministic, so every list is
-// sorted before packing — a fault-free run and a restored run must produce
-// byte-identical blobs (the tests compare digests).
-
-struct ElementBlob {
-  Index idx;
-  std::uint32_t red_no = 0;
-  std::vector<std::byte> state;  ///< the chare's own pup()
-  void pup(pup::Er& p) {
-    p | idx;
-    p | red_no;
-    p | state;
-  }
-};
-
-struct OverrideBlob {
-  Index idx;
-  std::int32_t pe = 0;
-  void pup(pup::Er& p) {
-    p | idx;
-    p | pe;
-  }
-};
-
-struct CollBlob {
-  CollectionInfo info;
-  std::vector<ElementBlob> elements;    ///< sorted by Index
-  std::vector<OverrideBlob> overrides;  ///< sorted by Index
-  void pup(pup::Er& p) {
-    p | info;
-    p | elements;
-    p | overrides;
-  }
-};
-
-struct RedBlob {
-  CollectionId coll = kInvalidCollection;
-  std::uint32_t red_no = 0;
-  std::uint64_t count = 0;
-  bool has_acc = false;
-  std::vector<std::byte> acc;
-  CombineId combiner = kNoCombine;
-  Callback cb;
-  void pup(pup::Er& p) {
-    p | coll;
-    p | red_no;
-    p | count;
-    p | has_acc;
-    p | acc;
-    p | combiner;
-    p | cb;
-  }
-};
-
-struct PeBlob {
-  std::vector<CollBlob> colls;     ///< sorted by collection id
-  std::vector<RedBlob> reductions; ///< red_root is a std::map: already ordered
-  std::uint64_t created = 0;
-  std::uint64_t processed = 0;
-  FutureId next_future = 0;
-  void pup(pup::Er& p) {
-    p | colls;
-    p | reductions;
-    p | created;
-    p | processed;
-    p | next_future;
-  }
-};
-
-// In-process (same-PE) payloads: the zero-serialization fast path.
-struct LocalEnvelope {
-  enum class Kind { Entry, Resume, Start, Timer } kind = Kind::Entry;
-  // Entry:
-  CollectionId coll = kInvalidCollection;
-  Index idx;
-  EpId ep = 0;
-  std::shared_ptr<void> tuple;
-  std::vector<std::byte> (*pack)(void*) = nullptr;
-  ReplyTo reply;
-  ReplyTo bcast_done;
-  // Resume:
-  Fiber* fiber = nullptr;
-  // Start:
-  std::function<void()> fn;
-  // Timer (Future::get_for deadline; delivered via Machine::send_after):
-  std::uint64_t timer_token = 0;
-};
-
-template <typename H>
-std::vector<std::byte> header_bytes(H h) {
-  return pup::to_bytes(h);
+Runtime::Impl::Impl(RuntimeConfig c) : cfg(std::move(c)) {
+  machine = cxm::make_machine(cfg.machine);
+  P = machine->num_pes();
+  cx::trace::begin_run(P, machine->is_simulated());
+  pes.reserve(static_cast<std::size_t>(P));
+  for (int i = 0; i < P; ++i) pes.push_back(std::make_unique<PeState>());
+  register_handlers();
+  cx::ft::CheckpointStore::instance().reset(P);
+  machine->set_failure_listener([this](const cx::ft::PeFailure& f) {
+    // Route every detection (scripted crash, inject_kill, retransmit
+    // give-up) to PE 0's scheduler as an uncounted control message.
+    FtFailureHeader h;
+    h.failure = f;
+    raw_send(wire::make_msg(h_ft_failure, 0, h));
+  });
 }
-
-template <typename H>
-std::vector<std::byte> header_plus(H h, const std::vector<std::byte>& body) {
-  auto out = pup::to_bytes(h);
-  out.insert(out.end(), body.begin(), body.end());
-  return out;
-}
-
-/// Binomial-tree children of `self` in a broadcast rooted at `root`.
-void tree_children(int self, int root, int num_pes, std::vector<int>& out) {
-  out.clear();
-  const int q = (self - root + num_pes) % num_pes;
-  const int lim = (q == 0) ? num_pes : (q & -q);
-  for (int mask = 1; mask < lim; mask <<= 1) {
-    const int child = q + mask;
-    if (child < num_pes) out.push_back((child + root) % num_pes);
-  }
-}
-
-Index delinearize(std::uint64_t lin, const Index& dims) {
-  Index idx = dims;  // same arity
-  for (int i = dims.ndims() - 1; i >= 0; --i) {
-    idx[i] = static_cast<int>(lin % static_cast<std::uint64_t>(dims[i]));
-    lin /= static_cast<std::uint64_t>(dims[i]);
-  }
-  return idx;
-}
-
-}  // namespace
-
-// ---------------------------------------------------------------------------
-// Per-PE state
-
-namespace {
-
-struct CollMeta {
-  CollectionInfo info;
-  std::unordered_map<Index, std::unique_ptr<Chare>, IndexHash> elements;
-  std::unordered_map<Index, int, IndexHash> overrides;  ///< migrated homes
-  std::unordered_map<Index, std::vector<MessagePtr>, IndexHash> pending;
-};
-
-struct RedState {
-  std::uint64_t count = 0;
-  bool has_acc = false;
-  std::vector<std::byte> acc;
-  CombineId combiner = kNoCombine;
-  Callback cb;
-};
-
-struct FutureSlot {
-  std::optional<std::vector<std::byte>> value;
-  Fiber* waiter = nullptr;
-};
-
-struct FiberRec {
-  std::unique_ptr<Fiber> fiber;
-  Chare* owner = nullptr;
-};
-
-struct PeState {
-  std::unordered_map<CollectionId, CollMeta> colls;
-  /// Messages for collections whose creation hasn't reached this PE yet.
-  std::unordered_map<CollectionId, std::vector<MessagePtr>> stash;
-  std::unordered_map<FutureId, FutureSlot> futures;
-  FutureId next_future = 0;
-  std::unordered_map<Fiber*, FiberRec> fibers;
-  /// Reductions rooted on this PE, keyed (collection, red_no).
-  std::map<std::pair<CollectionId, std::uint32_t>, RedState> red_root;
-  /// Broadcast-completion counts, keyed (reply.pe, reply.fid).
-  std::map<std::pair<std::int32_t, FutureId>, std::uint64_t> bcast_done_root;
-  /// Sparse-array size gathering, keyed by collection: (total, reports).
-  std::unordered_map<CollectionId, std::pair<std::uint64_t, int>> ins_count;
-  /// SetSize acknowledgment counts (done_inserting completion).
-  std::unordered_map<CollectionId, int> size_acks;
-  std::uint64_t created = 0;    ///< app messages sent from this PE
-  std::uint64_t processed = 0;  ///< app messages handled on this PE
-  /// Armed Future::get_for deadlines: token -> suspended fiber. A timer
-  /// whose token is gone (value arrived first) is a no-op on delivery.
-  std::unordered_map<std::uint64_t, Fiber*> timer_waiters;
-  std::uint64_t next_timer_token = 0;
-};
-
-}  // namespace
-
-// ---------------------------------------------------------------------------
-// Runtime::Impl
-
-struct Runtime::Impl {
-  RuntimeConfig cfg;
-  std::unique_ptr<cxm::Machine> machine;
-  int P = 0;
-  std::atomic<CollectionId> next_coll{0};
-  std::vector<std::unique_ptr<PeState>> pes;
-  std::atomic<bool> exiting{false};
-
-  // Handler ids
-  std::uint32_t h_local = 0, h_entry = 0, h_create = 0, h_bcast = 0,
-                h_bcast_done = 0, h_reduce = 0, h_future = 0, h_migrate = 0,
-                h_loc = 0, h_insert = 0, h_done_inserting = 0,
-                h_insert_count = 0, h_set_size = 0, h_size_ack = 0,
-                h_lb_sync = 0, h_lb_cmd = 0, h_lb_ack = 0, h_lb_resume = 0,
-                h_qd_start = 0, h_qd_probe = 0, h_qd_reply = 0,
-                h_ft_failure = 0, h_ckpt = 0, h_ckpt_ack = 0, h_restore = 0,
-                h_restore_ack = 0;
-
-  // LB coordinator state (touched on PE 0 only).
-  struct LbCollState {
-    std::vector<ChareLoadRecord> records;
-    std::uint64_t pending_acks = 0;
-  };
-  std::unordered_map<CollectionId, LbCollState> lb;
-  LbStats lb_stats;
-
-  // Quiescence detection state (PE 0 only).
-  struct QdState {
-    std::vector<Callback> waiters;
-    bool wave_active = false;
-    std::uint64_t phase = 0;
-    int replies = 0;
-    std::uint64_t sum_c = 0, sum_p = 0;
-    std::uint64_t prev_c = 0, prev_p = 0;
-    bool have_prev = false;
-  };
-  QdState qd;
-
-  // Fault-tolerance coordinator state. Touched only on the PE that
-  // drives it: failure bookkeeping and callbacks on PE 0 (the failure
-  // listener routes every detection there), ack counting on whichever
-  // PE called checkpoint()/restore() — one collective at a time.
-  struct FtState {
-    std::set<int> failed;
-    std::vector<std::function<void(const cx::ft::PeFailure&)>> callbacks;
-    std::uint64_t next_epoch = 0;
-    std::map<std::uint64_t, int> ckpt_acks;  ///< epoch -> PEs stored
-    int restore_acks = 0;
-  };
-  FtState ftst;
-
-  explicit Impl(RuntimeConfig c) : cfg(std::move(c)) {
-    machine = cxm::make_machine(cfg.machine);
-    P = machine->num_pes();
-    cx::trace::begin_run(P, machine->is_simulated());
-    pes.reserve(static_cast<std::size_t>(P));
-    for (int i = 0; i < P; ++i) pes.push_back(std::make_unique<PeState>());
-    register_handlers();
-    cx::ft::CheckpointStore::instance().reset(P);
-    machine->set_failure_listener([this](const cx::ft::PeFailure& f) {
-      // Route every detection (scripted crash, inject_kill, retransmit
-      // give-up) to PE 0's scheduler as an uncounted control message.
-      FtFailureHeader h;
-      h.failure = f;
-      raw_send(make_msg(h_ft_failure, 0, header_bytes(h)));
-    });
-  }
-
-  [[nodiscard]] int mype() const { return machine->current_pe(); }
-
-  std::uint32_t next_red_no(Chare& c) { return c.red_no_++; }
-
-  PeState& me() {
-    const int pe = mype();
-    assert(pe >= 0 && "runtime call outside of a PE context");
-    return *pes[static_cast<std::size_t>(pe)];
-  }
-
-  // ---- send helpers ------------------------------------------------------
-
-  /// Counted application-message send.
-  void rt_send(MessagePtr msg) {
-    const int cp = mype();
-    const int attr = cp >= 0 ? cp : msg->dst_pe;
-    pes[static_cast<std::size_t>(attr)]->created++;
-    machine->send(std::move(msg));
-  }
-
-  /// Uncounted send for quiescence-detection control traffic.
-  void raw_send(MessagePtr msg) { machine->send(std::move(msg)); }
-
-  MessagePtr make_msg(std::uint32_t handler, int dst,
-                      std::vector<std::byte> data) {
-    auto m = std::make_unique<Message>();
-    m->handler = handler;
-    m->dst_pe = dst;
-    m->data = std::move(data);
-    return m;
-  }
-
-  void send_local(int pe, LocalEnvelope env) {
-    auto m = std::make_unique<Message>();
-    m->handler = h_local;
-    m->dst_pe = pe;
-    m->local = std::make_shared<LocalEnvelope>(std::move(env));
-    m->local_size = 0;
-    rt_send(std::move(m));
-  }
-
-  void send_resume(Fiber* f) {
-    LocalEnvelope env;
-    env.kind = LocalEnvelope::Kind::Resume;
-    env.fiber = f;
-    send_local(mype(), std::move(env));
-  }
-
-  // ---- fibers ------------------------------------------------------------
-
-  void run_fiber(std::function<void()> body, Chare* owner) {
-    auto fib = std::make_unique<Fiber>(std::move(body));
-    Fiber* f = fib.get();
-    me().fibers[f] = FiberRec{std::move(fib), owner};
-    resume_fiber(f);
-  }
-
-  void resume_fiber(Fiber* f) {
-    auto& ps = me();
-    const auto it = ps.fibers.find(f);
-    if (it == ps.fibers.end()) return;  // already completed
-    Chare* owner = it->second.owner;
-    const double t0 = machine->now();
-    CX_TRACE_EVENT(mype(), t0, cx::trace::EventKind::FiberResume, 0, 0);
-    f->resume();
-    const double dt = machine->now() - t0;
-    if (owner) owner->load_ += dt;
-    if (f->done()) {
-      ps.fibers.erase(f);
-    } else {
-      CX_TRACE_EVENT(mype(), machine->now(),
-                     cx::trace::EventKind::FiberSuspend, 0, 0);
-    }
-    if (owner) post_execute(owner);
-  }
-
-  // ---- element lookup / routing -----------------------------------------
-
-  Chare* find_local(CollMeta& cm, const Index& idx) {
-    const auto it = cm.elements.find(idx);
-    return it == cm.elements.end() ? nullptr : it->second.get();
-  }
-
-  /// Route a fully-formed entry message (h_entry payload). Called on a PE
-  /// that knows the collection but does not host the element.
-  void route_entry_msg(CollMeta& cm, const Index& idx, MessagePtr msg) {
-    const auto ov = cm.overrides.find(idx);
-    int dst;
-    if (ov != cm.overrides.end()) {
-      dst = ov->second;
-    } else {
-      const int home = home_pe(cm.info, idx, P);
-      if (home == mype()) {
-        // I'm the home and have no forwarding info: the element does not
-        // exist yet (creation/insertion in flight). Buffer until it does.
-        cm.pending[idx].push_back(std::move(msg));
-        return;
-      }
-      dst = home;
-    }
-    msg->dst_pe = dst;
-    rt_send(std::move(msg));
-  }
-
-  void flush_pending(CollMeta& cm, const Index& idx) {
-    const auto it = cm.pending.find(idx);
-    if (it == cm.pending.end()) return;
-    auto msgs = std::move(it->second);
-    cm.pending.erase(it);
-    for (auto& m : msgs) {
-      m->dst_pe = mype();
-      rt_send(std::move(m));  // re-dispatch through the scheduler
-    }
-  }
-
-  void stash_msg(CollectionId coll, MessagePtr msg) {
-    me().stash[coll].push_back(std::move(msg));
-  }
-
-  void flush_stash(CollectionId coll) {
-    auto& ps = me();
-    const auto it = ps.stash.find(coll);
-    if (it == ps.stash.end()) return;
-    auto msgs = std::move(it->second);
-    ps.stash.erase(it);
-    for (auto& m : msgs) {
-      m->dst_pe = mype();
-      rt_send(std::move(m));
-    }
-  }
-
-  // ---- element construction ----------------------------------------------
-
-  Chare* construct_element(CollMeta& cm, const Index& idx) {
-    t_staged_coll = cm.info.id;
-    t_staged_idx = idx;
-    const auto& fac = Registry::instance().factory(cm.info.ctor);
-    Chare* obj = fac.construct(cm.info.ctor_args.data(),
-                               cm.info.ctor_args.size());
-    t_staged_coll = kInvalidCollection;
-    cm.elements[idx].reset(obj);
-    flush_pending(cm, idx);
-    return obj;
-  }
-
-  /// Enumerate the dense-array indexes whose home is this PE.
-  template <typename Fn>
-  void for_each_local_index(const CollectionInfo& info, Fn&& fn) {
-    const std::uint64_t n = dense_size(info.dims);
-    const auto up = static_cast<std::uint64_t>(P);
-    const auto pe = static_cast<std::uint64_t>(mype());
-    if (info.map_name == "block") {
-      const std::uint64_t lo = (pe * n + up - 1) / up;
-      const std::uint64_t hi = ((pe + 1) * n + up - 1) / up;
-      for (std::uint64_t lin = lo; lin < hi && lin < n; ++lin) {
-        fn(delinearize(lin, info.dims));
-      }
-    } else if (info.map_name == "rr") {
-      for (std::uint64_t lin = pe; lin < n; lin += up) {
-        fn(delinearize(lin, info.dims));
-      }
-    } else {
-      const auto& map = lookup_map(info.map_name);
-      for (std::uint64_t lin = 0; lin < n; ++lin) {
-        const Index idx = delinearize(lin, info.dims);
-        if (map(idx, info, P) == mype()) fn(idx);
-      }
-    }
-  }
-
-  // ---- delivery / execution ----------------------------------------------
-
-  void deliver(Chare* obj, EpId ep, std::shared_ptr<void> tuple,
-               const ReplyTo& reply, const ReplyTo& bdone) {
-    const EpInfo& info = Registry::instance().ep(ep);
-    if (info.when && !info.when(obj, tuple.get())) {
-      obj->buffered_.push_back({ep, std::move(tuple), reply, bdone});
-      CX_TRACE_EVENT(mype(), machine->now(),
-                     cx::trace::EventKind::WhenBuffer, obj->coll_,
-                     obj->buffered_.size());
-      return;
-    }
-    execute(obj, ep, std::move(tuple), reply, bdone);
-  }
-
-  void execute(Chare* obj, EpId ep, std::shared_ptr<void> tuple,
-               const ReplyTo& reply, const ReplyTo& bdone) {
-    const EpInfo& info = Registry::instance().ep(ep);
-    const CollectionId coll = obj->coll_;
-    auto body = [this, obj, ep, tuple = std::move(tuple), reply, bdone,
-                 coll]() {
-      Registry::instance().ep(ep).invoke(obj, tuple.get(), reply);
-      if (bdone.valid()) {
-        BcastDoneHeader h;
-        h.coll = coll;
-        h.reply = bdone;
-        h.count = 1;
-        rt_send(make_msg(h_bcast_done, static_cast<int>(coll) % P,
-                         header_bytes(h)));
-      }
-    };
-    if (info.threaded) {
-      obj->active_fibers_++;
-      run_fiber(
-          [this, body = std::move(body), obj, coll, ep]() {
-            // The recorded span covers the whole threaded entry, including
-            // any time suspended on futures/wait (see FiberSuspend events).
-            const double t0 = machine->now();
-            CX_TRACE_EVENT(mype(), t0, cx::trace::EventKind::EntryBegin,
-                           coll, ep);
-            body();
-            const double t1 = machine->now();
-            CX_TRACE_EVENT(mype(), t1, cx::trace::EventKind::EntryEnd, ep,
-                           static_cast<std::uint64_t>((t1 - t0) * 1e9));
-            obj->active_fibers_--;
-          },
-          obj);
-    } else {
-      const double t0 = machine->now();
-      CX_TRACE_EVENT(mype(), t0, cx::trace::EventKind::EntryBegin, coll, ep);
-      body();
-      const double t1 = machine->now();
-      obj->load_ += t1 - t0;
-      CX_TRACE_EVENT(mype(), t1, cx::trace::EventKind::EntryEnd, ep,
-                     static_cast<std::uint64_t>((t1 - t0) * 1e9));
-      post_execute(obj);
-    }
-  }
-
-  /// After any entry method runs on `obj`: retry when-buffered messages,
-  /// re-check wait() conditions, perform deferred migration / AtSync.
-  void post_execute(Chare* obj) {
-    if (obj->post_active_) return;
-    obj->post_active_ = true;
-    bool progress = true;
-    while (progress) {
-      progress = false;
-      for (auto it = obj->buffered_.begin(); it != obj->buffered_.end();
-           ++it) {
-        const EpInfo& info = Registry::instance().ep(it->ep);
-        if (!info.when || info.when(obj, it->args.get())) {
-          PendingInvoke pi = std::move(*it);
-          obj->buffered_.erase(it);
-          execute(obj, pi.ep, std::move(pi.args), pi.reply, pi.bcast_done);
-          progress = true;
-          break;
-        }
-      }
-    }
-    for (auto& w : obj->waits_) {
-      if (!w.scheduled && w.cond()) {
-        w.scheduled = true;
-        send_resume(w.fiber);
-      }
-    }
-    obj->post_active_ = false;
-    if (obj->sync_pending_) {
-      obj->sync_pending_ = false;
-      ChareLoadRecord rec;
-      rec.coll = obj->coll_;
-      rec.idx = obj->idx_;
-      rec.pe = mype();
-      rec.load = obj->load_;
-      rt_send(make_msg(h_lb_sync, 0, header_bytes(rec)));
-    }
-    if (obj->migrate_pending_ && obj->active_fibers_ == 0) {
-      obj->migrate_pending_ = false;
-      do_migrate(obj, obj->migrate_to_, obj->migrate_for_lb_);
-    }
-  }
-
-  // ---- migration ----------------------------------------------------------
-
-  void do_migrate(Chare* obj, int to_pe, bool for_lb) {
-    const CollectionId coll = obj->coll_;
-    const Index idx = obj->idx_;
-    auto& cm = me().colls.at(coll);
-    if (to_pe == mype()) {
-      if (for_lb) {
-        LbAckHeader h;
-        h.coll = coll;
-        rt_send(make_msg(h_lb_ack, 0, header_bytes(h)));
-      }
-      return;
-    }
-    if (obj->active_fibers_ > 0) {
-      CX_LOG_ERROR("cannot migrate chare ", idx.to_string(),
-                   " with suspended threaded entry methods");
-      throw std::logic_error("migrate with active threaded entry methods");
-    }
-    // Re-route when-buffered deliveries to the new location.
-    for (auto& pi : obj->buffered_) {
-      const EpInfo& info = Registry::instance().ep(pi.ep);
-      EntryHeader eh;
-      eh.coll = coll;
-      eh.idx = idx;
-      eh.ep = pi.ep;
-      eh.reply = pi.reply;
-      eh.bcast_done = pi.bcast_done;
-      rt_send(make_msg(h_entry, to_pe,
-                       header_plus(eh, info.pack_args(pi.args.get()))));
-    }
-    obj->buffered_.clear();
-    CX_TRACE_EVENT(mype(), machine->now(), cx::trace::EventKind::MigrateOut,
-                   coll, static_cast<std::uint64_t>(to_pe));
-    // Serialize user + runtime state.
-    MigrateHeader mh;
-    mh.coll = coll;
-    mh.idx = idx;
-    mh.red_no = obj->red_no_;
-    mh.for_lb = for_lb;
-    pup::Sizer sz;
-    obj->pup(sz);
-    std::vector<std::byte> state(sz.size());
-    pup::Packer pk(state.data(), state.size());
-    obj->pup(pk);
-    // Remove locally, install forwarder, update the home PE.
-    cm.elements.erase(idx);
-    cm.overrides[idx] = to_pe;
-    const int home = home_pe(cm.info, idx, P);
-    if (home != mype()) {
-      LocUpdateHeader lh;
-      lh.coll = coll;
-      lh.idx = idx;
-      lh.pe = to_pe;
-      rt_send(make_msg(h_loc, home, header_bytes(lh)));
-    }
-    rt_send(make_msg(h_migrate, to_pe, header_plus(mh, state)));
-  }
-
-  // ---- callbacks / futures -------------------------------------------------
-
-  void fulfill_future(FutureId fid, std::vector<std::byte>&& bytes) {
-    auto& slot = me().futures[fid];
-    slot.value = std::move(bytes);
-    if (slot.waiter != nullptr) {
-      Fiber* f = slot.waiter;
-      slot.waiter = nullptr;
-      send_resume(f);
-    }
-  }
-
-  void send_future_bytes(const ReplyTo& f, std::vector<std::byte>&& bytes) {
-    if (!f.valid()) return;
-    if (f.pe == mype()) {
-      fulfill_future(f.fid, std::move(bytes));
-      return;
-    }
-    FutureHeader h;
-    h.fid = f.fid;
-    rt_send(make_msg(h_future, f.pe, header_plus(h, bytes)));
-  }
-
-  void deliver_callback(const Callback& cb, std::vector<std::byte>&& bytes) {
-    switch (cb.kind) {
-      case Callback::Kind::Ignore:
-        return;
-      case Callback::Kind::Future:
-        send_future_bytes(cb.future, std::move(bytes));
-        return;
-      case Callback::Kind::Element: {
-        EntryHeader h;
-        h.coll = cb.coll;
-        h.idx = cb.idx;
-        h.ep = cb.ep;
-        rt_send(make_msg(h_entry, mype(), header_plus(h, bytes)));
-        return;
-      }
-      case Callback::Kind::Broadcast: {
-        BcastHeader h;
-        h.coll = cb.coll;
-        h.ep = cb.ep;
-        h.root = mype();
-        rt_send(make_msg(h_bcast, mype(), header_plus(h, bytes)));
-        return;
-      }
-      case Callback::Kind::SparseCount: {
-        // All inserts have landed (quiescence): count elements per PE.
-        DoneInsertingHeader h;
-        h.coll = cb.coll;
-        h.root = mype();
-        h.reply = cb.future;
-        rt_send(make_msg(h_done_inserting, mype(), header_bytes(h)));
-        return;
-      }
-    }
-  }
-
-  // ---- LB coordinator (PE 0) ------------------------------------------------
-
-  void lb_round(CollectionId coll, LbCollState& st) {
-    const auto& strategy = lookup_lb_strategy(cfg.lb_strategy);
-    auto moves = strategy(st.records, P, cfg.seed + lb_stats.rounds);
-    CX_TRACE_EVENT(mype(), machine->now(), cx::trace::EventKind::LbDecision,
-                   moves.size(), st.records.size());
-    lb_stats.rounds++;
-    lb_stats.migrations += moves.size();
-    lb_stats.last_imbalance_before = imbalance_ratio(st.records, P);
-    auto after = st.records;
-    for (const auto& mv : moves) {
-      for (auto& r : after) {
-        if (r.idx == mv.idx && r.pe == mv.from_pe) {
-          r.pe = mv.to_pe;
-          break;
-        }
-      }
-    }
-    lb_stats.last_imbalance_after = imbalance_ratio(after, P);
-    st.records.clear();
-    if (moves.empty()) {
-      broadcast_lb_resume(coll);
-      return;
-    }
-    st.pending_acks = moves.size();
-    for (const auto& mv : moves) {
-      LbCmdHeader h;
-      h.coll = coll;
-      h.idx = mv.idx;
-      h.to_pe = mv.to_pe;
-      rt_send(make_msg(h_lb_cmd, mv.from_pe, header_bytes(h)));
-    }
-  }
-
-  void broadcast_lb_resume(CollectionId coll) {
-    LbResumeHeader h;
-    h.coll = coll;
-    h.root = mype();
-    rt_send(make_msg(h_lb_resume, mype(), header_bytes(h)));
-  }
-
-  // ---- quiescence (PE 0) ----------------------------------------------------
-
-  void qd_start_wave() {
-    qd.wave_active = true;
-    qd.phase++;
-    qd.replies = 0;
-    qd.sum_c = 0;
-    qd.sum_p = 0;
-    QdProbeHeader h;
-    h.phase = qd.phase;
-    for (int pe = 0; pe < P; ++pe) {
-      raw_send(make_msg(h_qd_probe, pe, header_bytes(h)));
-    }
-  }
-
-  // ---- handlers ---------------------------------------------------------------
-
-  void register_handlers();
-  void on_local(MessagePtr msg);
-  void on_entry(MessagePtr msg);
-  void on_create(MessagePtr msg);
-  void on_bcast(MessagePtr msg);
-  void on_bcast_done(MessagePtr msg);
-  void on_reduce(MessagePtr msg);
-  void on_future(MessagePtr msg);
-  void on_migrate(MessagePtr msg);
-  void on_loc(MessagePtr msg);
-  void on_insert(MessagePtr msg);
-  void on_done_inserting(MessagePtr msg);
-  void on_insert_count(MessagePtr msg);
-  void on_set_size(MessagePtr msg);
-  void on_size_ack(MessagePtr msg);
-  void on_lb_sync(MessagePtr msg);
-  void on_lb_cmd(MessagePtr msg);
-  void on_lb_ack(MessagePtr msg);
-  void on_lb_resume(MessagePtr msg);
-  void on_qd_start(MessagePtr msg);
-  void on_qd_probe(MessagePtr msg);
-  void on_qd_reply(MessagePtr msg);
-  void on_ft_failure(MessagePtr msg);
-  void on_ckpt(MessagePtr msg);
-  void on_ckpt_ack(MessagePtr msg);
-  void on_restore(MessagePtr msg);
-  void on_restore_ack(MessagePtr msg);
-};
 
 void Runtime::Impl::register_handlers() {
   auto reg = [&](void (Impl::*fn)(MessagePtr)) {
@@ -1036,652 +66,6 @@ void Runtime::Impl::register_handlers() {
   h_restore_ack = reg(&Impl::on_restore_ack);
 }
 
-void Runtime::Impl::on_local(MessagePtr msg) {
-  auto* env = static_cast<LocalEnvelope*>(msg->local.get());
-  if (env->kind == LocalEnvelope::Kind::Timer) {
-    // Timers ride on Machine::send_after, which is uncounted: no
-    // processed++ here, or quiescence detection would never settle.
-    auto& ps = me();
-    const auto it = ps.timer_waiters.find(env->timer_token);
-    if (it == ps.timer_waiters.end()) return;  // disarmed: value arrived
-    Fiber* f = it->second;
-    ps.timer_waiters.erase(it);
-    resume_fiber(f);
-    return;
-  }
-  me().processed++;
-  switch (env->kind) {
-    case LocalEnvelope::Kind::Start:
-      run_fiber(std::move(env->fn), nullptr);
-      return;
-    case LocalEnvelope::Kind::Resume:
-      resume_fiber(env->fiber);
-      return;
-    case LocalEnvelope::Kind::Entry: {
-      auto& ps = me();
-      const auto it = ps.colls.find(env->coll);
-      auto to_remote = [&]() {
-        EntryHeader h;
-        h.coll = env->coll;
-        h.idx = env->idx;
-        h.ep = env->ep;
-        h.reply = env->reply;
-        h.bcast_done = env->bcast_done;
-        return make_msg(h_entry, mype(),
-                        header_plus(h, env->pack(env->tuple.get())));
-      };
-      if (it == ps.colls.end()) {
-        stash_msg(env->coll, to_remote());
-        return;
-      }
-      CollMeta& cm = it->second;
-      if (Chare* obj = find_local(cm, env->idx)) {
-        deliver(obj, env->ep, std::move(env->tuple), env->reply,
-                env->bcast_done);
-      } else {
-        // Element moved between send and delivery: fall back to bytes.
-        route_entry_msg(cm, env->idx, to_remote());
-      }
-      return;
-    }
-    case LocalEnvelope::Kind::Timer:
-      return;  // handled above
-  }
-}
-
-void Runtime::Impl::on_entry(MessagePtr msg) {
-  me().processed++;
-  pup::Unpacker u(msg->data.data(), msg->data.size());
-  EntryHeader h;
-  u | h;
-  auto& ps = me();
-  const auto it = ps.colls.find(h.coll);
-  if (it == ps.colls.end()) {
-    stash_msg(h.coll, std::move(msg));
-    return;
-  }
-  CollMeta& cm = it->second;
-  if (Chare* obj = find_local(cm, h.idx)) {
-    const EpInfo& info = Registry::instance().ep(h.ep);
-    auto tuple = info.unpack(u);
-    deliver(obj, h.ep, std::move(tuple), h.reply, h.bcast_done);
-  } else {
-    route_entry_msg(cm, h.idx, std::move(msg));
-  }
-}
-
-void Runtime::Impl::on_create(MessagePtr msg) {
-  me().processed++;
-  CreateHeader h = pup::from_bytes<CreateHeader>(msg->data);
-  // Forward down the creation tree first.
-  std::vector<int> kids;
-  tree_children(mype(), h.root, P, kids);
-  for (int k : kids) {
-    auto copy = make_msg(h_create, k, msg->data);
-    rt_send(std::move(copy));
-  }
-  auto& cm = me().colls[h.info.id];
-  cm.info = h.info;
-  switch (h.info.kind) {
-    case CollectionKind::Singleton:
-      if (h.info.fixed_pe == mype()) construct_element(cm, Index(0));
-      break;
-    case CollectionKind::Group:
-      construct_element(cm, Index(mype()));
-      break;
-    case CollectionKind::Array:
-      for_each_local_index(h.info,
-                           [&](const Index& idx) { construct_element(cm, idx); });
-      break;
-    case CollectionKind::SparseArray:
-      break;
-  }
-  flush_stash(h.info.id);
-}
-
-void Runtime::Impl::on_bcast(MessagePtr msg) {
-  me().processed++;
-  pup::Unpacker u(msg->data.data(), msg->data.size());
-  BcastHeader h;
-  u | h;
-  const std::size_t args_off = u.offset();
-  auto& ps = me();
-  const auto it = ps.colls.find(h.coll);
-  if (h.root != -2) {
-    std::vector<int> kids;
-    tree_children(mype(), h.root, P, kids);
-    for (int k : kids) rt_send(make_msg(h_bcast, k, msg->data));
-  }
-  if (it == ps.colls.end()) {
-    // Keep local delivery for later; mark as forward-complete.
-    BcastHeader h2 = h;
-    h2.root = -2;
-    std::vector<std::byte> data = header_bytes(h2);
-    data.insert(data.end(), msg->data.begin() + static_cast<long>(args_off),
-                msg->data.end());
-    stash_msg(h.coll, make_msg(h_bcast, mype(), std::move(data)));
-    return;
-  }
-  CollMeta& cm = it->second;
-  const EpInfo& info = Registry::instance().ep(h.ep);
-  // Deliver to each local element with a freshly unpacked argument tuple.
-  std::vector<Chare*> local;
-  local.reserve(cm.elements.size());
-  for (auto& [idx, obj] : cm.elements) local.push_back(obj.get());
-  for (Chare* obj : local) {
-    pup::Unpacker ue(msg->data.data(), msg->data.size());
-    BcastHeader dummy;
-    ue | dummy;
-    auto tuple = info.unpack(ue);
-    deliver(obj, h.ep, std::move(tuple), {}, h.reply);
-  }
-}
-
-void Runtime::Impl::on_bcast_done(MessagePtr msg) {
-  me().processed++;
-  BcastDoneHeader h = pup::from_bytes<BcastDoneHeader>(msg->data);
-  auto& ps = me();
-  const auto cit = ps.colls.find(h.coll);
-  if (cit == ps.colls.end()) {
-    stash_msg(h.coll, std::move(msg));
-    return;
-  }
-  const auto key = std::make_pair(h.reply.pe, h.reply.fid);
-  auto& count = ps.bcast_done_root[key];
-  count += h.count;
-  if (count >= cit->second.info.size) {
-    ps.bcast_done_root.erase(key);
-    send_future_bytes(h.reply, {});
-  }
-}
-
-void Runtime::Impl::on_reduce(MessagePtr msg) {
-  me().processed++;
-  pup::Unpacker u(msg->data.data(), msg->data.size());
-  ReduceHeader h;
-  u | h;
-  auto& ps = me();
-  const auto cit = ps.colls.find(h.coll);
-  if (cit == ps.colls.end()) {
-    stash_msg(h.coll, std::move(msg));
-    return;
-  }
-  std::vector<std::byte> value(msg->data.begin() + static_cast<long>(u.offset()),
-                               msg->data.end());
-  auto& rs = ps.red_root[{h.coll, h.red_no}];
-  rs.count += h.count;
-  if (h.combiner != kNoCombine) {
-    if (!rs.has_acc) {
-      rs.acc = std::move(value);
-      rs.has_acc = true;
-      rs.combiner = h.combiner;
-    } else {
-      rs.acc = CombinerRegistry::instance().get(h.combiner)(rs.acc, value);
-    }
-  }
-  if (h.cb.kind != Callback::Kind::Ignore) rs.cb = h.cb;
-  const auto& info = cit->second.info;
-  if (!info.inserting && rs.count >= info.size) {
-    Callback cb = rs.cb;
-    std::vector<std::byte> acc = std::move(rs.acc);
-    ps.red_root.erase({h.coll, h.red_no});
-    CX_TRACE_EVENT(mype(), machine->now(),
-                   cx::trace::EventKind::RedDeliver, h.coll, h.red_no);
-    deliver_callback(cb, std::move(acc));
-  }
-}
-
-void Runtime::Impl::on_future(MessagePtr msg) {
-  me().processed++;
-  pup::Unpacker u(msg->data.data(), msg->data.size());
-  FutureHeader h;
-  u | h;
-  std::vector<std::byte> value(msg->data.begin() + static_cast<long>(u.offset()),
-                               msg->data.end());
-  fulfill_future(h.fid, std::move(value));
-}
-
-void Runtime::Impl::on_migrate(MessagePtr msg) {
-  me().processed++;
-  pup::Unpacker u(msg->data.data(), msg->data.size());
-  MigrateHeader h;
-  u | h;
-  auto& ps = me();
-  const auto cit = ps.colls.find(h.coll);
-  if (cit == ps.colls.end()) {
-    stash_msg(h.coll, std::move(msg));
-    return;
-  }
-  CollMeta& cm = cit->second;
-  const auto& fac = Registry::instance().factory(cm.info.ctor);
-  if (fac.construct_default == nullptr) {
-    CX_LOG_ERROR("chare type of collection ", h.coll,
-                 " is not default-constructible; cannot migrate");
-    throw std::logic_error("migration requires default-constructible chare");
-  }
-  t_staged_coll = h.coll;
-  t_staged_idx = h.idx;
-  Chare* obj = fac.construct_default();
-  t_staged_coll = kInvalidCollection;
-  obj->pup(u);
-  obj->red_no_ = h.red_no;
-  obj->load_ = 0.0;
-  cm.elements[h.idx].reset(obj);
-  cm.overrides.erase(h.idx);
-  CX_TRACE_EVENT(mype(), machine->now(), cx::trace::EventKind::MigrateIn,
-                 h.coll, 0);
-  obj->on_migrated();
-  flush_pending(cm, h.idx);
-  if (h.for_lb) {
-    LbAckHeader ah;
-    ah.coll = h.coll;
-    rt_send(make_msg(h_lb_ack, 0, header_bytes(ah)));
-  }
-  post_execute(obj);
-}
-
-void Runtime::Impl::on_loc(MessagePtr msg) {
-  me().processed++;
-  LocUpdateHeader h = pup::from_bytes<LocUpdateHeader>(msg->data);
-  auto& ps = me();
-  const auto cit = ps.colls.find(h.coll);
-  if (cit == ps.colls.end()) {
-    stash_msg(h.coll, std::move(msg));
-    return;
-  }
-  CollMeta& cm = cit->second;
-  if (h.pe == mype()) {
-    cm.overrides.erase(h.idx);
-  } else {
-    cm.overrides[h.idx] = h.pe;
-  }
-  flush_pending(cm, h.idx);
-}
-
-void Runtime::Impl::on_insert(MessagePtr msg) {
-  me().processed++;
-  pup::Unpacker u(msg->data.data(), msg->data.size());
-  InsertHeader h;
-  u | h;
-  auto& ps = me();
-  const auto cit = ps.colls.find(h.coll);
-  if (cit == ps.colls.end()) {
-    stash_msg(h.coll, std::move(msg));
-    return;
-  }
-  CollMeta& cm = cit->second;
-  std::vector<std::byte> args(msg->data.begin() + static_cast<long>(u.offset()),
-                              msg->data.end());
-  if (!h.routed) {
-    // Placement phase: this PE now knows the collection; resolve the
-    // destination and hand the element over for construction.
-    const int home = home_pe(cm.info, h.idx, P);
-    const int dst = h.on_pe >= 0 ? h.on_pe : home;
-    InsertHeader out = h;
-    out.routed = true;
-    rt_send(make_msg(h_insert, dst, header_plus(out, args)));
-    if (dst != home) {
-      LocUpdateHeader lh;
-      lh.coll = h.coll;
-      lh.idx = h.idx;
-      lh.pe = dst;
-      rt_send(make_msg(h_loc, home, header_bytes(lh)));
-    }
-    return;
-  }
-  t_staged_coll = h.coll;
-  t_staged_idx = h.idx;
-  const auto& fac = Registry::instance().factory(h.ctor);
-  Chare* obj = fac.construct(args.data(), args.size());
-  t_staged_coll = kInvalidCollection;
-  cm.elements[h.idx].reset(obj);
-  flush_pending(cm, h.idx);
-  post_execute(obj);
-}
-
-void Runtime::Impl::on_done_inserting(MessagePtr msg) {
-  me().processed++;
-  DoneInsertingHeader h = pup::from_bytes<DoneInsertingHeader>(msg->data);
-  std::vector<int> kids;
-  tree_children(mype(), h.root, P, kids);
-  for (int k : kids) rt_send(make_msg(h_done_inserting, k, msg->data));
-  auto& ps = me();
-  const auto cit = ps.colls.find(h.coll);
-  const std::uint64_t n =
-      cit == ps.colls.end() ? 0 : cit->second.elements.size();
-  InsertCountHeader ch;
-  ch.coll = h.coll;
-  ch.count = n;
-  ch.reply = h.reply;
-  rt_send(make_msg(h_insert_count, static_cast<int>(h.coll) % P,
-                   header_bytes(ch)));
-}
-
-void Runtime::Impl::on_insert_count(MessagePtr msg) {
-  me().processed++;
-  InsertCountHeader h = pup::from_bytes<InsertCountHeader>(msg->data);
-  auto& ps = me();
-  auto& [total, reports] = ps.ins_count[h.coll];
-  total += h.count;
-  reports++;
-  if (reports == P) {
-    SetSizeHeader sh;
-    sh.coll = h.coll;
-    sh.size = total;
-    sh.root = mype();
-    sh.reply = h.reply;
-    ps.ins_count.erase(h.coll);
-    rt_send(make_msg(h_set_size, mype(), header_bytes(sh)));
-  }
-}
-
-void Runtime::Impl::on_set_size(MessagePtr msg) {
-  me().processed++;
-  SetSizeHeader h = pup::from_bytes<SetSizeHeader>(msg->data);
-  std::vector<int> kids;
-  tree_children(mype(), h.root, P, kids);
-  for (int k : kids) rt_send(make_msg(h_set_size, k, msg->data));
-  auto& ps = me();
-  const auto cit = ps.colls.find(h.coll);
-  if (cit == ps.colls.end()) {
-    stash_msg(h.coll, std::move(msg));
-    return;
-  }
-  cit->second.info.size = h.size;
-  cit->second.info.inserting = false;
-  SizeAckHeader ack;
-  ack.coll = h.coll;
-  ack.reply = h.reply;
-  rt_send(make_msg(h_size_ack, static_cast<int>(h.coll) % P,
-                   header_bytes(ack)));
-  // Reductions rooted here may now be complete.
-  if (static_cast<int>(h.coll) % P == mype()) {
-    std::vector<std::pair<CollectionId, std::uint32_t>> fire;
-    for (auto& [key, rs] : ps.red_root) {
-      if (key.first == h.coll && rs.count >= h.size) fire.push_back(key);
-    }
-    for (const auto& key : fire) {
-      auto node = ps.red_root.extract(key);
-      deliver_callback(node.mapped().cb, std::move(node.mapped().acc));
-    }
-  }
-}
-
-void Runtime::Impl::on_size_ack(MessagePtr msg) {
-  me().processed++;
-  SizeAckHeader h = pup::from_bytes<SizeAckHeader>(msg->data);
-  auto& acks = me().size_acks[h.coll];
-  if (++acks == P) {
-    me().size_acks.erase(h.coll);
-    send_future_bytes(h.reply, {});
-  }
-}
-
-void Runtime::Impl::on_lb_sync(MessagePtr msg) {
-  me().processed++;
-  ChareLoadRecord rec = pup::from_bytes<ChareLoadRecord>(msg->data);
-  auto& ps = me();
-  const auto cit = ps.colls.find(rec.coll);
-  if (cit == ps.colls.end()) {
-    stash_msg(rec.coll, std::move(msg));
-    return;
-  }
-  auto& st = lb[rec.coll];
-  st.records.push_back(rec);
-  if (st.records.size() >= cit->second.info.size) {
-    lb_round(rec.coll, st);
-  }
-}
-
-void Runtime::Impl::on_lb_cmd(MessagePtr msg) {
-  me().processed++;
-  LbCmdHeader h = pup::from_bytes<LbCmdHeader>(msg->data);
-  auto& ps = me();
-  auto& cm = ps.colls.at(h.coll);
-  Chare* obj = find_local(cm, h.idx);
-  if (obj == nullptr) {
-    CX_LOG_ERROR("LB command for non-local chare ", h.idx.to_string());
-    return;
-  }
-  do_migrate(obj, h.to_pe, /*for_lb=*/true);
-}
-
-void Runtime::Impl::on_lb_ack(MessagePtr msg) {
-  me().processed++;
-  LbAckHeader h = pup::from_bytes<LbAckHeader>(msg->data);
-  auto& st = lb[h.coll];
-  if (st.pending_acks > 0 && --st.pending_acks == 0) {
-    broadcast_lb_resume(h.coll);
-  }
-}
-
-void Runtime::Impl::on_lb_resume(MessagePtr msg) {
-  me().processed++;
-  LbResumeHeader h = pup::from_bytes<LbResumeHeader>(msg->data);
-  std::vector<int> kids;
-  tree_children(mype(), h.root, P, kids);
-  for (int k : kids) rt_send(make_msg(h_lb_resume, k, msg->data));
-  auto& ps = me();
-  const auto cit = ps.colls.find(h.coll);
-  if (cit == ps.colls.end()) return;
-  std::vector<Chare*> local;
-  for (auto& [idx, obj] : cit->second.elements) local.push_back(obj.get());
-  for (Chare* obj : local) {
-    obj->load_ = 0.0;
-    obj->resume_from_sync();
-    post_execute(obj);
-  }
-}
-
-void Runtime::Impl::on_qd_start(MessagePtr msg) {
-  QdStartHeader h = pup::from_bytes<QdStartHeader>(msg->data);
-  qd.waiters.push_back(h.cb);
-  if (!qd.wave_active) {
-    qd.have_prev = false;
-    qd_start_wave();
-  }
-}
-
-void Runtime::Impl::on_qd_probe(MessagePtr msg) {
-  QdProbeHeader h = pup::from_bytes<QdProbeHeader>(msg->data);
-  QdReplyHeader r;
-  r.phase = h.phase;
-  r.created = me().created;
-  r.processed = me().processed;
-  raw_send(make_msg(h_qd_reply, 0, header_bytes(r)));
-}
-
-void Runtime::Impl::on_qd_reply(MessagePtr msg) {
-  QdReplyHeader h = pup::from_bytes<QdReplyHeader>(msg->data);
-  if (h.phase != qd.phase) return;
-  qd.sum_c += h.created;
-  qd.sum_p += h.processed;
-  if (++qd.replies < P) return;
-  const bool settled = qd.sum_c == qd.sum_p;
-  const bool stable =
-      qd.have_prev && qd.sum_c == qd.prev_c && qd.sum_p == qd.prev_p;
-  if (settled && stable) {
-    auto waiters = std::move(qd.waiters);
-    qd.waiters.clear();
-    qd.wave_active = false;
-    qd.have_prev = false;
-    for (const auto& cb : waiters) deliver_callback(cb, {});
-    return;
-  }
-  qd.prev_c = qd.sum_c;
-  qd.prev_p = qd.sum_p;
-  qd.have_prev = true;
-  qd_start_wave();
-}
-
-// ---- cx::ft handlers (all uncounted control traffic: no processed++) -----
-
-void Runtime::Impl::on_ft_failure(MessagePtr msg) {
-  FtFailureHeader h = pup::from_bytes<FtFailureHeader>(msg->data);
-  const int pe = h.failure.pe;
-  if (pe < 0 || pe >= P) return;
-  if (!ftst.failed.insert(pe).second) return;  // already known
-  CX_LOG_WARN("cx::ft: PE ", pe, " failed (",
-              cx::ft::failure_kind_name(h.failure.kind),
-              ") at t=", h.failure.time);
-  // Its local checkpoint memory died with it; the buddy copy remains.
-  cx::ft::CheckpointStore::instance().drop_primary(pe);
-  auto cbs = ftst.callbacks;  // a callback may register further callbacks
-  for (auto& cb : cbs) cb(h.failure);
-}
-
-void Runtime::Impl::on_ckpt(MessagePtr msg) {
-  CkptHeader h = pup::from_bytes<CkptHeader>(msg->data);
-  auto& ps = me();
-  PeBlob blob;
-  blob.created = ps.created;
-  blob.processed = ps.processed;
-  blob.next_future = ps.next_future;
-  std::vector<CollectionId> cids;
-  cids.reserve(ps.colls.size());
-  for (auto& [cid, cm] : ps.colls) cids.push_back(cid);
-  std::sort(cids.begin(), cids.end());
-  for (const CollectionId cid : cids) {
-    CollMeta& cm = ps.colls.at(cid);
-    CollBlob cb;
-    cb.info = cm.info;
-    std::vector<Index> order;
-    order.reserve(cm.elements.size());
-    for (auto& [idx, obj] : cm.elements) order.push_back(idx);
-    std::sort(order.begin(), order.end());
-    for (const Index& idx : order) {
-      Chare* obj = cm.elements.at(idx).get();
-      ElementBlob eb;
-      eb.idx = idx;
-      eb.red_no = obj->red_no_;
-      pup::Sizer sz;
-      obj->pup(sz);
-      eb.state.resize(sz.size());
-      pup::Packer pk(eb.state.data(), eb.state.size());
-      obj->pup(pk);
-      cb.elements.push_back(std::move(eb));
-    }
-    order.clear();
-    for (auto& [idx, pe] : cm.overrides) order.push_back(idx);
-    std::sort(order.begin(), order.end());
-    for (const Index& idx : order) {
-      cb.overrides.push_back({idx, cm.overrides.at(idx)});
-    }
-    blob.colls.push_back(std::move(cb));
-  }
-  for (auto& [key, rs] : ps.red_root) {
-    RedBlob rb;
-    rb.coll = key.first;
-    rb.red_no = key.second;
-    rb.count = rs.count;
-    rb.has_acc = rs.has_acc;
-    rb.acc = rs.acc;
-    rb.combiner = rs.combiner;
-    rb.cb = rs.cb;
-    blob.reductions.push_back(std::move(rb));
-  }
-  auto bytes = pup::to_bytes(blob);
-  CX_TRACE_EVENT(mype(), machine->now(), cx::trace::EventKind::FtCheckpoint,
-                 h.epoch, bytes.size());
-  cx::ft::CheckpointStore::instance().store(mype(), h.epoch,
-                                            std::move(bytes));
-  CkptAckHeader a;
-  a.epoch = h.epoch;
-  a.reply = h.reply;
-  raw_send(make_msg(h_ckpt_ack, h.reply.pe, header_bytes(a)));
-}
-
-void Runtime::Impl::on_ckpt_ack(MessagePtr msg) {
-  CkptAckHeader h = pup::from_bytes<CkptAckHeader>(msg->data);
-  if (++ftst.ckpt_acks[h.epoch] < P) return;
-  ftst.ckpt_acks.erase(h.epoch);
-  send_future_bytes(h.reply, {});
-}
-
-void Runtime::Impl::on_restore(MessagePtr msg) {
-  RestoreHeader h = pup::from_bytes<RestoreHeader>(msg->data);
-  auto& ps = me();
-  // Discard post-checkpoint scheduler state. Futures and live fibers
-  // survive: the restore driver itself is suspended on one.
-  ps.colls.clear();
-  ps.stash.clear();
-  ps.red_root.clear();
-  ps.bcast_done_root.clear();
-  ps.ins_count.clear();
-  ps.size_acks.clear();
-  if (mype() == 0) {
-    lb.clear();
-    qd = QdState{};
-  }
-  const auto bytes = cx::ft::CheckpointStore::instance().latest(mype());
-  if (!bytes.empty()) {
-    PeBlob blob = pup::from_bytes<PeBlob>(bytes);
-    for (auto& cb : blob.colls) {
-      CollMeta& cm = ps.colls[cb.info.id];
-      cm.info = cb.info;
-      const auto& fac = Registry::instance().factory(cb.info.ctor);
-      if (fac.construct_default == nullptr) {
-        CX_LOG_ERROR("chare type of collection ", cb.info.id,
-                     " is not default-constructible; cannot restore");
-        throw std::logic_error(
-            "restore requires default-constructible chares");
-      }
-      for (auto& eb : cb.elements) {
-        t_staged_coll = cb.info.id;
-        t_staged_idx = eb.idx;
-        Chare* obj = fac.construct_default();
-        t_staged_coll = kInvalidCollection;
-        pup::Unpacker u(eb.state.data(), eb.state.size());
-        obj->pup(u);
-        obj->red_no_ = eb.red_no;
-        obj->load_ = 0.0;
-        cm.elements[eb.idx].reset(obj);
-        obj->on_migrated();
-      }
-      for (auto& ob : cb.overrides) cm.overrides[ob.idx] = ob.pe;
-    }
-    for (auto& rb : blob.reductions) {
-      RedState rs;
-      rs.count = rb.count;
-      rs.has_acc = rb.has_acc;
-      rs.acc = rb.acc;
-      rs.combiner = rb.combiner;
-      rs.cb = rb.cb;
-      ps.red_root[{rb.coll, rb.red_no}] = std::move(rs);
-    }
-    // Roll the quiescence counters back too, so created/processed match
-    // a run that never diverged from this checkpoint.
-    ps.created = blob.created;
-    ps.processed = blob.processed;
-    // Same for the future-id counter: element state PUPs callbacks,
-    // which embed future ids, so a restored run must re-issue the ids a
-    // never-diverged run would (the digest tests compare them). Stale
-    // post-checkpoint slots are dropped; a slot with a suspended waiter
-    // (the restore ack the driver itself blocks on) survives, and
-    // make_future_slot skips over any survivor when reallocating.
-    for (auto it = ps.futures.begin(); it != ps.futures.end();) {
-      if (it->first > blob.next_future && it->second.waiter == nullptr) {
-        it = ps.futures.erase(it);
-      } else {
-        ++it;
-      }
-    }
-    ps.next_future = blob.next_future;
-  }
-  CX_TRACE_EVENT(mype(), machine->now(), cx::trace::EventKind::FtRestore,
-                 h.epoch, bytes.size());
-  RestoreAckHeader a;
-  a.reply = h.reply;
-  raw_send(make_msg(h_restore_ack, h.reply.pe, header_bytes(a)));
-}
-
-void Runtime::Impl::on_restore_ack(MessagePtr msg) {
-  RestoreAckHeader h = pup::from_bytes<RestoreAckHeader>(msg->data);
-  if (++ftst.restore_acks < P) return;
-  ftst.restore_acks = 0;
-  send_future_bytes(h.reply, {});
-}
-
 // ---------------------------------------------------------------------------
 // Runtime public API
 
@@ -1695,14 +79,10 @@ Runtime::Runtime(RuntimeConfig cfg) : impl_(new Impl(std::move(cfg))) {
 Runtime::~Runtime() { g_runtime = nullptr; }
 
 void Runtime::run(std::function<void()> entry) {
-  LocalEnvelope env;
-  env.kind = LocalEnvelope::Kind::Start;
-  env.fn = std::move(entry);
-  auto m = std::make_unique<Message>();
-  m->handler = impl_->h_local;
-  m->dst_pe = 0;
-  m->local = std::make_shared<LocalEnvelope>(std::move(env));
-  impl_->rt_send(std::move(m));
+  LocalEnvelope* env = acquire_envelope();
+  env->kind = LocalEnvelope::Kind::Start;
+  env->fn = std::move(entry);
+  impl_->send_local(0, env);
   impl_->machine->run();
 }
 
@@ -1730,7 +110,7 @@ cxm::Machine& Runtime::machine() noexcept { return *impl_->machine; }
 void Runtime::start_quiescence(const Callback& target) {
   QdStartHeader h;
   h.cb = target;
-  impl_->raw_send(impl_->make_msg(impl_->h_qd_start, 0, header_bytes(h)));
+  impl_->raw_send(wire::make_msg(impl_->h_qd_start, 0, h));
 }
 
 Runtime::LbStats Runtime::lb_stats() const { return impl_->lb_stats; }
@@ -1753,7 +133,7 @@ bool Runtime::has_current() noexcept { return g_runtime != nullptr; }
 // ---------------------------------------------------------------------------
 // Chare services
 
-Chare::Chare() : coll_(t_staged_coll), idx_(t_staged_idx) {}
+Chare::Chare() : coll_(staged_coll()), idx_(staged_idx()) {}
 
 void Chare::wait(std::function<bool()> cond) {
   if (cond()) return;
@@ -1788,7 +168,7 @@ void Chare::contribute(const Callback& target) {
 }
 
 // ---------------------------------------------------------------------------
-// detail:: bridge used by the header-only templates
+// detail:: fast-path switch used by the header-only templates
 
 namespace detail {
 
@@ -1808,306 +188,5 @@ void set_local_fastpath(bool on) noexcept {
   g_local_fastpath.store(on, std::memory_order_relaxed);
 }
 
-void reply_with_bytes(const ReplyTo& reply, std::vector<std::byte>&& bytes) {
-  Runtime::current().impl().send_future_bytes(reply, std::move(bytes));
-}
-
-void proxy_send(CollectionId coll, const Index& idx, EpId ep,
-                ArgsCarrier args, const ReplyTo& reply,
-                std::uint64_t nominal_bytes) {
-  auto& I = Runtime::current().impl();
-  auto& ps = I.me();
-  const auto it = ps.colls.find(coll);
-  if (local_fastpath_enabled() && it != ps.colls.end() &&
-      it->second.elements.count(idx) != 0) {
-    // Same-PE fast path: hand the live tuple over, no serialization
-    // (paper §II-D). The caller gave up ownership of the arguments.
-    LocalEnvelope env;
-    env.kind = LocalEnvelope::Kind::Entry;
-    env.coll = coll;
-    env.idx = idx;
-    env.ep = ep;
-    env.tuple = std::move(args.tuple);
-    env.pack = args.pack;
-    env.reply = reply;
-    I.send_local(I.mype(), std::move(env));
-    return;
-  }
-  EntryHeader h;
-  h.coll = coll;
-  h.idx = idx;
-  h.ep = ep;
-  h.reply = reply;
-  auto msg = I.make_msg(I.h_entry, I.mype(), header_plus(h, args.packed()));
-  msg->size_override = nominal_bytes;
-  if (it == ps.colls.end()) {
-    I.stash_msg(coll, std::move(msg));
-    return;
-  }
-  if (it->second.elements.count(idx) != 0) {
-    // Local element but the by-reference fast path is disabled: deliver
-    // the packed message through the scheduler (full serialize cycle).
-    I.rt_send(std::move(msg));
-    return;
-  }
-  I.route_entry_msg(it->second, idx, std::move(msg));
-}
-
-void proxy_broadcast(CollectionId coll, EpId ep, ArgsCarrier args,
-                     const ReplyTo& reply) {
-  auto& I = Runtime::current().impl();
-  BcastHeader h;
-  h.coll = coll;
-  h.ep = ep;
-  h.reply = reply;
-  h.root = I.mype();
-  I.rt_send(I.make_msg(I.h_bcast, I.mype(), header_plus(h, args.packed())));
-}
-
-CollectionId create_collection(CollectionKind kind, const Index& dims,
-                               int ndims, FactoryId ctor,
-                               std::vector<std::byte> ctor_args,
-                               const std::string& map_name, int fixed_pe) {
-  auto& I = Runtime::current().impl();
-  if (I.mype() < 0) {
-    throw std::logic_error("collections must be created from a PE context");
-  }
-  const CollectionId id = I.next_coll.fetch_add(1);
-  CollectionInfo info;
-  info.id = id;
-  info.kind = kind;
-  info.dims = dims;
-  info.ndims = ndims;
-  info.ctor = ctor;
-  info.ctor_args = std::move(ctor_args);
-  info.map_name = map_name;
-  switch (kind) {
-    case CollectionKind::Singleton:
-      info.size = 1;
-      info.fixed_pe =
-          fixed_pe >= 0
-              ? fixed_pe
-              : static_cast<int>((id * 2654435761u) %
-                                 static_cast<std::uint32_t>(I.P));
-      break;
-    case CollectionKind::Group:
-      info.size = static_cast<std::uint64_t>(I.P);
-      break;
-    case CollectionKind::Array:
-      info.size = dense_size(dims);
-      break;
-    case CollectionKind::SparseArray:
-      info.size = 0;
-      info.inserting = true;
-      break;
-  }
-  CreateHeader h;
-  h.info = std::move(info);
-  h.root = I.mype();
-  I.rt_send(I.make_msg(I.h_create, I.mype(), header_bytes(h)));
-  return id;
-}
-
-void sparse_insert(CollectionId coll, const Index& idx, FactoryId ctor,
-                   std::vector<std::byte> ctor_args, int on_pe) {
-  auto& I = Runtime::current().impl();
-  // Route via a self-message: if the creation broadcast hasn't reached
-  // this PE yet, the message is stashed and retried once it has.
-  InsertHeader h;
-  h.coll = coll;
-  h.idx = idx;
-  h.ctor = ctor;
-  h.on_pe = on_pe;
-  h.routed = false;
-  I.rt_send(I.make_msg(I.h_insert, I.mype(), header_plus(h, ctor_args)));
-}
-
-void sparse_done_inserting(CollectionId coll, const ReplyTo& reply) {
-  // Finalizing the size is only meaningful once every in-flight insert
-  // has landed; quiescence detection guarantees exactly that.
-  Callback c;
-  c.kind = Callback::Kind::SparseCount;
-  c.coll = coll;
-  c.future = reply;
-  Runtime::current().start_quiescence(c);
-}
-
-void contribute_bytes(Chare& chare, std::vector<std::byte> value,
-                      CombineId combiner, const Callback& target) {
-  auto& I = Runtime::current().impl();
-  ReduceHeader h;
-  h.coll = chare.collection();
-  h.red_no = I.next_red_no(chare);
-  CX_TRACE_EVENT(I.mype(), I.machine->now(),
-                 cx::trace::EventKind::RedContribute, h.coll, h.red_no);
-  h.combiner = combiner;
-  h.cb = target;
-  h.count = 1;
-  I.rt_send(I.make_msg(I.h_reduce, static_cast<int>(h.coll) % I.P,
-                       header_plus(h, value)));
-}
-
-ReplyTo make_future_slot() {
-  auto& I = Runtime::current().impl();
-  auto& ps = I.me();
-  ReplyTo r;
-  r.pe = I.mype();
-  // Skip ids still occupied: after a restore rolls next_future back, a
-  // slot with a suspended waiter may sit above the counter.
-  do {
-    r.fid = ++ps.next_future;
-  } while (ps.futures.count(r.fid) != 0);
-  return r;
-}
-
-std::vector<std::byte> future_get_bytes(const ReplyTo& f) {
-  auto& I = Runtime::current().impl();
-  if (f.pe != I.mype()) {
-    throw std::logic_error("Future::get() must run on the creating PE");
-  }
-  for (;;) {
-    auto& slot = I.me().futures[f.fid];
-    if (slot.value.has_value()) return *slot.value;
-    Fiber* cur = Fiber::current();
-    if (cur == nullptr) {
-      throw std::logic_error(
-          "Future::get() requires a threaded entry method");
-    }
-    slot.waiter = cur;
-    Fiber::yield();
-  }
-}
-
-std::optional<std::vector<std::byte>> future_get_bytes_for(const ReplyTo& f,
-                                                           double timeout_s) {
-  auto& I = Runtime::current().impl();
-  if (f.pe != I.mype()) {
-    throw std::logic_error("Future::get_for() must run on the creating PE");
-  }
-  {
-    auto& slot = I.me().futures[f.fid];
-    if (slot.value.has_value()) return *slot.value;
-  }
-  Fiber* cur = Fiber::current();
-  if (cur == nullptr) {
-    throw std::logic_error(
-        "Future::get_for() requires a threaded entry method");
-  }
-  // Arm a deadline: an uncounted self-timer delivered via send_after.
-  auto& ps = I.me();
-  const std::uint64_t token = ++ps.next_timer_token;
-  ps.timer_waiters[token] = cur;
-  {
-    LocalEnvelope env;
-    env.kind = LocalEnvelope::Kind::Timer;
-    env.timer_token = token;
-    auto m = std::make_unique<Message>();
-    m->handler = I.h_local;
-    m->dst_pe = I.mype();
-    m->local = std::make_shared<LocalEnvelope>(std::move(env));
-    m->local_size = 0;
-    I.machine->send_after(std::move(m), timeout_s);
-  }
-  for (;;) {
-    {
-      // Re-acquire the slot each pass: the map may rehash while we
-      // are suspended (same discipline as future_get_bytes).
-      auto& slot = I.me().futures[f.fid];
-      if (slot.value.has_value()) {
-        // Disarm: the timer event may still fire, but its token lookup
-        // will miss and the delivery no-ops.
-        I.me().timer_waiters.erase(token);
-        return *slot.value;
-      }
-      slot.waiter = cur;
-    }
-    Fiber::yield();
-    if (I.me().timer_waiters.count(token) == 0) {
-      // The deadline fired (it erased its own token before resuming us).
-      auto& slot = I.me().futures[f.fid];
-      if (slot.value.has_value()) return *slot.value;  // lost race: value won
-      // Timed out: a later fulfill must not resume a recycled fiber.
-      slot.waiter = nullptr;
-      return std::nullopt;
-    }
-  }
-}
-
-bool future_ready(const ReplyTo& f) {
-  auto& I = Runtime::current().impl();
-  if (f.pe != I.mype()) return false;
-  const auto it = I.me().futures.find(f.fid);
-  return it != I.me().futures.end() && it->second.value.has_value();
-}
-
-void future_send_bytes(const ReplyTo& f, std::vector<std::byte>&& bytes) {
-  Runtime::current().impl().send_future_bytes(f, std::move(bytes));
-}
-
 }  // namespace detail
-
-// ---------------------------------------------------------------------------
-// cx::ft public API (declared in ft/ft.hpp; lives here because the
-// collectives must walk the scheduler's live per-PE state)
-
-namespace ft {
-
-std::uint64_t checkpoint() {
-  auto& I = Runtime::current().impl();
-  const std::uint64_t epoch = ++I.ftst.next_epoch;
-  const ReplyTo reply = detail::make_future_slot();
-  CkptHeader h;
-  h.epoch = epoch;
-  h.reply = reply;
-  for (int pe = 0; pe < I.P; ++pe) {
-    I.raw_send(I.make_msg(I.h_ckpt, pe, header_bytes(h)));
-  }
-  (void)detail::future_get_bytes(reply);  // blocks the driver fiber
-  I.me().futures.erase(reply.fid);  // one-shot internal slot
-  return epoch;
-}
-
-void restore() {
-  auto& I = Runtime::current().impl();
-  const std::uint64_t epoch = CheckpointStore::instance().latest_epoch();
-  if (epoch == 0) {
-    throw std::logic_error("cx::ft::restore(): no checkpoint to restore");
-  }
-  // Bring dead PEs back first so the restore collective reaches them.
-  const std::vector<int> dead(I.ftst.failed.begin(), I.ftst.failed.end());
-  for (const int pe : dead) I.machine->revive_pe(pe);
-  I.ftst.failed.clear();
-  const ReplyTo reply = detail::make_future_slot();
-  RestoreHeader h;
-  h.epoch = epoch;
-  h.reply = reply;
-  for (int pe = 0; pe < I.P; ++pe) {
-    I.raw_send(I.make_msg(I.h_restore, pe, header_bytes(h)));
-  }
-  (void)detail::future_get_bytes(reply);
-  // Release the ack slot: with next_future rolled back to the checkpoint
-  // value, the id must be reusable or post-restore allocations would
-  // diverge from a never-diverged run's.
-  I.me().futures.erase(reply.fid);
-}
-
-std::uint64_t checkpoint_digest() {
-  return CheckpointStore::instance().digest();
-}
-
-void set_checkpoint_dir(const std::string& dir) {
-  CheckpointStore::instance().set_disk_dir(dir);
-}
-
-void on_failure(std::function<void(const PeFailure&)> cb) {
-  Runtime::current().impl().ftst.callbacks.push_back(std::move(cb));
-}
-
-std::vector<int> failed_pes() {
-  const auto& failed = Runtime::current().impl().ftst.failed;
-  return {failed.begin(), failed.end()};
-}
-
-}  // namespace ft
-
 }  // namespace cx

@@ -17,16 +17,15 @@ class Chare;
 
 namespace detail {
 
-/// Arguments in transit: the live tuple plus a packer used only if the
-/// message leaves the process-local fast path (paper §II-D: same-PE sends
-/// pass arguments by reference and skip serialization entirely).
+/// Arguments in transit: the live tuple plus a PUP traversal used only
+/// if the message leaves the process-local fast path (paper §II-D:
+/// same-PE sends pass arguments by reference and skip serialization
+/// entirely). The traversal lets the wire builder size and pack the
+/// tuple — including cpy::Value ndarrays, whose pup is one contiguous
+/// bytes() call — directly into the message buffer.
 struct ArgsCarrier {
   std::shared_ptr<void> tuple;
-  std::vector<std::byte> (*pack)(void* tuple) = nullptr;
-
-  [[nodiscard]] std::vector<std::byte> packed() const {
-    return pack(tuple.get());
-  }
+  void (*pup)(void* tuple, pup::Er& p) = nullptr;
 };
 
 /// Enable/disable the same-PE by-reference fast path (paper §II-D);
@@ -67,10 +66,10 @@ ReplyTo make_future_slot();
 void contribute_bytes(Chare& chare, std::vector<std::byte> value,
                       CombineId combiner, const Callback& target);
 
-/// Argument-tuple packer instantiated per tuple type.
+/// Argument-tuple PUP traversal instantiated per tuple type.
 template <typename Tuple>
-std::vector<std::byte> pack_tuple(void* t) {
-  return pup::to_bytes(*static_cast<Tuple*>(t));
+void pup_tuple(void* t, pup::Er& p) {
+  p | *static_cast<Tuple*>(t);
 }
 
 }  // namespace detail

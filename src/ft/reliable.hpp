@@ -17,7 +17,8 @@
 #include <cstdint>
 #include <map>
 #include <set>
-#include <vector>
+
+#include "wire/buffer.hpp"
 
 namespace cx::ft {
 
@@ -41,11 +42,13 @@ struct SeqTracker {
   }
 };
 
-/// A sender-side copy of an unacked message, ready to retransmit.
+/// A sender-side copy of an unacked message, ready to retransmit. The
+/// payload copy lives in a pooled wire buffer; retransmit clones are
+/// rebuilt from it through the envelope builder (wire::clone_payload).
 struct PendingSend {
   std::uint32_t handler = 0;
   std::int32_t dst_pe = 0;
-  std::vector<std::byte> data;
+  cx::wire::Buffer data;
   std::uint64_t size_override = 0;
   std::uint64_t seq = 0;
   int attempts = 0;        ///< retransmissions so far

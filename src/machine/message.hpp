@@ -6,11 +6,21 @@
 // migration, ...) plus either a serialized payload (`data`, used for
 // cross-PE sends) or an in-process reference payload (`local`, the paper's
 // same-process by-reference optimization — no serialization, zero copy).
+//
+// Allocation: Message objects come from the cx::wire block pool via the
+// class-specific operator new/delete below, and `data` is a cx::wire
+// SBO buffer, so a small cross-PE send costs at most one pooled block
+// (and often zero heap traffic once the pool is warm). Plain
+// make_unique<Message>/new/delete anywhere in the codebase recycles
+// automatically.
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <vector>
+#include <new>
+
+#include "wire/buffer.hpp"
+#include "wire/pool.hpp"
 
 namespace cxm {
 
@@ -26,11 +36,15 @@ struct Message {
   std::uint32_t handler = 0;  ///< machine handler id (see Machine)
   std::int32_t src_pe = -1;   ///< sending PE (-1 = external / bootstrap)
   std::int32_t dst_pe = 0;    ///< destination PE
-  std::vector<std::byte> data;  ///< serialized payload (cross-PE path)
+  cx::wire::Buffer data;      ///< serialized payload (cross-PE path)
 
   /// Same-PE reference payload. When non-null, `data` is empty and the
-  /// receiver downcasts `local` to the runtime's in-process envelope type.
-  std::shared_ptr<void> local;
+  /// receiver downcasts `local` to the runtime's in-process envelope
+  /// type. `local_drop` releases it (back to the envelope pool) when
+  /// the message dies undelivered; delivery takes ownership and clears
+  /// both fields.
+  void* local = nullptr;
+  void (*local_drop)(void*) noexcept = nullptr;
   std::uint64_t local_size = 0;  ///< nominal size for accounting/cost models
 
   /// When nonzero, cost models account this size instead of the actual
@@ -45,11 +59,54 @@ struct Message {
   std::int32_t ft_peer = -1;
   std::uint8_t ft_flags = 0;
 
+  Message() = default;
+
+  /// Duplicate for ft injection/retransmission. Local (by-reference)
+  /// payloads are single-owner and never travel those paths — both
+  /// backends guard them with `!msg->local` — so the copy drops them.
+  Message(const Message& o)
+      : handler(o.handler),
+        src_pe(o.src_pe),
+        dst_pe(o.dst_pe),
+        data(o.data),
+        local_size(o.local_size),
+        size_override(o.size_override),
+        ft_seq(o.ft_seq),
+        ft_peer(o.ft_peer),
+        ft_flags(o.ft_flags) {}
+  Message& operator=(const Message&) = delete;
+
+  ~Message() {
+    if (local != nullptr && local_drop != nullptr) local_drop(local);
+  }
+
+  /// Take the local payload out (delivery path): the destructor must
+  /// not drop what the handler now owns.
+  [[nodiscard]] void* take_local() noexcept {
+    void* p = local;
+    local = nullptr;
+    local_drop = nullptr;
+    return p;
+  }
+
   [[nodiscard]] std::uint64_t wire_size() const noexcept {
     if (size_override != 0) return size_override;
-    return local ? local_size : data.size();
+    return local != nullptr ? local_size : data.size();
+  }
+
+  // Pooled storage — every `new Message` / make_unique<Message> in the
+  // codebase recycles through the cx::wire block pool.
+  static void* operator new(std::size_t sz) { return cx::wire::alloc_msg(sz); }
+  static void operator delete(void* p) noexcept {
+    cx::wire::free_msg(p, sizeof(Message));
+  }
+  static void operator delete(void* p, std::size_t sz) noexcept {
+    cx::wire::free_msg(p, sz);
   }
 };
+
+static_assert(sizeof(Message) <= cx::wire::kMsgBlock,
+              "Message must fit the wire pool's message block size");
 
 using MessagePtr = std::unique_ptr<Message>;
 

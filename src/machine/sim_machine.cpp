@@ -6,6 +6,7 @@
 
 #include "trace/trace.hpp"
 #include "util/log.hpp"
+#include "wire/envelope.hpp"
 
 namespace cxm {
 
@@ -236,10 +237,7 @@ void SimMachine::handle_timer(int pe, const Message& msg, double time) {
   CX_TRACE_EVENT(pe, clk, cx::trace::EventKind::FtRetransmit,
                  static_cast<std::uint64_t>(dst),
                  static_cast<std::uint64_t>(p.attempts));
-  auto copy = std::make_unique<Message>();
-  copy->handler = p.handler;
-  copy->dst_pe = p.dst_pe;
-  copy->data = p.data;
+  auto copy = cx::wire::clone_payload(p.handler, p.dst_pe, p.data);
   copy->size_override = p.size_override;
   copy->ft_seq = p.seq;
   copy->ft_flags = kFtReliable | kFtRetransmit;

@@ -7,6 +7,7 @@
 #include "trace/trace.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
+#include "wire/envelope.hpp"
 
 namespace cxm {
 
@@ -222,10 +223,7 @@ void ThreadedMachine::retransmit_due(int pe, FtPeState& me) {
         std::lock_guard<std::mutex> lk(inj_mutex_);
         p.deadline = tnow + inj_->retry_timeout(p.attempts);
       }
-      auto copy = std::make_unique<Message>();
-      copy->handler = p.handler;
-      copy->dst_pe = dst;
-      copy->data = p.data;
+      auto copy = cx::wire::clone_payload(p.handler, dst, p.data);
       copy->size_override = p.size_override;
       copy->ft_seq = p.seq;
       copy->ft_flags = kFtReliable | kFtRetransmit;

@@ -9,6 +9,7 @@
 #include "fiber/fiber.hpp"
 #include "machine/sim_machine.hpp"
 #include "pup/pup.hpp"
+#include "wire/envelope.hpp"
 
 namespace cxmpi {
 
@@ -88,12 +89,7 @@ class World {
     WireHeader h;
     h.src = src_rank;
     h.tag = tag;
-    auto bytes = pup::to_bytes(h);
-    bytes.insert(bytes.end(), data.begin(), data.end());
-    auto m = std::make_unique<Message>();
-    m->handler = h_msg_;
-    m->dst_pe = dst;
-    m->data = std::move(bytes);
+    auto m = cx::wire::make_msg(h_msg_, dst, h, data);
     m->size_override = nominal_bytes;
     machine_->send(std::move(m));
   }

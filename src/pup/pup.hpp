@@ -279,9 +279,10 @@ std::vector<std::byte> to_bytes(T& t) {
   return buf;
 }
 
-/// Deserialize a default-constructible `T` from bytes.
-template <typename T>
-T from_bytes(const std::vector<std::byte>& buf) {
+/// Deserialize a default-constructible `T` from any contiguous byte
+/// container (std::vector<std::byte>, cx::wire::Buffer, ...).
+template <typename T, typename Bytes>
+T from_bytes(const Bytes& buf) {
   Unpacker u(buf.data(), buf.size());
   T t{};
   u | t;

@@ -16,7 +16,40 @@ namespace cx::trace {
 
 namespace detail {
 std::atomic<bool> g_enabled{false};
+WireAtomics g_wire;
 }  // namespace detail
+
+WireStats wire_stats() noexcept {
+  const auto& w = detail::g_wire;
+  WireStats s;
+  s.envelopes = w.envelopes.load(std::memory_order_relaxed);
+  s.bytes_packed = w.bytes_packed.load(std::memory_order_relaxed);
+  s.sbo_payloads = w.sbo_payloads.load(std::memory_order_relaxed);
+  s.buf_allocs = w.buf_allocs.load(std::memory_order_relaxed);
+  s.buf_hits = w.buf_hits.load(std::memory_order_relaxed);
+  s.buf_recycled = w.buf_recycled.load(std::memory_order_relaxed);
+  s.msg_allocs = w.msg_allocs.load(std::memory_order_relaxed);
+  s.msg_hits = w.msg_hits.load(std::memory_order_relaxed);
+  s.msg_recycled = w.msg_recycled.load(std::memory_order_relaxed);
+  s.env_allocs = w.env_allocs.load(std::memory_order_relaxed);
+  s.env_hits = w.env_hits.load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_wire_stats() noexcept {
+  auto& w = detail::g_wire;
+  w.envelopes.store(0, std::memory_order_relaxed);
+  w.bytes_packed.store(0, std::memory_order_relaxed);
+  w.sbo_payloads.store(0, std::memory_order_relaxed);
+  w.buf_allocs.store(0, std::memory_order_relaxed);
+  w.buf_hits.store(0, std::memory_order_relaxed);
+  w.buf_recycled.store(0, std::memory_order_relaxed);
+  w.msg_allocs.store(0, std::memory_order_relaxed);
+  w.msg_hits.store(0, std::memory_order_relaxed);
+  w.msg_recycled.store(0, std::memory_order_relaxed);
+  w.env_allocs.store(0, std::memory_order_relaxed);
+  w.env_hits.store(0, std::memory_order_relaxed);
+}
 
 namespace {
 
@@ -309,6 +342,7 @@ void begin_run(int num_pes, bool simulated) {
   std::lock_guard<std::mutex> lock(s.mutex);
   s.pes.clear();
   s.simulated = simulated;
+  reset_wire_stats();
   if (!s.cfg.enabled) return;
   // Rings are allocated eagerly, so clamp the per-PE capacity to keep the
   // total bounded when a simulated run uses thousands of virtual PEs
@@ -434,6 +468,19 @@ std::string summary_table() {
          << ")  " << total.entry_hist[i] << "\n";
     }
   }
+  const WireStats w = wire_stats();
+  if (w.envelopes > 0) {
+    os << "\ncx::wire: " << w.envelopes << " envelopes, "
+       << human_bytes(w.bytes_packed) << " packed ("
+       << cxu::Table::num(w.envelopes > 0
+                              ? static_cast<double>(w.bytes_packed) /
+                                    static_cast<double>(w.envelopes)
+                              : 0.0,
+                          1)
+       << " B/send), " << w.sbo_payloads << " inline (SBO), "
+       << w.buf_allocs + w.msg_allocs + w.env_allocs << " heap allocs, "
+       << cxu::Table::num(100.0 * w.hit_rate(), 1) << "% pool hit rate\n";
+  }
   return os.str();
 }
 
@@ -471,7 +518,16 @@ void write_json(std::ostream& os) {
   }
   os << "],\"total\":";
   json_counters(os, aggregate());
-  os << "}}\n";
+  const WireStats w = wire_stats();
+  os << "},\"wire\":{\"envelopes\":" << w.envelopes
+     << ",\"bytes_packed\":" << w.bytes_packed
+     << ",\"sbo_payloads\":" << w.sbo_payloads
+     << ",\"buf_allocs\":" << w.buf_allocs << ",\"buf_hits\":" << w.buf_hits
+     << ",\"buf_recycled\":" << w.buf_recycled
+     << ",\"msg_allocs\":" << w.msg_allocs << ",\"msg_hits\":" << w.msg_hits
+     << ",\"msg_recycled\":" << w.msg_recycled
+     << ",\"env_allocs\":" << w.env_allocs << ",\"env_hits\":" << w.env_hits
+     << ",\"pool_hit_rate\":" << w.hit_rate() << "}}\n";
 }
 
 bool write_json(const std::string& path) {
@@ -503,6 +559,7 @@ void reset() {
   s.pes.clear();
   s.cfg = Config{};
   s.simulated = false;
+  reset_wire_stats();
   detail::g_enabled.store(false, std::memory_order_relaxed);
 }
 

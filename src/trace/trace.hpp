@@ -141,6 +141,61 @@ struct Counters {
   void merge(const Counters& o);
 };
 
+// ---- cx::wire allocation counters ---------------------------------------
+//
+// The wire layer (single-pass envelopes, pooled buffers) reports its
+// allocation behaviour here so benches can compute allocs-per-send,
+// bytes-per-send and pool hit rate. Unlike events, these are always on
+// (plain relaxed atomic adds — cheap next to the heap traffic they
+// count) so --wire-pool A/B runs work without --trace.
+
+struct WireStats {
+  std::uint64_t envelopes = 0;     ///< messages built by the wire builder
+  std::uint64_t bytes_packed = 0;  ///< header+body bytes packed
+  std::uint64_t sbo_payloads = 0;  ///< envelopes that fit inline (no heap)
+  std::uint64_t buf_allocs = 0;    ///< payload blocks taken from the system
+  std::uint64_t buf_hits = 0;      ///< payload blocks served from the pool
+  std::uint64_t buf_recycled = 0;  ///< payload blocks returned to the pool
+  std::uint64_t msg_allocs = 0;    ///< Message objects from the system
+  std::uint64_t msg_hits = 0;      ///< Message objects from the pool
+  std::uint64_t msg_recycled = 0;  ///< Message objects returned to the pool
+  std::uint64_t env_allocs = 0;    ///< LocalEnvelopes from the system
+  std::uint64_t env_hits = 0;      ///< LocalEnvelopes from the pool
+
+  /// Pool hit rate over every allocation the wire layer served.
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t total =
+        buf_allocs + buf_hits + msg_allocs + msg_hits + env_allocs + env_hits;
+    const std::uint64_t hits = buf_hits + msg_hits + env_hits;
+    return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+namespace detail {
+struct WireAtomics {
+  std::atomic<std::uint64_t> envelopes{0};
+  std::atomic<std::uint64_t> bytes_packed{0};
+  std::atomic<std::uint64_t> sbo_payloads{0};
+  std::atomic<std::uint64_t> buf_allocs{0};
+  std::atomic<std::uint64_t> buf_hits{0};
+  std::atomic<std::uint64_t> buf_recycled{0};
+  std::atomic<std::uint64_t> msg_allocs{0};
+  std::atomic<std::uint64_t> msg_hits{0};
+  std::atomic<std::uint64_t> msg_recycled{0};
+  std::atomic<std::uint64_t> env_allocs{0};
+  std::atomic<std::uint64_t> env_hits{0};
+};
+extern WireAtomics g_wire;
+}  // namespace detail
+
+/// Snapshot of the wire counters accumulated since the last
+/// begin_run()/reset_wire_stats().
+[[nodiscard]] WireStats wire_stats() noexcept;
+
+/// Zero the wire counters (begin_run does this too).
+void reset_wire_stats() noexcept;
+
 struct Config {
   bool enabled = false;
   std::string out_path = "trace.json";

@@ -1,0 +1,137 @@
+#pragma once
+// cx::wire::Buffer — the byte storage behind every message payload.
+//
+// Small payloads (header + sub-cacheline body) live inline in the
+// buffer itself (SBO), so they never touch the heap; larger payloads
+// use pooled blocks from wire/pool.hpp. The byte contents are exactly
+// what travels on the wire — storage strategy (inline vs pooled vs
+// exact heap) never changes the bytes, which is what keeps
+// --wire-pool=off and =on runs byte-identical.
+//
+// The API mirrors the parts of std::vector<std::byte> the runtime and
+// tests use (data/size/empty/resize_discard/assignment from a vector,
+// equality), so call sites that built payloads with pup::to_bytes keep
+// compiling unchanged.
+
+#include <cstddef>
+#include <cstring>
+#include <vector>
+
+#include "wire/pool.hpp"
+
+namespace cx::wire {
+
+class Buffer {
+ public:
+  /// Inline capacity: sized so a packed entry-method header (~60 B)
+  /// plus a cacheline of argument bytes fits without a heap block.
+  static constexpr std::size_t kInlineCapacity = 128;
+
+  Buffer() noexcept : ptr_(inline_) {}
+
+  Buffer(const Buffer& o) : ptr_(inline_) { assign(o.ptr_, o.size_); }
+
+  Buffer(Buffer&& o) noexcept : ptr_(inline_) { steal(o); }
+
+  explicit Buffer(const std::vector<std::byte>& v) : ptr_(inline_) {
+    assign(v.data(), v.size());
+  }
+
+  ~Buffer() { release(); }
+
+  Buffer& operator=(const Buffer& o) {
+    if (this != &o) assign(o.ptr_, o.size_);
+    return *this;
+  }
+
+  Buffer& operator=(Buffer&& o) noexcept {
+    if (this != &o) {
+      release();
+      ptr_ = inline_;
+      cap_ = kInlineCapacity;
+      size_ = 0;
+      steal(o);
+    }
+    return *this;
+  }
+
+  /// Vector interop: copy the bytes in (tests build payloads with
+  /// pup::to_bytes and assign them straight to Message::data).
+  Buffer& operator=(const std::vector<std::byte>& v) {
+    assign(v.data(), v.size());
+    return *this;
+  }
+
+  [[nodiscard]] std::byte* data() noexcept { return ptr_; }
+  [[nodiscard]] const std::byte* data() const noexcept { return ptr_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+  [[nodiscard]] bool is_inline() const noexcept { return ptr_ == inline_; }
+
+  [[nodiscard]] std::byte* begin() noexcept { return ptr_; }
+  [[nodiscard]] std::byte* end() noexcept { return ptr_ + size_; }
+  [[nodiscard]] const std::byte* begin() const noexcept { return ptr_; }
+  [[nodiscard]] const std::byte* end() const noexcept { return ptr_ + size_; }
+
+  /// Set the size without preserving contents — the single-pass
+  /// builder's allocation step (it knows the exact packed size up
+  /// front and overwrites everything).
+  void resize_discard(std::size_t n) {
+    if (n > cap_) {
+      release();
+      std::size_t cap = 0;
+      ptr_ = alloc_block(n, &cap);
+      cap_ = cap;
+    }
+    size_ = n;
+  }
+
+  void assign(const std::byte* p, std::size_t n) {
+    resize_discard(n);
+    if (n > 0) std::memcpy(ptr_, p, n);
+  }
+
+  void clear() noexcept { size_ = 0; }
+
+  [[nodiscard]] std::vector<std::byte> to_vector() const {
+    return {ptr_, ptr_ + size_};
+  }
+
+  friend bool operator==(const Buffer& a, const Buffer& b) noexcept {
+    return a.size_ == b.size_ &&
+           (a.size_ == 0 || std::memcmp(a.ptr_, b.ptr_, a.size_) == 0);
+  }
+  friend bool operator!=(const Buffer& a, const Buffer& b) noexcept {
+    return !(a == b);
+  }
+
+ private:
+  void release() noexcept {
+    if (ptr_ != inline_) free_block(ptr_, cap_);
+  }
+
+  /// Move o's contents into *this (which must be empty/inline): steal
+  /// the heap block, or memcpy the inline bytes.
+  void steal(Buffer& o) noexcept {
+    if (o.ptr_ != o.inline_) {
+      ptr_ = o.ptr_;
+      cap_ = o.cap_;
+      size_ = o.size_;
+      o.ptr_ = o.inline_;
+      o.cap_ = kInlineCapacity;
+      o.size_ = 0;
+    } else {
+      size_ = o.size_;
+      if (size_ > 0) std::memcpy(inline_, o.inline_, size_);
+      o.size_ = 0;
+    }
+  }
+
+  std::byte* ptr_;
+  std::size_t size_ = 0;
+  std::size_t cap_ = kInlineCapacity;
+  alignas(std::max_align_t) std::byte inline_[kInlineCapacity];
+};
+
+}  // namespace cx::wire

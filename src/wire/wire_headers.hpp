@@ -1,0 +1,340 @@
+#pragma once
+// cx::wire — every header struct that travels between PEs, in one
+// place. The runtime (core/), the fault-tolerance handlers (ft), the
+// machine backends and the wire tests all consume this header; the
+// packed layout is the PUP traversal order below, and the envelope
+// builder (wire/envelope.hpp) packs a header immediately followed by
+// its body bytes.
+//
+// Layout stability: these structs define the on-wire format. Changing
+// field order or adding fields changes checkpoint digests and breaks
+// mixed-version runs — extend via new headers, not by editing packed
+// layouts casually.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/collection.hpp"
+#include "core/ids.hpp"
+#include "core/index.hpp"
+#include "core/reduction.hpp"
+#include "ft/fault.hpp"
+#include "pup/pup.hpp"
+
+namespace cx::wire {
+
+/// Point-to-point entry-method invocation; body = packed argument tuple.
+struct EntryHeader {
+  CollectionId coll = kInvalidCollection;
+  Index idx;
+  EpId ep = 0;
+  ReplyTo reply;
+  ReplyTo bcast_done;
+  void pup(pup::Er& p) {
+    p | coll;
+    p | idx;
+    p | ep;
+    p | reply;
+    p | bcast_done;
+  }
+};
+
+/// Broadcast along the binomial tree; body = packed argument tuple.
+struct BcastHeader {
+  CollectionId coll = kInvalidCollection;
+  EpId ep = 0;
+  ReplyTo reply;  ///< completion slot; doubles as the broadcast key
+  std::int32_t root = 0;  ///< -2 = re-dispatched, do not forward again
+  void pup(pup::Er& p) {
+    p | coll;
+    p | ep;
+    p | reply;
+    p | root;
+  }
+};
+
+struct BcastDoneHeader {
+  CollectionId coll = kInvalidCollection;
+  ReplyTo reply;
+  std::uint64_t count = 0;
+  void pup(pup::Er& p) {
+    p | coll;
+    p | reply;
+    p | count;
+  }
+};
+
+/// Reduction fragment; body = partial accumulator bytes.
+struct ReduceHeader {
+  CollectionId coll = kInvalidCollection;
+  std::uint32_t red_no = 0;
+  CombineId combiner = kNoCombine;
+  Callback cb;
+  std::uint64_t count = 0;
+  void pup(pup::Er& p) {
+    p | coll;
+    p | red_no;
+    p | combiner;
+    p | cb;
+    p | count;
+  }
+};
+
+/// Future fulfillment; body = packed value bytes.
+struct FutureHeader {
+  FutureId fid = 0;
+  void pup(pup::Er& p) { p | fid; }
+};
+
+/// Element migration; body = the chare's pup()'d state.
+struct MigrateHeader {
+  CollectionId coll = kInvalidCollection;
+  Index idx;
+  std::uint32_t red_no = 0;
+  bool for_lb = false;
+  void pup(pup::Er& p) {
+    p | coll;
+    p | idx;
+    p | red_no;
+    p | for_lb;
+  }
+};
+
+struct LocUpdateHeader {
+  CollectionId coll = kInvalidCollection;
+  Index idx;
+  std::int32_t pe = 0;
+  void pup(pup::Er& p) {
+    p | coll;
+    p | idx;
+    p | pe;
+  }
+};
+
+/// Sparse-array insertion; body = packed constructor arguments.
+struct InsertHeader {
+  CollectionId coll = kInvalidCollection;
+  Index idx;
+  FactoryId ctor = 0;
+  std::int32_t on_pe = -1;  ///< requested placement (-1 = map decides)
+  bool routed = false;      ///< placement resolved; construct on arrival
+  void pup(pup::Er& p) {
+    p | coll;
+    p | idx;
+    p | ctor;
+    p | on_pe;
+    p | routed;
+  }
+};
+
+struct DoneInsertingHeader {
+  CollectionId coll = kInvalidCollection;
+  std::int32_t root = 0;
+  ReplyTo reply;  ///< completion future of done_inserting()
+  void pup(pup::Er& p) {
+    p | coll;
+    p | root;
+    p | reply;
+  }
+};
+
+struct InsertCountHeader {
+  CollectionId coll = kInvalidCollection;
+  std::uint64_t count = 0;
+  ReplyTo reply;
+  void pup(pup::Er& p) {
+    p | coll;
+    p | count;
+    p | reply;
+  }
+};
+
+struct SetSizeHeader {
+  CollectionId coll = kInvalidCollection;
+  std::uint64_t size = 0;
+  std::int32_t root = 0;
+  ReplyTo reply;
+  void pup(pup::Er& p) {
+    p | coll;
+    p | size;
+    p | root;
+    p | reply;
+  }
+};
+
+struct SizeAckHeader {
+  CollectionId coll = kInvalidCollection;
+  ReplyTo reply;
+  void pup(pup::Er& p) {
+    p | coll;
+    p | reply;
+  }
+};
+
+struct LbCmdHeader {
+  CollectionId coll = kInvalidCollection;
+  Index idx;
+  std::int32_t to_pe = 0;
+  void pup(pup::Er& p) {
+    p | coll;
+    p | idx;
+    p | to_pe;
+  }
+};
+
+struct LbAckHeader {
+  CollectionId coll = kInvalidCollection;
+  void pup(pup::Er& p) { p | coll; }
+};
+
+struct LbResumeHeader {
+  CollectionId coll = kInvalidCollection;
+  std::int32_t root = 0;
+  void pup(pup::Er& p) {
+    p | coll;
+    p | root;
+  }
+};
+
+struct QdStartHeader {
+  Callback cb;
+  void pup(pup::Er& p) { p | cb; }
+};
+
+struct QdProbeHeader {
+  std::uint64_t phase = 0;
+  void pup(pup::Er& p) { p | phase; }
+};
+
+struct QdReplyHeader {
+  std::uint64_t phase = 0;
+  std::uint64_t created = 0;
+  std::uint64_t processed = 0;
+  void pup(pup::Er& p) {
+    p | phase;
+    p | created;
+    p | processed;
+  }
+};
+
+/// Collection creation broadcast; body empty (the info rides inline).
+struct CreateHeader {
+  CollectionInfo info;
+  std::int32_t root = 0;
+  void pup(pup::Er& p) {
+    p | info;
+    p | root;
+  }
+};
+
+// ---- cx::ft wire headers -------------------------------------------------
+
+struct FtFailureHeader {
+  cx::ft::PeFailure failure;
+  void pup(pup::Er& p) { p | failure; }
+};
+
+struct CkptHeader {
+  std::uint64_t epoch = 0;
+  ReplyTo reply;  ///< resolved when all PEs have stored their blob
+  void pup(pup::Er& p) {
+    p | epoch;
+    p | reply;
+  }
+};
+
+struct CkptAckHeader {
+  std::uint64_t epoch = 0;
+  ReplyTo reply;
+  void pup(pup::Er& p) {
+    p | epoch;
+    p | reply;
+  }
+};
+
+struct RestoreHeader {
+  std::uint64_t epoch = 0;
+  ReplyTo reply;
+  void pup(pup::Er& p) {
+    p | epoch;
+    p | reply;
+  }
+};
+
+struct RestoreAckHeader {
+  ReplyTo reply;
+  void pup(pup::Er& p) { p | reply; }
+};
+
+// ---- cx::ft checkpoint blobs ---------------------------------------------
+// One PeBlob captures everything the scheduler owns on one PE. Iteration
+// order of the live unordered_maps is not deterministic, so every list is
+// sorted before packing — a fault-free run and a restored run must produce
+// byte-identical blobs (the tests compare digests).
+
+struct ElementBlob {
+  Index idx;
+  std::uint32_t red_no = 0;
+  std::vector<std::byte> state;  ///< the chare's own pup()
+  void pup(pup::Er& p) {
+    p | idx;
+    p | red_no;
+    p | state;
+  }
+};
+
+struct OverrideBlob {
+  Index idx;
+  std::int32_t pe = 0;
+  void pup(pup::Er& p) {
+    p | idx;
+    p | pe;
+  }
+};
+
+struct CollBlob {
+  CollectionInfo info;
+  std::vector<ElementBlob> elements;    ///< sorted by Index
+  std::vector<OverrideBlob> overrides;  ///< sorted by Index
+  void pup(pup::Er& p) {
+    p | info;
+    p | elements;
+    p | overrides;
+  }
+};
+
+struct RedBlob {
+  CollectionId coll = kInvalidCollection;
+  std::uint32_t red_no = 0;
+  std::uint64_t count = 0;
+  bool has_acc = false;
+  std::vector<std::byte> acc;
+  CombineId combiner = kNoCombine;
+  Callback cb;
+  void pup(pup::Er& p) {
+    p | coll;
+    p | red_no;
+    p | count;
+    p | has_acc;
+    p | acc;
+    p | combiner;
+    p | cb;
+  }
+};
+
+struct PeBlob {
+  std::vector<CollBlob> colls;      ///< sorted by collection id
+  std::vector<RedBlob> reductions;  ///< red_root is a std::map: ordered
+  std::uint64_t created = 0;
+  std::uint64_t processed = 0;
+  FutureId next_future = 0;
+  void pup(pup::Er& p) {
+    p | colls;
+    p | reductions;
+    p | created;
+    p | processed;
+    p | next_future;
+  }
+};
+
+}  // namespace cx::wire

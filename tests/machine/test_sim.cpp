@@ -88,7 +88,7 @@ TEST(SimMachine, BandwidthTermScalesWithBytes) {
     auto out = std::make_unique<Message>();
     out->handler = sink;
     out->dst_pe = 1;
-    out->data.resize(1000);
+    out->data = std::vector<std::byte>(1000);
     m->send(std::move(out));
   });
   auto kick = std::make_unique<Message>();

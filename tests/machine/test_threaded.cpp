@@ -87,18 +87,21 @@ TEST(ThreadedMachine, PayloadsArriveIntact) {
 
 TEST(ThreadedMachine, LocalReferencePayload) {
   auto m = make_machine(threaded(1));
-  auto shared = std::make_shared<std::vector<int>>(std::vector<int>{1, 2, 3});
   std::vector<int> got;
   const auto h = m->register_handler([&](MessagePtr msg) {
-    auto p = std::static_pointer_cast<std::vector<int>>(msg->local);
+    auto* p = static_cast<std::vector<int>*>(msg->take_local());
     got = *p;
+    delete p;
     m->stop();
   });
   auto msg = std::make_unique<Message>();
   msg->handler = h;
   msg->dst_pe = 0;
-  msg->local = shared;
-  msg->local_size = shared->size() * sizeof(int);
+  msg->local = new std::vector<int>{1, 2, 3};
+  msg->local_drop = +[](void* p) noexcept {
+    delete static_cast<std::vector<int>*>(p);
+  };
+  msg->local_size = 3 * sizeof(int);
   EXPECT_EQ(msg->wire_size(), 12u);
   m->send(std::move(msg));
   m->run();

@@ -1,0 +1,259 @@
+// PUP round-trip coverage for every wire header and checkpoint blob in
+// wire/wire_headers.hpp: pack -> unpack -> re-pack must be
+// byte-identical, and the packed stream must be fully consumed.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pup/pup.hpp"
+#include "wire/wire_headers.hpp"
+
+namespace {
+
+using namespace cx;
+using namespace cx::wire;
+
+template <typename H>
+void expect_roundtrip(H& h) {
+  const std::vector<std::byte> packed = pup::to_bytes(h);
+  ASSERT_FALSE(packed.empty());
+  pup::Unpacker u(packed.data(), packed.size());
+  H back{};
+  u | back;
+  EXPECT_EQ(u.offset(), packed.size()) << "unpack did not consume the stream";
+  EXPECT_EQ(pup::to_bytes(back), packed) << "re-pack diverged";
+}
+
+ReplyTo reply(int pe, FutureId fid) {
+  ReplyTo r;
+  r.pe = pe;
+  r.fid = fid;
+  return r;
+}
+
+TEST(WireHeaders, Entry) {
+  EntryHeader h;
+  h.coll = 7;
+  h.idx = Index(3, 1, 4);
+  h.ep = 42;
+  h.reply = reply(2, 99);
+  h.bcast_done = reply(1, 5);
+  expect_roundtrip(h);
+}
+
+TEST(WireHeaders, Bcast) {
+  BcastHeader h;
+  h.coll = 9;
+  h.ep = 13;
+  h.reply = reply(3, 21);
+  h.root = -2;
+  expect_roundtrip(h);
+}
+
+TEST(WireHeaders, BcastDone) {
+  BcastDoneHeader h;
+  h.coll = 4;
+  h.reply = reply(0, 77);
+  h.count = 123456789;
+  expect_roundtrip(h);
+}
+
+TEST(WireHeaders, Reduce) {
+  ReduceHeader h;
+  h.coll = 2;
+  h.red_no = 17;
+  h.combiner = 3;
+  h.cb = Callback::to_element(2, Index(5), 8);
+  h.count = 64;
+  expect_roundtrip(h);
+}
+
+TEST(WireHeaders, Future) {
+  FutureHeader h;
+  h.fid = 0xdeadbeefcafeull;
+  expect_roundtrip(h);
+}
+
+TEST(WireHeaders, Migrate) {
+  MigrateHeader h;
+  h.coll = 11;
+  h.idx = Index(2, 2);
+  h.red_no = 6;
+  h.for_lb = true;
+  expect_roundtrip(h);
+}
+
+TEST(WireHeaders, LocUpdate) {
+  LocUpdateHeader h;
+  h.coll = 3;
+  h.idx = Index(9);
+  h.pe = 5;
+  expect_roundtrip(h);
+}
+
+TEST(WireHeaders, Insert) {
+  InsertHeader h;
+  h.coll = 6;
+  h.idx = Index(1, 2, 3);
+  h.ctor = 4;
+  h.on_pe = 2;
+  h.routed = true;
+  expect_roundtrip(h);
+}
+
+TEST(WireHeaders, DoneInserting) {
+  DoneInsertingHeader h;
+  h.coll = 8;
+  h.root = 1;
+  h.reply = reply(1, 33);
+  expect_roundtrip(h);
+}
+
+TEST(WireHeaders, InsertCount) {
+  InsertCountHeader h;
+  h.coll = 5;
+  h.count = 1000;
+  h.reply = reply(2, 44);
+  expect_roundtrip(h);
+}
+
+TEST(WireHeaders, SetSize) {
+  SetSizeHeader h;
+  h.coll = 5;
+  h.size = 4096;
+  h.root = 3;
+  h.reply = reply(0, 55);
+  expect_roundtrip(h);
+}
+
+TEST(WireHeaders, SizeAck) {
+  SizeAckHeader h;
+  h.coll = 5;
+  h.reply = reply(1, 66);
+  expect_roundtrip(h);
+}
+
+TEST(WireHeaders, LbCmd) {
+  LbCmdHeader h;
+  h.coll = 12;
+  h.idx = Index(7, 7);
+  h.to_pe = 3;
+  expect_roundtrip(h);
+}
+
+TEST(WireHeaders, LbAck) {
+  LbAckHeader h;
+  h.coll = 12;
+  expect_roundtrip(h);
+}
+
+TEST(WireHeaders, LbResume) {
+  LbResumeHeader h;
+  h.coll = 12;
+  h.root = 2;
+  expect_roundtrip(h);
+}
+
+TEST(WireHeaders, QdStart) {
+  QdStartHeader h;
+  h.cb = Callback::to_broadcast(4, 19);
+  expect_roundtrip(h);
+}
+
+TEST(WireHeaders, QdProbe) {
+  QdProbeHeader h;
+  h.phase = 31;
+  expect_roundtrip(h);
+}
+
+TEST(WireHeaders, QdReply) {
+  QdReplyHeader h;
+  h.phase = 31;
+  h.created = 1000;
+  h.processed = 998;
+  expect_roundtrip(h);
+}
+
+TEST(WireHeaders, Create) {
+  CreateHeader h;
+  h.info.id = 14;
+  h.info.kind = CollectionKind::SparseArray;
+  h.info.dims = Index(4, 4);
+  h.info.ndims = 2;
+  h.info.size = 16;
+  h.info.ctor = 2;
+  h.info.ctor_args = {std::byte{1}, std::byte{2}, std::byte{3}};
+  h.info.map_name = "rr";
+  h.info.fixed_pe = 1;
+  h.info.inserting = true;
+  h.root = 0;
+  expect_roundtrip(h);
+}
+
+TEST(WireHeaders, FtFailure) {
+  FtFailureHeader h;
+  h.failure.pe = 2;
+  h.failure.kind = cx::ft::FailureKind::Crashed;
+  h.failure.time = 0.125;
+  expect_roundtrip(h);
+}
+
+TEST(WireHeaders, Ckpt) {
+  CkptHeader h;
+  h.epoch = 3;
+  h.reply = reply(0, 9);
+  expect_roundtrip(h);
+}
+
+TEST(WireHeaders, CkptAck) {
+  CkptAckHeader h;
+  h.epoch = 3;
+  h.reply = reply(0, 9);
+  expect_roundtrip(h);
+}
+
+TEST(WireHeaders, Restore) {
+  RestoreHeader h;
+  h.epoch = 2;
+  h.reply = reply(1, 10);
+  expect_roundtrip(h);
+}
+
+TEST(WireHeaders, RestoreAck) {
+  RestoreAckHeader h;
+  h.reply = reply(1, 10);
+  expect_roundtrip(h);
+}
+
+TEST(WireHeaders, CheckpointBlobs) {
+  ElementBlob eb;
+  eb.idx = Index(2, 3);
+  eb.red_no = 4;
+  eb.state = {std::byte{9}, std::byte{8}};
+
+  CollBlob cb;
+  cb.info.id = 1;
+  cb.info.size = 2;
+  cb.elements.push_back(eb);
+  cb.overrides.push_back({Index(5), 3});
+
+  RedBlob rb;
+  rb.coll = 1;
+  rb.red_no = 2;
+  rb.count = 3;
+  rb.has_acc = true;
+  rb.acc = {std::byte{7}};
+  rb.combiner = 1;
+  rb.cb = Callback::to_future(reply(0, 12));
+
+  PeBlob pb;
+  pb.colls.push_back(cb);
+  pb.reductions.push_back(rb);
+  pb.created = 100;
+  pb.processed = 99;
+  pb.next_future = 12;
+  expect_roundtrip(pb);
+}
+
+}  // namespace
