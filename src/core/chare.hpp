@@ -7,6 +7,8 @@
 // for singleton chares, Groups and Arrays of any dimension — the paper's
 // key flexibility point over Charm++.
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -17,6 +19,7 @@
 #include "core/index.hpp"
 #include "core/reduction.hpp"
 #include "core/runtime.hpp"
+#include "core/when.hpp"
 #include "pup/pup.hpp"
 
 namespace cxf {
@@ -30,10 +33,71 @@ class Runtime;
 /// A buffered entry-method delivery (used by `when` predicates and by
 /// messages that arrive before their target element exists).
 struct PendingInvoke {
+  /// Sentinel for n_slots: dependency count exceeded the inline slots,
+  /// fall back to DirtyClock::any_since over deps->attrs.
+  static constexpr std::uint8_t kSlowDeps = 0xff;
+
   EpId ep = 0;
   std::shared_ptr<void> args;  ///< unpacked argument tuple
   ReplyTo reply;
   ReplyTo bcast_done;  ///< broadcast-completion slot (if part of a bcast)
+  std::uint64_t seq = 0;       ///< chare-wide arrival order (FIFO)
+  const WhenDeps* deps = nullptr;  ///< condition deps (null → conservative)
+  std::uint64_t tested_at = 0;     ///< dirty-clock tick of the last test
+  /// Cached dirty-clock slots of deps->attrs (fast candidate check).
+  std::array<const std::uint64_t*, 2> dep_slots{};
+  std::uint8_t n_slots = 0;
+};
+
+/// Per-chare buffer of when-gated deliveries, bucketed by (entry point,
+/// condition dependency set). All messages of a bucket share the same
+/// deps pointer, so a whole bucket can be skipped with one clock check;
+/// FIFO order among eligible messages is preserved through `seq`.
+struct WhenBuffer {
+  struct Bucket {
+    EpId ep = 0;
+    const WhenDeps* deps = nullptr;  ///< shared by every message in q
+    /// Every message in q has tested_at >= floor: if no dep was marked
+    /// after floor, no message in the bucket can have become eligible.
+    std::uint64_t floor = 0;
+    std::deque<PendingInvoke> q;
+  };
+
+  std::vector<Bucket> buckets;
+  std::size_t total = 0;       ///< messages across all buckets
+  std::size_t unknown = 0;     ///< messages without usable deps
+  std::uint64_t next_seq = 0;  ///< arrival counter (survives drains)
+
+  [[nodiscard]] bool empty() const noexcept { return total == 0; }
+
+  Bucket& bucket_for(EpId ep, const WhenDeps* deps) {
+    for (auto& b : buckets) {
+      if (b.ep == ep && b.deps == deps) return b;
+    }
+    buckets.push_back(Bucket{ep, deps, 0, {}});
+    return buckets.back();
+  }
+
+  /// Visit every pending delivery in arrival (seq) order.
+  template <typename Fn>
+  void for_each_in_order(Fn&& fn) {
+    std::vector<PendingInvoke*> all;
+    all.reserve(total);
+    for (auto& b : buckets) {
+      for (auto& pi : b.q) all.push_back(&pi);
+    }
+    std::sort(all.begin(), all.end(),
+              [](const PendingInvoke* x, const PendingInvoke* y) {
+                return x->seq < y->seq;
+              });
+    for (PendingInvoke* pi : all) fn(*pi);
+  }
+
+  void clear() noexcept {
+    buckets.clear();
+    total = 0;
+    unknown = 0;
+  }
 };
 
 /// A fiber suspended in wait(cond) until the chare reaches a state.
@@ -89,6 +153,12 @@ class Chare {
   /// Measured load (seconds of entry-method execution) since last LB.
   [[nodiscard]] double measured_load() const noexcept { return load_; }
 
+  /// Tell the condition engine that named chare state changed. Pairs
+  /// with set_when_deps<M>: conditions whose declared deps were not
+  /// marked since their last failed test are not re-evaluated. The
+  /// dynamic layer calls this automatically on every attribute access.
+  void mark_when_dirty(AttrKey attr) { dirty_.mark(attr); }
+
   /// Contribute to the current reduction of this chare's collection
   /// (paper §II-F). `target` receives the combined result.
   /// Defined in charm.hpp.
@@ -116,7 +186,10 @@ class Chare {
   bool sync_pending_ = false;
   bool post_active_ = false;  ///< re-entrancy guard for delivery rescans
   int active_fibers_ = 0;  ///< threaded EMs in flight (blocks migration)
-  std::deque<PendingInvoke> buffered_;   ///< `when`-buffered deliveries
+  WhenBuffer buffered_;    ///< `when`-buffered deliveries (bucketed)
+  DirtyClock dirty_;       ///< attribute-write clock for retest filtering
+  std::uint64_t last_retest_clock_ = 0;  ///< dirty tick at last retest
+  std::uint64_t when_epoch_seen_ = 0;    ///< config epoch buffer reflects
   std::vector<PendingWait> waits_;       ///< suspended wait() fibers
 };
 

@@ -1,7 +1,10 @@
-// Entry-method delivery: fibers, when-buffering, the pooled
-// LocalEnvelope fast path (paper §II-D: same-PE sends pass the live
-// argument tuple by reference, no serialization), and proxy_send.
+// Entry-method delivery: fibers, the condition-aware when-buffering
+// engine, the pooled LocalEnvelope fast path (paper §II-D: same-PE
+// sends pass the live argument tuple by reference, no serialization),
+// and proxy_send.
 
+#include <atomic>
+#include <cstdlib>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -9,6 +12,36 @@
 #include "core/runtime_impl.hpp"
 
 namespace cx {
+
+// ---- when-engine switches -------------------------------------------------
+
+namespace {
+
+bool when_dirty_default() {
+  const char* e = std::getenv("CHARMX_NO_WHEN_DIRTY");
+  return e == nullptr || e[0] == '\0' || e[0] == '0';
+}
+
+std::atomic<bool> g_when_dirty{when_dirty_default()};
+std::atomic<std::uint64_t> g_when_epoch{0};
+
+}  // namespace
+
+bool when_dirty_tracking_enabled() noexcept {
+  return g_when_dirty.load(std::memory_order_relaxed);
+}
+
+void set_when_dirty_tracking(bool on) noexcept {
+  g_when_dirty.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t when_config_epoch() noexcept {
+  return g_when_epoch.load(std::memory_order_relaxed);
+}
+
+void bump_when_config_epoch() noexcept {
+  g_when_epoch.fetch_add(1, std::memory_order_relaxed);
+}
 
 // ---- LocalEnvelope pool ---------------------------------------------------
 // Every local resume/timer/entry send used to make_shared a fresh
@@ -112,14 +145,203 @@ void Runtime::Impl::resume_fiber(Fiber* f) {
 void Runtime::Impl::deliver(Chare* obj, EpId ep, std::shared_ptr<void> tuple,
                             const ReplyTo& reply, const ReplyTo& bdone) {
   const EpInfo& info = Registry::instance().ep(ep);
-  if (info.when && !info.when(obj, tuple.get())) {
-    obj->buffered_.push_back({ep, std::move(tuple), reply, bdone});
-    CX_TRACE_EVENT(mype(), machine->now(),
-                   cx::trace::EventKind::WhenBuffer, obj->coll_,
-                   obj->buffered_.size());
-    return;
+  if (info.when) {
+    cx::trace::detail::g_when.tests.fetch_add(1, std::memory_order_relaxed);
+    if (!info.when(obj, tuple.get())) {
+      buffer_invoke(obj, info, ep, std::move(tuple), reply, bdone);
+      return;
+    }
   }
   execute(obj, ep, std::move(tuple), reply, bdone);
+}
+
+/// Resolve the dependency set of `ep`'s when condition for this message,
+/// or nullptr when the engine must stay conservative (no info, analysis
+/// gave up, or tracking disabled).
+const WhenDeps* Runtime::Impl::resolve_when_deps(const EpInfo& info,
+                                                 Chare* obj, void* args) {
+  if (!when_dirty_tracking_enabled() || !info.when) return nullptr;
+  const WhenDeps* deps = nullptr;
+  if (info.when_deps) {
+    deps = info.when_deps(obj, args);
+  } else if (info.when_deps_static) {
+    deps = info.when_deps_static.get();
+  }
+  if (deps != nullptr && !deps->known) deps = nullptr;
+  return deps;
+}
+
+/// Attach dependency bookkeeping to a pending delivery: cache direct
+/// dirty-clock slot pointers when the set is small, fall back to the
+/// any_since scan otherwise.
+void Runtime::Impl::bind_dep_slots(Chare* obj, PendingInvoke& pi) {
+  pi.n_slots = 0;
+  if (pi.deps == nullptr) return;
+  const auto& attrs = pi.deps->attrs;
+  if (attrs.size() > pi.dep_slots.size()) {
+    pi.n_slots = PendingInvoke::kSlowDeps;
+    return;
+  }
+  pi.n_slots = static_cast<std::uint8_t>(attrs.size());
+  for (std::size_t i = 0; i < attrs.size(); ++i) {
+    pi.dep_slots[i] = obj->dirty_.slot_for(attrs[i]);
+  }
+}
+
+/// Park a delivery whose when condition just failed.
+void Runtime::Impl::buffer_invoke(Chare* obj, const EpInfo& info, EpId ep,
+                                  std::shared_ptr<void> tuple,
+                                  const ReplyTo& reply, const ReplyTo& bdone) {
+  WhenBuffer& buf = obj->buffered_;
+  if (buf.empty()) obj->when_epoch_seen_ = when_config_epoch();
+  PendingInvoke pi;
+  pi.ep = ep;
+  pi.args = std::move(tuple);
+  pi.reply = reply;
+  pi.bcast_done = bdone;
+  pi.seq = buf.next_seq++;
+  pi.deps = resolve_when_deps(info, obj, pi.args.get());
+  pi.tested_at = obj->dirty_.now();
+  bind_dep_slots(obj, pi);
+  if (pi.deps == nullptr) buf.unknown++;
+  WhenBuffer::Bucket& b = buf.bucket_for(ep, pi.deps);
+  if (b.q.empty()) b.floor = pi.tested_at;
+  b.q.push_back(std::move(pi));
+  buf.total++;
+  auto& w = cx::trace::detail::g_when;
+  w.buffered.fetch_add(1, std::memory_order_relaxed);
+  w.raise_high_water(buf.total);
+  CX_TRACE_EVENT(mype(), machine->now(), cx::trace::EventKind::WhenBuffer,
+                 obj->coll_, buf.total);
+}
+
+/// Conservative rebuild after a when-configuration change (set_when /
+/// clear_when / dyn condition redefinition): re-extract every buffered
+/// message's deps and force one fresh test of each.
+void Runtime::Impl::rebucket_buffered(Chare* obj) {
+  WhenBuffer& buf = obj->buffered_;
+  std::vector<PendingInvoke> all;
+  all.reserve(buf.total);
+  buf.for_each_in_order(
+      [&](PendingInvoke& pi) { all.push_back(std::move(pi)); });
+  buf.clear();
+  auto& reg = Registry::instance();
+  for (auto& pi : all) {
+    const EpInfo& info = reg.ep(pi.ep);
+    pi.deps = resolve_when_deps(info, obj, pi.args.get());
+    pi.tested_at = 0;  // force a test under the (possibly new) condition
+    bind_dep_slots(obj, pi);
+    if (pi.deps == nullptr) buf.unknown++;
+    WhenBuffer::Bucket& b = buf.bucket_for(pi.ep, pi.deps);
+    b.floor = 0;
+    b.q.push_back(std::move(pi));
+    buf.total++;
+  }
+  obj->last_retest_clock_ = 0;
+}
+
+/// Drain every when-buffered message that became eligible. Replaces the
+/// seed's retry-all rescan: buckets whose dependency set saw no dirty
+/// mark since their last failed test are skipped with one clock check,
+/// and individual messages are filtered through cached slot pointers.
+/// Delivery order is unchanged — among simultaneously-eligible messages
+/// the earliest-arrived (minimum seq) executes first, exactly like the
+/// seed's front-to-back rescan.
+void Runtime::Impl::retest_buffered(Chare* obj) {
+  WhenBuffer& buf = obj->buffered_;
+  if (buf.empty()) return;
+  const bool tracking = when_dirty_tracking_enabled();
+  if (obj->when_epoch_seen_ != when_config_epoch()) {
+    obj->when_epoch_seen_ = when_config_epoch();
+    rebucket_buffered(obj);
+  }
+  std::uint64_t n_tests = 0, n_hits = 0, n_skipped = 0;
+  auto& reg = Registry::instance();
+  while (!buf.empty()) {
+    if (tracking && buf.unknown == 0 &&
+        obj->dirty_.now() == obj->last_retest_clock_) {
+      break;  // nothing any tracked condition reads changed since last pass
+    }
+    const std::uint64_t now = obj->dirty_.now();
+    PendingInvoke* best = nullptr;
+    WhenBuffer::Bucket* best_bucket = nullptr;
+    std::size_t best_pos = 0;
+    for (auto& b : buf.buckets) {
+      if (b.q.empty()) continue;
+      const EpInfo& info = reg.ep(b.ep);
+      if (!info.when) {
+        // Predicate cleared while buffered: the whole bucket is eligible.
+        if (best == nullptr || b.q.front().seq < best->seq) {
+          best = &b.q.front();
+          best_bucket = &b;
+          best_pos = 0;
+        }
+        continue;
+      }
+      const bool filter = tracking && b.deps != nullptr;
+      if (filter && b.floor > 0 && !obj->dirty_.any_since(*b.deps, b.floor)) {
+        // No dependency changed since every message here last failed.
+        n_skipped += b.q.size();
+        b.floor = now;
+        continue;
+      }
+      bool walked_all = true;
+      for (std::size_t pos = 0; pos < b.q.size(); ++pos) {
+        PendingInvoke& pi = b.q[pos];
+        if (best != nullptr && pi.seq > best->seq) {
+          walked_all = false;
+          break;  // q is seq-ascending: nothing further can beat best
+        }
+        if (filter && pi.tested_at > 0) {
+          bool candidate;
+          if (pi.n_slots == PendingInvoke::kSlowDeps) {
+            candidate = obj->dirty_.any_since(*pi.deps, pi.tested_at);
+          } else {
+            candidate = false;
+            for (std::uint8_t i = 0; i < pi.n_slots; ++i) {
+              if (*pi.dep_slots[i] > pi.tested_at) {
+                candidate = true;
+                break;
+              }
+            }
+          }
+          if (!candidate) {
+            // Deps unchanged since the last failed test, so the
+            // condition still fails; stamping the current tick is safe.
+            pi.tested_at = now;
+            ++n_skipped;
+            continue;
+          }
+        }
+        ++n_tests;
+        if (info.when(obj, pi.args.get())) {
+          best = &pi;
+          best_bucket = &b;
+          best_pos = pos;
+          break;  // seq-ascending: first passer is this bucket's earliest
+        }
+        pi.tested_at = now;
+      }
+      if (walked_all && best_bucket != &b) b.floor = now;
+    }
+    if (best == nullptr) {
+      obj->last_retest_clock_ = obj->dirty_.now();
+      break;
+    }
+    PendingInvoke pi = std::move(*best);
+    best_bucket->q.erase(best_bucket->q.begin() +
+                         static_cast<std::ptrdiff_t>(best_pos));
+    buf.total--;
+    if (pi.deps == nullptr) buf.unknown--;
+    ++n_hits;
+    execute(obj, pi.ep, std::move(pi.args), pi.reply, pi.bcast_done);
+  }
+  if (n_tests + n_hits + n_skipped != 0) {
+    auto& w = cx::trace::detail::g_when;
+    w.tests.fetch_add(n_tests, std::memory_order_relaxed);
+    w.hits.fetch_add(n_hits, std::memory_order_relaxed);
+    w.skipped.fetch_add(n_skipped, std::memory_order_relaxed);
+  }
 }
 
 void Runtime::Impl::execute(Chare* obj, EpId ep, std::shared_ptr<void> tuple,
@@ -165,26 +387,13 @@ void Runtime::Impl::execute(Chare* obj, EpId ep, std::shared_ptr<void> tuple,
   }
 }
 
-/// After any entry method runs on `obj`: retry when-buffered messages,
-/// re-check wait() conditions, perform deferred migration / AtSync.
+/// After any entry method runs on `obj`: drain newly-eligible
+/// when-buffered messages, re-check wait() conditions, perform deferred
+/// migration / AtSync.
 void Runtime::Impl::post_execute(Chare* obj) {
   if (obj->post_active_) return;
   obj->post_active_ = true;
-  bool progress = true;
-  while (progress) {
-    progress = false;
-    for (auto it = obj->buffered_.begin(); it != obj->buffered_.end();
-         ++it) {
-      const EpInfo& info = Registry::instance().ep(it->ep);
-      if (!info.when || info.when(obj, it->args.get())) {
-        PendingInvoke pi = std::move(*it);
-        obj->buffered_.erase(it);
-        execute(obj, pi.ep, std::move(pi.args), pi.reply, pi.bcast_done);
-        progress = true;
-        break;
-      }
-    }
-  }
+  retest_buffered(obj);
   for (auto& w : obj->waits_) {
     if (!w.scheduled && w.cond()) {
       w.scheduled = true;

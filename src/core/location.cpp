@@ -91,8 +91,10 @@ void Runtime::Impl::do_migrate(Chare* obj, int to_pe, bool for_lb) {
                  " with suspended threaded entry methods");
     throw std::logic_error("migrate with active threaded entry methods");
   }
-  // Re-route when-buffered deliveries to the new location.
-  for (auto& pi : obj->buffered_) {
+  // Re-route when-buffered deliveries to the new location, preserving
+  // arrival order (they re-enter deliver() there and are re-tested
+  // against a fresh dirty clock).
+  obj->buffered_.for_each_in_order([&](PendingInvoke& pi) {
     const EpInfo& info = Registry::instance().ep(pi.ep);
     EntryHeader eh;
     eh.coll = coll;
@@ -103,7 +105,7 @@ void Runtime::Impl::do_migrate(Chare* obj, int to_pe, bool for_lb) {
     rt_send(wire::make_msg_pup(h_entry, to_pe, eh, [&](pup::Er& p) {
       info.pup_args(pi.args.get(), p);
     }));
-  }
+  });
   obj->buffered_.clear();
   CX_TRACE_EVENT(mype(), machine->now(), cx::trace::EventKind::MigrateOut,
                  coll, static_cast<std::uint64_t>(to_pe));

@@ -26,6 +26,10 @@ const EpInfo& Registry::ep(EpId id) const {
 
 EpInfo& Registry::mutable_ep(EpId id) {
   std::lock_guard<std::mutex> lock(mutex_);
+  // Attribute edits (set_when / clear_when / set_when_deps) can change
+  // which buffered messages are eligible without any chare state
+  // changing; the epoch bump makes every chare re-examine its buffer.
+  bump_when_config_epoch();
   return eps_.at(id);
 }
 

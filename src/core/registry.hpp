@@ -15,13 +15,16 @@
 
 #include <deque>
 #include <functional>
+#include <initializer_list>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <tuple>
 #include <type_traits>
 #include <vector>
 
 #include "core/ids.hpp"
+#include "core/when.hpp"
 #include "pup/pup.hpp"
 
 namespace cx {
@@ -71,6 +74,14 @@ struct EpInfo {
   bool threaded = false;
   /// Optional delivery predicate (the `when` decorator).
   std::function<bool(Chare*, void*)> when;
+  /// Static dependency set of the when condition (set_when_deps<M>):
+  /// every message of this entry method reads the same attributes.
+  std::shared_ptr<const WhenDeps> when_deps_static;
+  /// Per-message dependency extractor (set_when_deps_fn<M>): the dynamic
+  /// layer resolves the target method from the message and returns its
+  /// condition's deps. May return nullptr (unknown → conservative).
+  /// The returned pointer must stay valid for the process lifetime.
+  std::function<const WhenDeps*(Chare*, void*)> when_deps;
 };
 
 /// Type-erased chare factories.
@@ -190,10 +201,52 @@ void set_when(F&& f) {
   };
 }
 
-/// Remove a previously attached `when` predicate.
+/// Remove a previously attached `when` predicate (and its deps).
 template <auto M>
 void clear_when() {
-  Registry::instance().mutable_ep(ep_id<M>()).when = nullptr;
+  EpInfo& info = Registry::instance().mutable_ep(ep_id<M>());
+  info.when = nullptr;
+  info.when_deps_static = nullptr;
+  info.when_deps = nullptr;
+}
+
+/// Declare the chare attributes M's when predicate reads. A chare whose
+/// predicate has declared deps must call mark_when_dirty(attr_key("x"))
+/// whenever it writes one of them; in exchange, buffered messages are
+/// only re-tested when a dependency actually changed instead of after
+/// every entry method. Without this call the engine stays conservative.
+template <auto M>
+void set_when_deps(WhenDeps deps) {
+  deps.known = true;
+  Registry::instance().mutable_ep(ep_id<M>()).when_deps_static =
+      std::make_shared<const WhenDeps>(std::move(deps));
+}
+
+/// Convenience: declare deps by attribute name.
+template <auto M>
+void set_when_deps(std::initializer_list<std::string_view> names) {
+  WhenDeps d;
+  for (const auto n : names) d.add(attr_key(n));
+  set_when_deps<M>(std::move(d));
+}
+
+/// Attach a per-message dependency extractor: `f(chare, args...)` returns
+/// the condition deps of that particular message (process-lifetime
+/// pointer), or nullptr for "unknown". Used by the dynamic model layer,
+/// where one universal entry method carries many differently-guarded
+/// target methods.
+template <auto M, typename F>
+void set_when_deps_fn(F&& f) {
+  using Traits = detail::MethodTraits<decltype(M)>;
+  using C = typename Traits::Class;
+  using Tuple = typename Traits::ArgsTuple;
+  Registry::instance().mutable_ep(ep_id<M>()).when_deps =
+      [fn = std::forward<F>(f)](Chare* obj,
+                                void* args_tuple) -> const WhenDeps* {
+    auto& t = *static_cast<Tuple*>(args_tuple);
+    return std::apply(
+        [&](auto&... as) { return fn(static_cast<C&>(*obj), as...); }, t);
+  };
 }
 
 }  // namespace cx

@@ -342,6 +342,15 @@ struct Runtime::Impl {
   void execute(Chare* obj, EpId ep, std::shared_ptr<void> tuple,
                const ReplyTo& reply, const ReplyTo& bdone);
   void post_execute(Chare* obj);
+  // when-condition engine (delivery.cpp)
+  const WhenDeps* resolve_when_deps(const EpInfo& info, Chare* obj,
+                                    void* args);
+  void bind_dep_slots(Chare* obj, PendingInvoke& pi);
+  void buffer_invoke(Chare* obj, const EpInfo& info, EpId ep,
+                     std::shared_ptr<void> tuple, const ReplyTo& reply,
+                     const ReplyTo& bdone);
+  void rebucket_buffered(Chare* obj);
+  void retest_buffered(Chare* obj);
 
   // ---- location / migration (location.cpp) -------------------------------
 

@@ -15,23 +15,43 @@ std::atomic<double> g_dispatch_overhead{0.0};
 
 /// Shared when-predicate for both dyn_call entry methods: evaluate the
 /// target method's compiled condition against self attributes and named
-/// arguments (paper §II-E).
+/// arguments (paper §II-E). Hot path: method resolution goes through the
+/// instance cache and evaluation through the non-allocating EvalCtx (no
+/// std::function resolver per test).
 bool dyn_when(DChare& self, const std::string& method, const Args& args) {
-  const MethodDef* def = find_method(self.dclass(), method);
+  const MethodDef* def = self.find_method_cached(method);
   if (def == nullptr || !def->has_when) return true;
-  return def->when_cond.test(
-      make_resolver(self.attrs(), def->params, args));
+  EvalCtx ctx;
+  ctx.self = &self.attrs();
+  ctx.params = &def->params;
+  ctx.args = &args;
+  return def->when_cond.test(ctx);
 }
 
-/// One-time glue: install the when predicate and the threaded flag on
-/// the universal entry methods.
+/// Per-message dependency extractor: the condition deps of the message's
+/// target method, so the delivery engine can skip re-testing buffered
+/// messages whose `self.<attr>` reads did not change.
+const cx::WhenDeps* dyn_when_deps(DChare& self, const std::string& method,
+                                  const Args& /*args*/) {
+  const MethodDef* def = self.find_method_cached(method);
+  if (def == nullptr || !def->has_when) return nullptr;
+  return def->when_deps.get();
+}
+
+/// One-time glue: install the when predicate, its dependency extractor
+/// and the threaded flag on the universal entry methods.
 struct DynGlue {
   DynGlue() {
     auto pred = [](DChare& c, const std::string& m, const Args& a) {
       return dyn_when(c, m, a);
     };
+    auto deps = [](DChare& c, const std::string& m, const Args& a) {
+      return dyn_when_deps(c, m, a);
+    };
     cx::set_when<&DChare::dyn_call>(pred);
     cx::set_when<&DChare::dyn_call_threaded>(pred);
+    cx::set_when_deps_fn<&DChare::dyn_call>(deps);
+    cx::set_when_deps_fn<&DChare::dyn_call_threaded>(deps);
     cx::set_threaded<&DChare::dyn_call_threaded>();
   }
 };
@@ -78,7 +98,20 @@ void DChare::dyn_result(std::pair<std::string, Value> tagged) {
 }
 
 Value& DChare::operator[](const std::string& name) {
+  // Every access through the attribute operator may be a write (it
+  // returns a mutable reference), so conservatively mark the attribute
+  // dirty for the when-condition engine. Condition evaluation itself
+  // reads the dict directly (EvalCtx) and does not mark.
+  mark_when_dirty(cx::attr_key(name));
   return attrs_.as_dict()[name];
+}
+
+const MethodDef* DChare::find_method_cached(const std::string& method) const {
+  const auto it = method_cache_.find(method);
+  if (it != method_cache_.end()) return it->second;
+  const MethodDef* def = find_method(cls_, method);
+  if (def != nullptr) method_cache_.emplace(method, def);
+  return def;
 }
 
 bool DChare::has_attr(const std::string& name) const {
@@ -98,13 +131,14 @@ void DChare::resume_from_sync() {
 }
 
 void DChare::wait_until(const std::string& condition) {
-  // Compile once per call site string; conditions are short and the
-  // compile cost mirrors CharmPy's eval of the condition source.
-  const Expr expr = Expr::compile(condition);
+  // Compiled through the global source-string cache (shared with @when
+  // conditions): repeated wait sites evaluate a shared AST instead of
+  // re-parsing per call.
+  const Expr expr = Expr::compile_cached(condition);
   wait([this, expr]() {
-    static const std::vector<std::string> no_params;
-    static const Args no_args;
-    return expr.test(make_resolver(attrs_, no_params, no_args));
+    EvalCtx ctx;
+    ctx.self = &attrs_;
+    return expr.test(ctx);
   });
 }
 
@@ -130,7 +164,7 @@ double DChare::sim_dispatch_overhead() noexcept {
 }
 
 const MethodDef& DChare::resolve(const std::string& method) const {
-  const MethodDef* def = find_method(cls_, method);
+  const MethodDef* def = find_method_cached(method);
   if (def == nullptr) {
     throw std::runtime_error("AttributeError: class '" + cls_ +
                              "' has no method '" + method + "'");

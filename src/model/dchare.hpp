@@ -17,6 +17,7 @@
 //   });
 
 #include <string>
+#include <unordered_map>
 #include <utility>
 
 #include "core/charm.hpp"
@@ -64,6 +65,14 @@ class DChare : public cx::Chare {
 
   [[nodiscard]] const std::string& dclass() const noexcept { return cls_; }
 
+  /// Method lookup through this instance's cache: one global-registry
+  /// resolution per method name for the lifetime of the instance
+  /// (MethodDef storage is node-based, so the pointers stay valid and
+  /// see later redefinitions in place). Returns nullptr if unknown;
+  /// misses are not cached, so methods defined later are still found.
+  [[nodiscard]] const MethodDef* find_method_cached(
+      const std::string& method) const;
+
   /// Automatic migration serialization: class name + attribute dict.
   void pup(pup::Er& p) override;
 
@@ -102,6 +111,9 @@ class DChare : public cx::Chare {
 
   std::string cls_;
   Value attrs_ = Value::dict({});
+  /// Per-instance resolution cache (positive entries only; not pupped —
+  /// it repopulates after migration).
+  mutable std::unordered_map<std::string, const MethodDef*> method_cache_;
 };
 
 }  // namespace cpy

@@ -61,6 +61,18 @@ DClass& DClass::def_threaded(const std::string& method,
   return *this;
 }
 
+namespace {
+
+/// Dependency sets of replaced when-conditions. Buffered messages hold
+/// raw pointers into their condition's deps; redefining a condition
+/// must keep the old set alive until the (epoch-triggered) rebucket.
+std::vector<std::shared_ptr<const cx::WhenDeps>>& retired_deps() {
+  static auto* v = new std::vector<std::shared_ptr<const cx::WhenDeps>>();
+  return *v;
+}
+
+}  // namespace
+
 DClass& DClass::when(const std::string& method,
                      const std::string& condition) {
   auto& impl = ClassRegistry::instance().get_or_create(name_);
@@ -70,8 +82,19 @@ DClass& DClass::when(const std::string& method,
                            " has no method " + method +
                            " (define it first)");
   }
-  it->second.when_cond = Expr::compile(condition);
-  it->second.has_when = true;
+  // Shared compile cache: @when and wait_until sites with the same
+  // source string reuse one AST + dependency set.
+  const Expr& compiled = Expr::compile_cached(condition);
+  MethodDef& d = it->second;
+  if (d.has_when && d.when_deps != nullptr && d.when_deps != compiled.deps()) {
+    retired_deps().push_back(d.when_deps);
+  }
+  d.when_cond = compiled;
+  d.has_when = true;
+  d.when_deps = compiled.deps();
+  // Condition (re)definition can change which buffered messages are
+  // eligible without any chare state changing.
+  cx::bump_when_config_epoch();
   return *this;
 }
 

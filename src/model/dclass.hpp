@@ -39,6 +39,10 @@ struct MethodDef {
   bool threaded = false;
   bool has_when = false;
   Expr when_cond;
+  /// Dependency set of when_cond (shared with the compiled Expr); the
+  /// delivery engine uses it to skip re-tests of buffered messages
+  /// whose `self.<attr>` reads did not change.
+  std::shared_ptr<const cx::WhenDeps> when_deps;
 };
 
 class DClass {

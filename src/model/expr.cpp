@@ -3,7 +3,10 @@
 #include <cctype>
 #include <cmath>
 #include <cstdlib>
+#include <mutex>
 #include <stdexcept>
+#include <unordered_map>
+#include <utility>
 
 namespace cpy {
 
@@ -171,6 +174,7 @@ class Lexer {
 enum class Op {
   Const,
   Name,
+  SelfAttr,  // folded self.<name>: direct attribute-dict lookup
   Attr,
   Index,
   Call,
@@ -189,6 +193,7 @@ enum class Op {
   Le,
   Gt,
   Ge,
+  CmpChain,  // a OP b OP c ... (Python chained comparison)
 };
 
 }  // namespace
@@ -196,9 +201,10 @@ enum class Op {
 struct Expr::Node {
   Op op = Op::Const;
   Value lit;
-  std::string name;  // Name / Attr member / Call function
+  std::string name;  // Name / SelfAttr / Attr member / Call function
   std::shared_ptr<const Node> a, b;
-  std::vector<std::shared_ptr<const Node>> args;
+  std::vector<std::shared_ptr<const Node>> args;  // Call args / chain operands
+  std::vector<Op> cmps;  // CmpChain comparators (args.size() - 1 of them)
 };
 
 namespace {
@@ -275,23 +281,44 @@ class Parser {
     return comparison();
   }
 
+  static bool cmp_tok(Tok k, Op& op) {
+    switch (k) {
+      case Tok::Eq: op = Op::Eq; return true;
+      case Tok::Ne: op = Op::Ne; return true;
+      case Tok::Lt: op = Op::Lt; return true;
+      case Tok::Le: op = Op::Le; return true;
+      case Tok::Gt: op = Op::Gt; return true;
+      case Tok::Ge: op = Op::Ge; return true;
+      default: return false;
+    }
+  }
+
   NodePtr comparison() {
     NodePtr a = arith();
     Op op;
-    switch (cur_.kind) {
-      case Tok::Eq: op = Op::Eq; break;
-      case Tok::Ne: op = Op::Ne; break;
-      case Tok::Lt: op = Op::Lt; break;
-      case Tok::Le: op = Op::Le; break;
-      case Tok::Gt: op = Op::Gt; break;
-      case Tok::Ge: op = Op::Ge; break;
-      default: return a;
-    }
+    if (!cmp_tok(cur_.kind, op)) return a;
     advance();
+    NodePtr b = arith();
+    Op op2;
+    if (!cmp_tok(cur_.kind, op2)) {
+      auto n = std::make_shared<Node>();
+      n->op = op;
+      n->a = a;
+      n->b = b;
+      return n;
+    }
+    // Python chained comparison: `a < b <= c` means `a < b and b <= c`,
+    // with each operand evaluated exactly once, left to right.
     auto n = std::make_shared<Node>();
-    n->op = op;
-    n->a = a;
-    n->b = arith();
+    n->op = Op::CmpChain;
+    n->args.push_back(a);
+    n->args.push_back(b);
+    n->cmps.push_back(op);
+    while (cmp_tok(cur_.kind, op2)) {
+      advance();
+      n->cmps.push_back(op2);
+      n->args.push_back(arith());
+    }
     return n;
   }
 
@@ -346,9 +373,16 @@ class Parser {
           Lexer::fail(cur_.pos, "attribute name after '.'");
         }
         auto n = std::make_shared<Node>();
-        n->op = Op::Attr;
-        n->name = cur_.text;
-        n->a = a;
+        if (a->op == Op::Name && a->name == "self") {
+          // Fold `self.x` into one node: a direct dict lookup at eval
+          // time, and the unit of dependency extraction.
+          n->op = Op::SelfAttr;
+          n->name = cur_.text;
+        } else {
+          n->op = Op::Attr;
+          n->name = cur_.text;
+          n->a = a;
+        }
         advance();
         a = n;
       } else if (accept(Tok::LBracket)) {
@@ -464,22 +498,59 @@ Value arith_op(Op op, const Value& a, const Value& b) {
   throw std::logic_error("expr: bad arithmetic op");
 }
 
-Value eval_node(const Node& n, const NameResolver& names) {
+bool cmp_holds(Op op, const Value& a, const Value& b) {
+  switch (op) {
+    case Op::Eq: return a.equals(b);
+    case Op::Ne: return !a.equals(b);
+    case Op::Lt: return a.compare(b) < 0;
+    case Op::Le: return a.compare(b) <= 0;
+    case Op::Gt: return a.compare(b) > 0;
+    case Op::Ge: return a.compare(b) >= 0;
+    default: throw std::logic_error("expr: bad comparison op");
+  }
+}
+
+Value resolve_name(const EvalCtx& ctx, const std::string& name) {
+  if (ctx.self != nullptr && name == "self") return *ctx.self;
+  if (ctx.params != nullptr && ctx.args != nullptr) {
+    const auto& ps = *ctx.params;
+    for (std::size_t i = 0; i < ps.size() && i < ctx.args->size(); ++i) {
+      if (ps[i] == name) return (*ctx.args)[i];
+    }
+  }
+  if (ctx.fallback != nullptr) return (*ctx.fallback)(name);
+  throw std::runtime_error("NameError: name '" + name +
+                           "' is not defined in this condition");
+}
+
+Value self_attr(const EvalCtx& ctx, const std::string& name) {
+  if (ctx.self != nullptr && ctx.self->kind() == Kind::Dict) {
+    // Fast path: keyed lookup in the attribute dict, no Value boxing.
+    const Dict& d = ctx.self->as_dict();
+    const auto it = d.find(name);
+    if (it != d.end()) return it->second;
+    return ctx.self->item(Value(name));  // canonical KeyError
+  }
+  return resolve_name(ctx, "self").item(Value(name));
+}
+
+Value eval_node(const Node& n, const EvalCtx& ctx) {
   switch (n.op) {
     case Op::Const: return n.lit;
-    case Op::Name: return names(n.name);
+    case Op::Name: return resolve_name(ctx, n.name);
+    case Op::SelfAttr: return self_attr(ctx, n.name);
     case Op::Attr: {
-      const Value base = eval_node(*n.a, names);
+      const Value base = eval_node(*n.a, ctx);
       return base.item(Value(n.name));
     }
     case Op::Index: {
-      const Value base = eval_node(*n.a, names);
-      return base.item(eval_node(*n.b, names));
+      const Value base = eval_node(*n.a, ctx);
+      return base.item(eval_node(*n.b, ctx));
     }
     case Op::Call: {
       std::vector<Value> args;
       args.reserve(n.args.size());
-      for (const auto& a : n.args) args.push_back(eval_node(*a, names));
+      for (const auto& a : n.args) args.push_back(eval_node(*a, ctx));
       if (n.name == "len" && args.size() == 1) {
         return Value(static_cast<std::int64_t>(args[0].length()));
       }
@@ -499,18 +570,18 @@ Value eval_node(const Node& n, const NameResolver& names) {
                                "' (or wrong arity)");
     }
     case Op::And: {
-      const Value a = eval_node(*n.a, names);
+      const Value a = eval_node(*n.a, ctx);
       if (!a.truthy()) return a;  // short circuit, Python semantics
-      return eval_node(*n.b, names);
+      return eval_node(*n.b, ctx);
     }
     case Op::Or: {
-      const Value a = eval_node(*n.a, names);
+      const Value a = eval_node(*n.a, ctx);
       if (a.truthy()) return a;
-      return eval_node(*n.b, names);
+      return eval_node(*n.b, ctx);
     }
-    case Op::Not: return Value(!eval_node(*n.a, names).truthy());
+    case Op::Not: return Value(!eval_node(*n.a, ctx).truthy());
     case Op::Neg: {
-      const Value a = eval_node(*n.a, names);
+      const Value a = eval_node(*n.a, ctx);
       if (a.kind() == Kind::Int) return Value(-a.as_int());
       return Value(-a.as_real());
     }
@@ -519,25 +590,43 @@ Value eval_node(const Node& n, const NameResolver& names) {
     case Op::Mul:
     case Op::Div:
     case Op::Mod:
-      return arith_op(n.op, eval_node(*n.a, names), eval_node(*n.b, names));
+      return arith_op(n.op, eval_node(*n.a, ctx), eval_node(*n.b, ctx));
     case Op::Eq:
-      return Value(eval_node(*n.a, names).equals(eval_node(*n.b, names)));
     case Op::Ne:
-      return Value(!eval_node(*n.a, names).equals(eval_node(*n.b, names)));
     case Op::Lt:
-      return Value(eval_node(*n.a, names).compare(eval_node(*n.b, names)) <
-                   0);
     case Op::Le:
-      return Value(eval_node(*n.a, names).compare(eval_node(*n.b, names)) <=
-                   0);
     case Op::Gt:
-      return Value(eval_node(*n.a, names).compare(eval_node(*n.b, names)) >
-                   0);
     case Op::Ge:
-      return Value(eval_node(*n.a, names).compare(eval_node(*n.b, names)) >=
-                   0);
+      return Value(
+          cmp_holds(n.op, eval_node(*n.a, ctx), eval_node(*n.b, ctx)));
+    case Op::CmpChain: {
+      // Python chained comparison: operands evaluated once, left to
+      // right; stop at the first failing link (later operands are not
+      // evaluated at all).
+      Value left = eval_node(*n.args[0], ctx);
+      for (std::size_t i = 0; i < n.cmps.size(); ++i) {
+        Value right = eval_node(*n.args[i + 1], ctx);
+        if (!cmp_holds(n.cmps[i], left, right)) return Value(false);
+        left = std::move(right);
+      }
+      return Value(true);
+    }
   }
   throw std::logic_error("expr: bad node");
+}
+
+/// Collect the `self.<attr>` reads of an AST; `opaque` is set when the
+/// reads cannot be bounded (bare `self` outside an attribute fold, e.g.
+/// `self['x']` or `len(self)`).
+void collect_deps(const Node& n, cx::WhenDeps& deps, bool& opaque) {
+  if (n.op == Op::SelfAttr) {
+    deps.add(cx::attr_key(n.name));
+  } else if (n.op == Op::Name && n.name == "self") {
+    opaque = true;
+  }
+  if (n.a) collect_deps(*n.a, deps, opaque);
+  if (n.b) collect_deps(*n.b, deps, opaque);
+  for (const auto& a : n.args) collect_deps(*a, deps, opaque);
 }
 
 }  // namespace
@@ -547,12 +636,53 @@ Expr Expr::compile(const std::string& source) {
   Expr e;
   e.root_ = p.parse();
   e.src_ = source;
+  cx::WhenDeps d;
+  bool opaque = false;
+  collect_deps(*e.root_, d, opaque);
+  d.known = !opaque;
+  e.deps_ = std::make_shared<const cx::WhenDeps>(std::move(d));
   return e;
 }
 
-Value Expr::eval(const NameResolver& names) const {
+namespace {
+
+struct CompileCache {
+  std::mutex mutex;
+  // Node-based map: Expr addresses stay stable across inserts, so
+  // compile_cached can hand out references.
+  std::unordered_map<std::string, Expr> exprs;
+
+  static CompileCache& instance() {
+    static auto* c = new CompileCache();  // leaked: callers keep refs
+    return *c;
+  }
+};
+
+}  // namespace
+
+const Expr& Expr::compile_cached(const std::string& source) {
+  auto& c = CompileCache::instance();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  const auto it = c.exprs.find(source);
+  if (it != c.exprs.end()) return it->second;
+  return c.exprs.emplace(source, compile(source)).first->second;
+}
+
+std::size_t Expr::compile_cache_size() {
+  auto& c = CompileCache::instance();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  return c.exprs.size();
+}
+
+Value Expr::eval(const EvalCtx& ctx) const {
   if (!root_) throw std::logic_error("evaluating an empty Expr");
-  return eval_node(*root_, names);
+  return eval_node(*root_, ctx);
+}
+
+Value Expr::eval(const NameResolver& names) const {
+  EvalCtx ctx;
+  ctx.fallback = &names;
+  return eval(ctx);
 }
 
 NameResolver make_resolver(const Value& self_attrs,

@@ -17,7 +17,28 @@ namespace cx::trace {
 namespace detail {
 std::atomic<bool> g_enabled{false};
 WireAtomics g_wire;
+WhenAtomics g_when;
 }  // namespace detail
+
+WhenEngineStats when_stats() noexcept {
+  const auto& w = detail::g_when;
+  WhenEngineStats s;
+  s.tests = w.tests.load(std::memory_order_relaxed);
+  s.hits = w.hits.load(std::memory_order_relaxed);
+  s.buffered = w.buffered.load(std::memory_order_relaxed);
+  s.skipped = w.skipped.load(std::memory_order_relaxed);
+  s.high_water = w.high_water.load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_when_stats() noexcept {
+  auto& w = detail::g_when;
+  w.tests.store(0, std::memory_order_relaxed);
+  w.hits.store(0, std::memory_order_relaxed);
+  w.buffered.store(0, std::memory_order_relaxed);
+  w.skipped.store(0, std::memory_order_relaxed);
+  w.high_water.store(0, std::memory_order_relaxed);
+}
 
 WireStats wire_stats() noexcept {
   const auto& w = detail::g_wire;
@@ -343,6 +364,7 @@ void begin_run(int num_pes, bool simulated) {
   s.pes.clear();
   s.simulated = simulated;
   reset_wire_stats();
+  reset_when_stats();
   if (!s.cfg.enabled) return;
   // Rings are allocated eagerly, so clamp the per-PE capacity to keep the
   // total bounded when a simulated run uses thousands of virtual PEs
@@ -468,6 +490,14 @@ std::string summary_table() {
          << ")  " << total.entry_hist[i] << "\n";
     }
   }
+  const WhenEngineStats ws = when_stats();
+  if (ws.tests + ws.buffered > 0) {
+    os << "\ncx::when: " << ws.tests << " condition tests, " << ws.buffered
+       << " buffered, " << ws.hits << " released, " << ws.skipped
+       << " re-tests skipped ("
+       << cxu::Table::num(100.0 * ws.skip_rate(), 1)
+       << "%), high water " << ws.high_water << " pending\n";
+  }
   const WireStats w = wire_stats();
   if (w.envelopes > 0) {
     os << "\ncx::wire: " << w.envelopes << " envelopes, "
@@ -518,6 +548,11 @@ void write_json(std::ostream& os) {
   }
   os << "],\"total\":";
   json_counters(os, aggregate());
+  const WhenEngineStats ws = when_stats();
+  os << "},\"when\":{\"tests\":" << ws.tests << ",\"hits\":" << ws.hits
+     << ",\"buffered\":" << ws.buffered << ",\"skipped\":" << ws.skipped
+     << ",\"skip_rate\":" << ws.skip_rate()
+     << ",\"high_water\":" << ws.high_water;
   const WireStats w = wire_stats();
   os << "},\"wire\":{\"envelopes\":" << w.envelopes
      << ",\"bytes_packed\":" << w.bytes_packed
@@ -560,6 +595,7 @@ void reset() {
   s.cfg = Config{};
   s.simulated = false;
   reset_wire_stats();
+  reset_when_stats();
   detail::g_enabled.store(false, std::memory_order_relaxed);
 }
 

@@ -172,6 +172,56 @@ struct WireStats {
   }
 };
 
+// ---- when/wait condition-engine counters ---------------------------------
+//
+// The condition-aware delivery engine (core/when.hpp, delivery.cpp)
+// reports its work here: predicate evaluations, buffered deliveries,
+// releases, and how many re-tests dependency tracking skipped. Always on
+// (relaxed atomic adds, batched per retest pass) so bench/micro_when A/B
+// runs work without --trace.
+
+struct WhenEngineStats {
+  std::uint64_t tests = 0;      ///< when-predicate evaluations
+  std::uint64_t hits = 0;       ///< buffered messages released (re-test hit)
+  std::uint64_t buffered = 0;   ///< deliveries that were buffered
+  std::uint64_t skipped = 0;    ///< re-tests avoided by dependency tracking
+  std::uint64_t high_water = 0; ///< max buffered messages on one chare
+
+  /// Re-tests avoided as a fraction of all re-test opportunities.
+  [[nodiscard]] double skip_rate() const noexcept {
+    const std::uint64_t total = tests + skipped;
+    return total > 0
+               ? static_cast<double>(skipped) / static_cast<double>(total)
+               : 0.0;
+  }
+};
+
+namespace detail {
+struct WhenAtomics {
+  std::atomic<std::uint64_t> tests{0};
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> buffered{0};
+  std::atomic<std::uint64_t> skipped{0};
+  std::atomic<std::uint64_t> high_water{0};
+
+  void raise_high_water(std::uint64_t depth) noexcept {
+    std::uint64_t cur = high_water.load(std::memory_order_relaxed);
+    while (depth > cur &&
+           !high_water.compare_exchange_weak(cur, depth,
+                                             std::memory_order_relaxed)) {
+    }
+  }
+};
+extern WhenAtomics g_when;
+}  // namespace detail
+
+/// Snapshot of the condition-engine counters since the last
+/// begin_run()/reset_when_stats().
+[[nodiscard]] WhenEngineStats when_stats() noexcept;
+
+/// Zero the condition-engine counters (begin_run does this too).
+void reset_when_stats() noexcept;
+
 namespace detail {
 struct WireAtomics {
   std::atomic<std::uint64_t> envelopes{0};

@@ -90,6 +90,165 @@ TEST(When, ConditionOnArgumentCombination) {
 }
 
 // ---------------------------------------------------------------------------
+// FIFO among simultaneously-eligible messages: when the gate opens, the
+// buffered messages must drain in arrival order even though they target
+// two different entry methods in two different buckets. The declared
+// dependency set (set_when_deps) puts both on the engine's fast path.
+
+struct FifoGate : Chare {
+  bool open = false;
+  std::vector<int> log_;
+
+  void a(int tag) { log_.push_back(tag); }
+  void b(int tag) { log_.push_back(tag); }
+  void open_gate() {
+    open = true;
+    mark_when_dirty(attr_key("open"));
+  }
+  std::vector<int> log() { return log_; }
+};
+
+struct FifoGateRegistrar {
+  FifoGateRegistrar() {
+    set_when<&FifoGate::a>([](FifoGate& s, const int&) { return s.open; });
+    set_when<&FifoGate::b>([](FifoGate& s, const int&) { return s.open; });
+    set_when_deps<&FifoGate::a>({"open"});
+    set_when_deps<&FifoGate::b>({"open"});
+  }
+};
+const FifoGateRegistrar fifo_gate_registrar;
+
+TEST(When, SimultaneouslyEligibleMessagesDrainInArrivalOrder) {
+  run_program(threaded_cfg(1), [] {
+    auto g = create_chare<FifoGate>(0);
+    // Interleave the two entry methods while the gate is closed; the tag
+    // records the arrival order across both buckets.
+    for (int i = 0; i < 8; ++i) {
+      if (i % 2 == 0) {
+        g.send<&FifoGate::a>(i);
+      } else {
+        g.send<&FifoGate::b>(i);
+      }
+    }
+    // Round-trip: everything above is buffered before the gate opens.
+    EXPECT_TRUE(g.call<&FifoGate::log>().get().empty());
+    g.send<&FifoGate::open_gate>();
+    std::vector<int> log;
+    while ((log = g.call<&FifoGate::log>().get()).size() < 8) {
+    }
+    EXPECT_EQ(log, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+    cx::exit();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Migration while messages are when-buffered: the buffer is re-routed to
+// the new PE with reply futures and broadcast-completion credits intact.
+
+struct GateMover : Chare {
+  GateMover() = default;  // migration path
+  bool open = false;
+  int fired = 0;
+
+  void pup(pup::Er& p) override {
+    p | open;
+    p | fired;
+  }
+  int gated(int x) {
+    ++fired;
+    return x * 2;
+  }
+  void open_gate() {
+    open = true;
+    mark_when_dirty(attr_key("open"));
+  }
+  void go_to(int pe) { migrate(pe); }
+  int where() { return my_pe(); }
+  int count() { return fired; }
+};
+
+struct GateMoverRegistrar {
+  GateMoverRegistrar() {
+    set_when<&GateMover::gated>(
+        [](GateMover& s, const int&) { return s.open; });
+    set_when_deps<&GateMover::gated>({"open"});
+  }
+};
+const GateMoverRegistrar gate_mover_registrar;
+
+TEST(When, MigrationReroutesBufferedMessagePreservingReplyFuture) {
+  run_program(threaded_cfg(2), [] {
+    auto g = create_chare<GateMover>(0);
+    auto reply = g.call<&GateMover::gated>(21);  // buffered: gate closed
+    EXPECT_EQ(g.call<&GateMover::count>().get(), 0);
+    g.send<&GateMover::go_to>(1);
+    while (g.call<&GateMover::where>().get() != 1) {
+    }
+    // Still buffered after landing on the new PE.
+    EXPECT_EQ(g.call<&GateMover::count>().get(), 0);
+    g.send<&GateMover::open_gate>();
+    EXPECT_EQ(reply.get(), 42);  // reply future survived the move
+    cx::exit();
+  });
+}
+
+TEST(When, MigrationPreservesBroadcastDoneCredits) {
+  run_program(threaded_cfg(2), [] {
+    auto arr = create_array<GateMover>({4});
+    // Every element buffers the broadcast (all gates closed), so the
+    // completion future holds one credit per element.
+    auto done = arr.broadcast_done<&GateMover::gated>(1);
+    EXPECT_EQ(arr[0].call<&GateMover::count>().get(), 0);
+    arr[0].send<&GateMover::go_to>(1);
+    while (arr[0].call<&GateMover::where>().get() != 1) {
+    }
+    for (int i = 0; i < 4; ++i) arr[i].send<&GateMover::open_gate>();
+    done.get();  // completes only if the migrated element's credit survived
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(arr[i].call<&GateMover::count>().get(), 1);
+    }
+    cx::exit();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Regression: a when condition reading an attribute that a *different*
+// entry method mutates must still fire (the dirty filter may only skip
+// re-tests whose dependencies did not change).
+
+struct SumGateLike : Chare {
+  bool ready = false;
+  int fired = 0;
+
+  void fire() { ++fired; }
+  void make_ready() {
+    ready = true;
+    mark_when_dirty(attr_key("ready"));
+  }
+  int hits() { return fired; }
+};
+
+struct SumGateLikeRegistrar {
+  SumGateLikeRegistrar() {
+    set_when<&SumGateLike::fire>([](SumGateLike& s) { return s.ready; });
+    set_when_deps<&SumGateLike::fire>({"ready"});
+  }
+};
+const SumGateLikeRegistrar sum_gate_like_registrar;
+
+TEST(When, ConditionSeesAttributeMutatedByOtherEntryMethod) {
+  run_program(threaded_cfg(1), [] {
+    auto g = create_chare<SumGateLike>(0);
+    g.send<&SumGateLike::fire>();  // buffered until ready
+    EXPECT_EQ(g.call<&SumGateLike::hits>().get(), 0);
+    g.send<&SumGateLike::make_ready>();
+    while (g.call<&SumGateLike::hits>().get() < 1) {
+    }
+    cx::exit();
+  });
+}
+
+// ---------------------------------------------------------------------------
 // wait(): the stencil-style "wait for all neighbor data" pattern.
 
 struct Waiter : Chare {

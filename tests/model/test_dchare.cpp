@@ -148,6 +148,114 @@ TEST(DChare, WhenStringBuffersOutOfOrderMessages) {
 }
 
 // ---------------------------------------------------------------------------
+// Regression for the condition engine: a when condition reading an
+// attribute that a *different* entry method writes must fire when that
+// method runs (the dirty filter tracks every self[...] write).
+
+struct LatchClass {
+  LatchClass() {
+    DClass cls("Latch");
+    cls.def("__init__", {}, [](DChare& self, Args&) {
+      self["ready"] = Value(0);
+      self["fired"] = Value(0);
+      return Value::none();
+    });
+    cls.def("fire", {}, [](DChare& self, Args&) {
+      self["fired"] = self["fired"].as_int() + 1;
+      return Value::none();
+    });
+    cls.when("fire", "self.ready == 1");
+    cls.def("arm", {}, [](DChare& self, Args&) {
+      self["ready"] = Value(1);
+      return Value::none();
+    });
+    cls.def("fired", {}, [](DChare& self, Args&) { return self["fired"]; });
+  }
+};
+const LatchClass latch_class;
+
+TEST(DChare, WhenFiresAfterOtherMethodMutatesItsDependency) {
+  run_program(threaded_cfg(1), [] {
+    auto l = create_chare("Latch", 0);
+    l.send("fire", {});
+    EXPECT_EQ(l.call("fired").get().as_int(), 0);  // buffered
+    l.send("arm", {});
+    while (l.call("fired").get().as_int() < 1) {
+    }
+    cx::exit();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Chained comparisons in when-strings: the paper's windowed-stream shape
+// `@when('self.lo <= seq < self.hi')`, previously mis-parsed as
+// `(self.lo <= seq) < self.hi`.
+
+struct WindowClass {
+  WindowClass() {
+    DClass cls("Window");
+    cls.def("__init__", {}, [](DChare& self, Args&) {
+      self["lo"] = Value(0);
+      self["hi"] = Value(0);
+      self["log"] = Value::list({});
+      return Value::none();
+    });
+    cls.def("recv", {"seq"}, [](DChare& self, Args& a) {
+      self["log"].as_list().push_back(a[0]);
+      return Value::none();
+    });
+    cls.when("recv", "self.lo <= seq < self.hi");
+    cls.def("open", {"lo", "hi"}, [](DChare& self, Args& a) {
+      self["lo"] = a[0];
+      self["hi"] = a[1];
+      return Value::none();
+    });
+    cls.def("get_log", {}, [](DChare& self, Args&) { return self["log"]; });
+    cls.def_threaded("await_window", {}, [](DChare& self, Args&) {
+      self.wait_until("0 < self.lo <= self.hi");
+      self["woke"] = Value(1);
+      return Value::none();
+    });
+    cls.def("woke", {}, [](DChare& self, Args&) {
+      return self.has_attr("woke") ? self["woke"] : Value(0);
+    });
+  }
+};
+const WindowClass window_class;
+
+TEST(DChare, ChainedComparisonWhenStringGatesByWindow) {
+  run_program(threaded_cfg(1), [] {
+    auto w = create_chare("Window", 0);
+    for (int s = 0; s < 6; ++s) w.send("recv", {Value(s)});
+    // Window [0, 0): everything buffered.
+    EXPECT_EQ(w.call("get_log").get().length(), 0u);
+    w.send("open", {Value(2), Value(5)});  // admits 2, 3, 4 only
+    Value log;
+    while ((log = w.call("get_log").get()).length() < 3) {
+    }
+    EXPECT_EQ(log.length(), 3u);
+    for (int i = 0; i < 3; ++i) {
+      const std::int64_t seq = log.item(Value(i)).as_int();
+      EXPECT_GE(seq, 2);
+      EXPECT_LT(seq, 5);
+    }
+    cx::exit();
+  });
+}
+
+TEST(DChare, ChainedComparisonWaitString) {
+  run_program(threaded_cfg(2), [] {
+    auto w = create_chare("Window", 1);
+    w.send("await_window", {});
+    EXPECT_EQ(w.call("woke").get().as_int(), 0);  // 0 < 0 fails: suspended
+    w.send("open", {Value(3), Value(7)});         // 0 < 3 <= 7 holds
+    while (w.call("woke").get().as_int() < 1) {
+    }
+    cx::exit();
+  });
+}
+
+// ---------------------------------------------------------------------------
 // Threaded methods + wait-strings: the paper's §II-H2 pattern.
 
 struct IterWorkerClass {

@@ -114,6 +114,120 @@ TEST(Expr, BuiltinFunctions) {
   EXPECT_EQ(ev("len('hello')", e).as_int(), 5);
 }
 
+TEST(Expr, ChainedComparisons) {
+  auto e = env({{"n", Value(10)}}, {"x"}, {Value(5)});
+  // The motivating bug: `0 <= x < n` must parse as a chain, not as
+  // `(0 <= x) < n` (which compares a bool against an int).
+  EXPECT_TRUE(ev("0 <= x < self.n", e).as_bool());
+  EXPECT_FALSE(ev("0 <= x < 5", e).as_bool());
+  EXPECT_FALSE(ev("6 <= x < self.n", e).as_bool());
+  EXPECT_TRUE(ev("1 < 2 < 3 < 4", e).as_bool());
+  EXPECT_FALSE(ev("1 < 2 < 2", e).as_bool());
+  EXPECT_TRUE(ev("1 < 2 <= 2 == 2.0 != 3", e).as_bool());
+  EXPECT_TRUE(ev("3 > 2 >= 2", e).as_bool());
+  // A chain yields a bool, usable inside boolean logic.
+  EXPECT_TRUE(ev("0 <= x < self.n and True", e).as_bool());
+}
+
+TEST(Expr, ChainedComparisonEvaluatesEachOperandOnce) {
+  // Python semantics: `a < b < c` evaluates b once, unlike the naive
+  // desugaring `a < b and b < c`.
+  int lookups = 0;
+  NameResolver counting = [&lookups](const std::string& name) -> Value {
+    if (name == "mid") {
+      ++lookups;
+      return Value(5);
+    }
+    throw std::runtime_error("NameError: " + name);
+  };
+  EXPECT_TRUE(Expr::compile("1 < mid < 10").eval(counting).as_bool());
+  EXPECT_EQ(lookups, 1);
+}
+
+TEST(Expr, ChainedComparisonShortCircuits) {
+  auto e = env({});
+  // The first failing link stops the chain: `boom` is never resolved.
+  EXPECT_FALSE(ev("1 > 2 < boom", e).truthy());
+  // And a passing prefix still reaches the bad operand.
+  EXPECT_THROW(ev("1 < 2 < boom", e), std::runtime_error);
+}
+
+TEST(Expr, Truthiness) {
+  auto e = env({{"empty", Value::list({})},
+                {"items", Value::list({Value(1)})},
+                {"none", Value::none()},
+                {"table", Value::dict({})}});
+  EXPECT_FALSE(ev("self.empty", e).truthy());
+  EXPECT_TRUE(ev("self.items", e).truthy());
+  EXPECT_FALSE(ev("self.none", e).truthy());
+  EXPECT_FALSE(ev("self.table", e).truthy());
+  EXPECT_FALSE(ev("''", e).truthy());
+  EXPECT_TRUE(ev("'x'", e).truthy());
+  EXPECT_FALSE(ev("0", e).truthy());
+  EXPECT_FALSE(ev("0.0", e).truthy());
+  EXPECT_TRUE(ev("not self.empty", e).as_bool());
+}
+
+TEST(Expr, TrailingInputIsAPositionedSyntaxError) {
+  // `1 2` stops the parser after the first literal; the error must say
+  // so and point at the offending token, not silently evaluate `1`.
+  try {
+    (void)Expr::compile("1 2");
+    FAIL() << "expected syntax error";
+  } catch (const std::runtime_error& err) {
+    const std::string msg = err.what();
+    EXPECT_NE(msg.find("trailing input"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("position 2"), std::string::npos) << msg;
+  }
+  // Same for a half-written chain link.
+  EXPECT_THROW((void)Expr::compile("1 < 2 <"), std::runtime_error);
+  EXPECT_THROW((void)Expr::compile("x < y z"), std::runtime_error);
+}
+
+TEST(Expr, DependencyExtraction) {
+  const Expr e = Expr::compile("self.a + self.b == x");
+  ASSERT_NE(e.deps(), nullptr);
+  EXPECT_TRUE(e.deps()->known);
+  ASSERT_EQ(e.deps()->attrs.size(), 2u);
+  EXPECT_EQ(e.deps()->attrs[0], cx::attr_key("a"));
+  EXPECT_EQ(e.deps()->attrs[1], cx::attr_key("b"));
+
+  // Duplicate reads collapse to one dependency.
+  const Expr dup = Expr::compile("self.k < 3 or self.k > 9");
+  EXPECT_EQ(dup.deps()->attrs.size(), 1u);
+
+  // Nested access depends only on the root attribute.
+  const Expr nested = Expr::compile("self.cfg.k == 1");
+  EXPECT_TRUE(nested.deps()->known);
+  ASSERT_EQ(nested.deps()->attrs.size(), 1u);
+  EXPECT_EQ(nested.deps()->attrs[0], cx::attr_key("cfg"));
+
+  // Bare `self` (computed access) defeats static analysis: not known.
+  EXPECT_FALSE(Expr::compile("len(self.xs) == self['n']").deps()->known);
+  // No self reads at all: known, empty set (never needs a re-test).
+  const Expr pure = Expr::compile("a + b == 7");
+  EXPECT_TRUE(pure.deps()->known);
+  EXPECT_TRUE(pure.deps()->attrs.empty());
+
+  // Chained comparisons feed extraction like any other node.
+  const Expr chain = Expr::compile("self.lo <= x < self.hi");
+  EXPECT_TRUE(chain.deps()->known);
+  EXPECT_EQ(chain.deps()->attrs.size(), 2u);
+}
+
+TEST(Expr, CompileCacheSharesAsts) {
+  const std::string src = "self.cache_probe_attr == 123";
+  const std::size_t before = Expr::compile_cache_size();
+  const Expr& first = Expr::compile_cached(src);
+  EXPECT_EQ(Expr::compile_cache_size(), before + 1);
+  const Expr& second = Expr::compile_cached(src);
+  EXPECT_EQ(&first, &second);  // same cached entry, not a re-parse
+  EXPECT_EQ(Expr::compile_cache_size(), before + 1);
+  // The shared entry carries the shared dependency set.
+  EXPECT_EQ(first.deps(), second.deps());
+  EXPECT_TRUE(first.deps()->known);
+}
+
 TEST(Expr, SyntaxErrorsCarryPosition) {
   EXPECT_THROW((void)Expr::compile("1 +"), std::runtime_error);
   EXPECT_THROW((void)Expr::compile("self."), std::runtime_error);
