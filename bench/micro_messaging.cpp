@@ -23,13 +23,25 @@
 // storage (SBO) — both are checked, not just printed.
 //
 //   ./bench/micro_messaging --wire [--messages 2000]
+//
+// --agg mode: sender-side message aggregation (TRAM-style, --wire-agg)
+// A/B on the DES backend. Every PE streams fine-grained messages around
+// a ring; with aggregation on, small sends coalesce into per-(dst,
+// size-class) batches that travel as one wire envelope each. Reports
+// simulated ops/s and physical wire envelopes for both runs and checks
+// — not just prints — that the application-visible result (an
+// order-sensitive payload hash) is identical with aggregation on/off.
+//
+//   ./bench/micro_messaging --agg [--messages 2000] [--json out.json]
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "core/charm.hpp"
 #include "trace/trace.hpp"
+#include "wire/agg.hpp"
 #include "wire/pool.hpp"
 
 namespace {
@@ -229,6 +241,163 @@ int run_wire_mode(int messages) {
   return ok ? 0 : 1;
 }
 
+// ---- --agg mode ----------------------------------------------------------
+
+/// One group member per PE: sends `msgs` small messages to the next PE
+/// in the ring, folds everything it receives into an order-sensitive
+/// hash, and contributes the hash when its own stream is complete. The
+/// reduction total must be bit-identical with aggregation on and off.
+struct AggRing : cx::Chare {
+  std::uint64_t hash = 1469598103934665603ull;  // FNV-1a offset basis
+  long received = 0;
+  long expect = -1;  ///< -1 until start() arrives (ring sends can race it)
+  cx::Future<double> done;
+
+  void start(cx::CollectionProxy<AggRing> ring, int msgs, int payload,
+             cx::Future<double> f) {
+    done = f;
+    expect = msgs;
+    const int next = (cx::my_pe() + 1) % cx::num_pes();
+    for (int i = 0; i < msgs; ++i) {
+      std::vector<double> v(static_cast<std::size_t>(payload));
+      for (int j = 0; j < payload; ++j) {
+        v[static_cast<std::size_t>(j)] = i + j * 0.5;
+      }
+      ring[next].send<&AggRing::recv>(i, std::move(v));
+    }
+    maybe_finish();
+  }
+
+  void recv(int seq, std::vector<double> v) {
+    double sum = 0.0;
+    for (double x : v) sum += x;
+    // Multiply-fold makes the hash order-sensitive: any reordering of
+    // the single-source FIFO stream changes the result.
+    hash = hash * 1099511628211ull + static_cast<std::uint64_t>(seq) * 31u +
+           static_cast<std::uint64_t>(sum);
+    ++received;
+    maybe_finish();
+  }
+
+  void maybe_finish() {
+    if (expect >= 0 && received == expect) {
+      // Mask to 32 bits so the double-sum reduction stays exact.
+      contribute(static_cast<double>(hash & 0xffffffffull),
+                 cx::reducer::sum<double>(), cx::cb(done));
+    }
+  }
+
+  void ready(cx::Future<void> f) { contribute(cx::cb(f)); }
+};
+
+struct AggRunResult {
+  double makespan = 0.0;     ///< simulated seconds to drain the ring
+  std::uint64_t transport = 0;  ///< physical cross-PE wire envelopes
+  std::uint64_t batches = 0;
+  std::uint64_t agg_msgs = 0;
+  double hash_sum = 0.0;     ///< reduction of per-PE payload hashes
+};
+
+AggRunResult agg_run(int pes, int msgs, int payload, bool agg_on) {
+  const bool was = cx::wire::agg_enabled();
+  cx::wire::set_agg_enabled(agg_on);
+  AggRunResult r;
+  cx::RuntimeConfig cfg;
+  cfg.machine.num_pes = pes;
+  cfg.machine.backend = cxm::Backend::Sim;
+  cx::trace::reset_wire_stats();
+  cx::Runtime rt(cfg);
+  rt.run([&] {
+    auto ring = cx::create_group<AggRing>();
+    // Barrier: every member is constructed before the streams start, so
+    // the measured window never hits creation-in-flight buffering.
+    auto up = cx::make_future<void>();
+    ring.broadcast<&AggRing::ready>(up);
+    up.get();
+    auto f = cx::make_future<double>();
+    ring.broadcast<&AggRing::start>(ring, msgs, payload, f);
+    r.hash_sum = f.get();
+    cx::exit();
+  });
+  const cx::trace::WireStats w = cx::trace::wire_stats();
+  r.transport = w.transport_msgs;
+  r.batches = w.agg_batches;
+  r.agg_msgs = w.agg_msgs;
+  r.makespan = rt.sim_makespan();
+  cx::wire::set_agg_enabled(was);
+  return r;
+}
+
+int run_agg_mode(int messages, const std::string& json) {
+  constexpr int kPes = 8;
+  constexpr int kPayload = 8;  // doubles per message: a fine-grained send
+  std::printf(
+      "micro_messaging --agg: %d-PE DES ring, %d fine-grained msgs/PE\n"
+      "(%d doubles each), sender-side aggregation off vs on\n\n",
+      kPes, messages, kPayload);
+
+  const AggRunResult off = agg_run(kPes, messages, kPayload, false);
+  const AggRunResult on = agg_run(kPes, messages, kPayload, true);
+
+  const double total = static_cast<double>(kPes) * messages;
+  const double ops_off = total / off.makespan;
+  const double ops_on = total / on.makespan;
+  const double speedup = ops_on / ops_off;
+  const double env_ratio = on.transport > 0
+                               ? static_cast<double>(off.transport) /
+                                     static_cast<double>(on.transport)
+                               : 0.0;
+  const bool identical = off.hash_sum == on.hash_sum;
+  const double mpb = on.batches > 0 ? static_cast<double>(on.agg_msgs) /
+                                          static_cast<double>(on.batches)
+                                    : 0.0;
+
+  cxu::Table table({"agg", "sim makespan s", "Mops/s", "wire envelopes",
+                    "msgs/batch"});
+  table.add_row({"off", cxu::Table::num(off.makespan, 6),
+                 cxu::Table::num(ops_off / 1e6, 2),
+                 std::to_string(off.transport), "-"});
+  table.add_row({"on", cxu::Table::num(on.makespan, 6),
+                 cxu::Table::num(ops_on / 1e6, 2),
+                 std::to_string(on.transport), cxu::Table::num(mpb, 1)});
+  table.print();
+  std::printf(
+      "\nspeedup %.2fx, %.1fx fewer wire envelopes, result %s\n"
+      "Each small send pays the full per-message software cost when sent\n"
+      "alone; batched, the envelope cost amortizes over the batch and\n"
+      "only a per-item memcpy-scale slice remains.\n",
+      speedup, env_ratio, identical ? "identical" : "DIFFERS");
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: aggregation changed the application-visible result "
+                 "(off %.0f vs on %.0f)\n",
+                 off.hash_sum, on.hash_sum);
+  }
+
+  if (!json.empty()) {
+    std::FILE* f = std::fopen(json.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json.c_str());
+      return 1;
+    }
+    std::fprintf(
+        f,
+        "{\"bench\":\"micro_messaging_agg\",\"cases\":[{\"pes\":%d,"
+        "\"messages_per_pe\":%d,\"payload_doubles\":%d,"
+        "\"off_makespan_s\":%.9f,\"on_makespan_s\":%.9f,\"speedup\":%.3f,"
+        "\"off_envelopes\":%llu,\"on_envelopes\":%llu,"
+        "\"envelope_ratio\":%.2f,\"msgs_per_batch\":%.2f,"
+        "\"identical\":%s}]}\n",
+        kPes, messages, kPayload, off.makespan, on.makespan, speedup,
+        static_cast<unsigned long long>(off.transport),
+        static_cast<unsigned long long>(on.transport), env_ratio, mpb,
+        identical ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", json.c_str());
+  }
+  return identical ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -237,6 +406,9 @@ int main(int argc, char** argv) {
   const int messages = static_cast<int>(opt.get_int("messages", 1000));
   if (opt.get_bool("ft", false)) return run_ft_mode(messages);
   if (opt.get_bool("wire", false)) return run_wire_mode(messages);
+  if (opt.get_bool("agg", false)) {
+    return run_agg_mode(messages, opt.get_string("json", ""));
+  }
 
   std::printf(
       "micro_messaging: same-PE sends with/without the by-reference\n"

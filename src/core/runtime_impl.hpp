@@ -273,7 +273,12 @@ struct Runtime::Impl {
   }
 
   /// Uncounted send for quiescence-detection / ft control traffic.
-  void raw_send(MessagePtr msg) { machine->send(std::move(msg)); }
+  /// Protocol messages must not sit in an aggregation buffer (QD probes
+  /// would deadlock waiting on themselves), so they bypass --wire-agg.
+  void raw_send(MessagePtr msg) {
+    msg->wire_flags |= cxm::kWireNoAgg;
+    machine->send(std::move(msg));
+  }
 
   /// Wrap a pooled envelope in a local (by-reference) message.
   MessagePtr wrap_local(LocalEnvelope* env, int pe) {

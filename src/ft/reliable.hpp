@@ -51,6 +51,9 @@ struct PendingSend {
   cx::wire::Buffer data;
   std::uint64_t size_override = 0;
   std::uint64_t seq = 0;
+  /// Aggregation batches enroll as single units; the retransmit clone
+  /// restores these flags so a resent batch is still unpacked as one.
+  std::uint8_t wire_flags = 0;
   int attempts = 0;        ///< retransmissions so far
   double deadline = 0.0;   ///< backend clock of the next retransmit
 };

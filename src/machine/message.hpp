@@ -32,6 +32,12 @@ inline constexpr std::uint8_t kFtAck = 2;         ///< machine-level ack
 inline constexpr std::uint8_t kFtTimer = 4;       ///< internal retransmit timer
 inline constexpr std::uint8_t kFtRetransmit = 8;  ///< resent copy
 
+// cx::wire aggregation flags (Message::wire_flags). All zero on the
+// ordinary path; the backends only inspect them when --wire-agg is on.
+inline constexpr std::uint8_t kWireAggBatch = 1;  ///< sealed batch of messages
+inline constexpr std::uint8_t kWireNoAgg = 2;     ///< protocol traffic: bypass
+inline constexpr std::uint8_t kWireAggFlush = 4;  ///< internal flush timer
+
 struct Message {
   std::uint32_t handler = 0;  ///< machine handler id (see Machine)
   std::int32_t src_pe = -1;   ///< sending PE (-1 = external / bootstrap)
@@ -59,6 +65,11 @@ struct Message {
   std::int32_t ft_peer = -1;
   std::uint8_t ft_flags = 0;
 
+  /// cx::wire aggregation flags (kWireAggBatch / kWireNoAgg /
+  /// kWireAggFlush). Zero for ordinary messages; only inspected when
+  /// sender-side aggregation is enabled.
+  std::uint8_t wire_flags = 0;
+
   Message() = default;
 
   /// Duplicate for ft injection/retransmission. Local (by-reference)
@@ -73,7 +84,8 @@ struct Message {
         size_override(o.size_override),
         ft_seq(o.ft_seq),
         ft_peer(o.ft_peer),
-        ft_flags(o.ft_flags) {}
+        ft_flags(o.ft_flags),
+        wire_flags(o.wire_flags) {}
   Message& operator=(const Message&) = delete;
 
   ~Message() {

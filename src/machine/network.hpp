@@ -25,6 +25,11 @@ struct NetworkParams {
   double node_alpha = 4.0e-7;  ///< intra-node latency (s)
   double node_beta = 2.5e-10;  ///< intra-node inverse bandwidth (s/byte)
   double cpu_overhead = 5.0e-7;  ///< per-message sender+receiver CPU cost (s)
+  /// CPU cost of appending one small message to / unpacking one from an
+  /// aggregation batch (--wire-agg). Much cheaper than cpu_overhead:
+  /// the batch pays the full per-message hand-off once, its members pay
+  /// only a memcpy-sized slice.
+  double agg_item_overhead = 5.0e-8;
 };
 
 class NetworkModel {
@@ -47,6 +52,11 @@ class NetworkModel {
   /// CPU time charged on the sending PE per message (software overhead).
   [[nodiscard]] double cpu_overhead() const noexcept {
     return params_.cpu_overhead;
+  }
+
+  /// CPU time per sub-message absorbed into / unpacked from a batch.
+  [[nodiscard]] double agg_overhead() const noexcept {
+    return params_.agg_item_overhead;
   }
 
   [[nodiscard]] int node_of(int pe) const noexcept {

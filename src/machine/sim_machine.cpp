@@ -24,6 +24,13 @@ SimMachine::SimMachine(const MachineConfig& cfg)
       ft_(cfg.faults) {
   if (num_pes_ < 1) throw std::invalid_argument("num_pes must be >= 1");
   fifo_ = std::getenv("CHARMX_SIM_FIFO") != nullptr;
+  agg_on_ = cx::wire::agg_enabled();
+  if (agg_on_) {
+    agg_cfg_ = cx::wire::agg_config();
+    aggs_.resize(static_cast<std::size_t>(cfg.num_pes));
+    // Batches and the bypass-flush rule assume in-order channels.
+    fifo_ = true;
+  }
   ft_enabled_ = ft_.enabled();
   if (ft_enabled_) inj_ = std::make_unique<cx::ft::FaultInjector>(ft_);
   // Failure bookkeeping is always sized: inject_kill() must work even
@@ -64,6 +71,28 @@ void SimMachine::push_timer(int pe, int dst, std::uint64_t seq, double at) {
   heap_.push(Event{at, seq_++, m});
 }
 
+cx::wire::PeAggregator& SimMachine::agg(int pe) {
+  auto& a = aggs_[static_cast<std::size_t>(pe)];
+  if (!a) a = std::make_unique<cx::wire::PeAggregator>(agg_cfg_);
+  return *a;
+}
+
+void SimMachine::push_agg_flush(int pe, int dst, std::uint64_t gen,
+                                double at) {
+  auto* m = new Message();
+  m->dst_pe = pe;  // fires on the sending PE, like an ft timer
+  m->src_pe = pe;
+  m->ft_peer = dst;
+  m->ft_seq = gen;
+  m->wire_flags = kWireAggFlush;
+  heap_.push(Event{at, seq_++, m});
+}
+
+void SimMachine::drain_agg(int pe) {
+  auto& a = agg(pe);
+  while (MessagePtr batch = a.next_ready()) send(std::move(batch));
+}
+
 void SimMachine::send(MessagePtr msg) {
   const int dst = msg->dst_pe;
   if (dst < 0 || dst >= num_pes_) {
@@ -71,15 +100,47 @@ void SimMachine::send(MessagePtr msg) {
   }
   const int src = current_pe_;
   msg->src_pe = src;
+  if (agg_on_ && src >= 0) {
+    auto& a = agg(src);
+    if (cx::wire::agg_eligible(*msg, a.config())) {
+      // Absorbed: the logical MsgSend happens now at a fraction of the
+      // per-message cost; the batch pays the full hand-off once.
+      auto& clk = clock_[static_cast<std::size_t>(src)];
+      clk += net_->agg_overhead();
+      CX_TRACE_EVENT(src, clk, cx::trace::EventKind::MsgSend,
+                     static_cast<std::uint64_t>(dst), msg->wire_size());
+      const bool arm = a.absorb(std::move(msg));
+      if (arm) {
+        push_agg_flush(src, dst, a.generation(dst),
+                       clk + a.config().flush_delay_s);
+      }
+      drain_agg(src);
+      return;
+    }
+    // Bypassing message (protocol, oversized, local, ...) headed to a
+    // destination with an open batch: seal the batch first so it stays
+    // ahead on the in-order channel.
+    if ((msg->wire_flags & kWireAggBatch) == 0 && dst != src &&
+        msg->local == nullptr && a.dst_pending(dst)) {
+      a.flush_dst(dst, cx::wire::AggFlush::Ordering);
+      drain_agg(src);
+    }
+  }
   double arrival = 0.0;
   if (src >= 0) {
     // Sender-side software overhead is CPU time on the sending PE.
     clock_[static_cast<std::size_t>(src)] += net_->cpu_overhead();
     arrival = clock_[static_cast<std::size_t>(src)] +
               net_->delay(src, dst, msg->wire_size());
-    CX_TRACE_EVENT(src, clock_[static_cast<std::size_t>(src)],
-                   cx::trace::EventKind::MsgSend,
-                   static_cast<std::uint64_t>(dst), msg->wire_size());
+    if ((msg->wire_flags & kWireAggBatch) == 0) {
+      CX_TRACE_EVENT(src, clock_[static_cast<std::size_t>(src)],
+                     cx::trace::EventKind::MsgSend,
+                     static_cast<std::uint64_t>(dst), msg->wire_size());
+    }
+    if (dst != src && msg->local == nullptr) {
+      cx::trace::detail::g_wire.transport_msgs.fetch_add(
+          1, std::memory_order_relaxed);
+    }
   }
   if (ft_enabled_ && src >= 0 && dst != src && !msg->local) {
     const double send_time = clock_[static_cast<std::size_t>(src)];
@@ -94,6 +155,7 @@ void SimMachine::send(MessagePtr msg) {
       p.data = msg->data;
       p.size_override = msg->size_override;
       p.seq = seq;
+      p.wire_flags = msg->wire_flags;  // a resent batch is still a batch
       p.deadline = send_time + inj_->retry_timeout(0);
       const double deadline = p.deadline;
       senders_[static_cast<std::size_t>(src)].pending.emplace(
@@ -205,6 +267,9 @@ void SimMachine::revive_pe(int pe) {
   // Peers stop retrying the old traffic: the restore path rebuilds
   // application state, so pre-failure messages must not resurface.
   for (auto& sw : senders_) sw.abandon(pe);
+  // Discard half-open batches from before the failure for the same
+  // reason (the aggregator recreates lazily on the next send).
+  if (agg_on_) aggs_[i].reset();
 }
 
 bool SimMachine::pe_failed(int pe) const noexcept {
@@ -241,6 +306,7 @@ void SimMachine::handle_timer(int pe, const Message& msg, double time) {
   copy->size_override = p.size_override;
   copy->ft_seq = p.seq;
   copy->ft_flags = kFtReliable | kFtRetransmit;
+  copy->wire_flags = p.wire_flags;
   p.deadline = clk + inj_->retry_timeout(p.attempts);
   push_timer(pe, dst, p.seq, p.deadline);
   send(std::move(copy));
@@ -279,6 +345,16 @@ void SimMachine::run() {
                      static_cast<std::uint64_t>((ev.time - clk) * 1e9), 0);
       clk = ev.time;
     }
+    if (agg_on_ && (msg->wire_flags & kWireAggFlush) != 0) {
+      // Deterministic idle-equivalent flush on the sending PE. No
+      // cpu_overhead charge: the sealed batch pays it in send().
+      current_pe_ = pe;
+      cxu::set_log_pe(pe);
+      agg(pe).flush_timer(msg->ft_peer, msg->ft_seq);
+      drain_agg(pe);
+      ++events_processed_;
+      continue;
+    }
     clk += net_->cpu_overhead();  // receiver-side software overhead
     current_pe_ = pe;
     cxu::set_log_pe(pe);
@@ -307,6 +383,32 @@ void SimMachine::run() {
           continue;
         }
       }
+    }
+    if (agg_on_ && (msg->wire_flags & kWireAggBatch) != 0) {
+      // Unpack the batch into the normal delivery path, in append order.
+      const auto src64 = static_cast<std::uint64_t>(
+          static_cast<std::uint32_t>(msg->src_pe));
+      const bool ok = cx::wire::for_each_agg_record(
+          msg->data,
+          [&](std::uint32_t h, const std::byte* p, std::uint32_t len) {
+            clk += net_->agg_overhead();
+            if (h >= handlers_.size()) {
+              CX_LOG_ERROR("dropping batched message with unknown handler ",
+                           h);
+              return;
+            }
+            auto sub = std::make_unique<Message>();
+            sub->handler = h;
+            sub->src_pe = msg->src_pe;
+            sub->dst_pe = pe;
+            sub->data.assign(p, len);
+            CX_TRACE_EVENT(pe, clk, cx::trace::EventKind::MsgRecv, src64,
+                           len);
+            handlers_[h](std::move(sub));
+          });
+      if (!ok) CX_LOG_ERROR("dropping malformed aggregation batch");
+      ++events_processed_;
+      continue;
     }
     const std::uint32_t h = msg->handler;
     if (h >= handlers_.size()) {

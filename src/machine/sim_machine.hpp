@@ -28,6 +28,7 @@
 #include "ft/fault.hpp"
 #include "ft/reliable.hpp"
 #include "machine/machine.hpp"
+#include "wire/agg.hpp"
 
 namespace cxm {
 
@@ -81,6 +82,15 @@ class SimMachine final : public Machine {
   void check_scripted(double time);
   void fail_pe(int pe, cx::ft::FailureKind kind, double time);
 
+  // ---- sender-side aggregation (--wire-agg) ------------------------------
+  [[nodiscard]] cx::wire::PeAggregator& agg(int pe);
+  /// Deterministic flush: a DES timer event (kWireAggFlush) that seals
+  /// `dst`'s open batch on `pe` unless the batch already closed (its
+  /// generation moved past `gen`).
+  void push_agg_flush(int pe, int dst, std::uint64_t gen, double at);
+  /// Hand every sealed batch of `pe` to the transport (re-enters send()).
+  void drain_agg(int pe);
+
   int num_pes_;
   std::vector<Handler> handlers_;
   std::vector<double> clock_;
@@ -96,6 +106,13 @@ class SimMachine final : public Machine {
   /// matching the in-order delivery of real transport layers.
   bool fifo_ = false;
   std::map<std::pair<int, int>, double> last_arrival_;
+
+  /// Sender-side aggregation (sampled from cx::wire::agg_enabled() at
+  /// construction). Forces fifo_ on: the ordering argument needs
+  /// in-order channels. Aggregators are created lazily per PE.
+  bool agg_on_ = false;
+  cx::wire::AggConfig agg_cfg_;
+  std::vector<std::unique_ptr<cx::wire::PeAggregator>> aggs_;
 
   // ---- cx::ft state (all empty / untouched when ft_enabled_ is false) ----
   cx::ft::FaultConfig ft_;

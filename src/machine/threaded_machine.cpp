@@ -31,6 +31,11 @@ ThreadedMachine::ThreadedMachine(const MachineConfig& cfg)
   for (int i = 0; i < num_pes_; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
   }
+  agg_on_ = cx::wire::agg_enabled();
+  if (agg_on_) {
+    agg_cfg_ = cx::wire::agg_config();
+    aggs_.resize(static_cast<std::size_t>(num_pes_));
+  }
   ft_enabled_ = ft_.enabled();
   if (ft_enabled_) {
     inj_ = std::make_unique<cx::ft::FaultInjector>(ft_);
@@ -70,6 +75,22 @@ void ThreadedMachine::enqueue_delayed(int dst, MessagePtr msg,
   mb.cv.notify_one();  // the PE re-bounds its wait by the new deadline
 }
 
+cx::wire::PeAggregator& ThreadedMachine::agg(int pe) {
+  auto& a = aggs_[static_cast<std::size_t>(pe)];
+  if (!a) a = std::make_unique<cx::wire::PeAggregator>(agg_cfg_);
+  return *a;
+}
+
+bool ThreadedMachine::agg_pending(int pe) const noexcept {
+  const auto& a = aggs_[static_cast<std::size_t>(pe)];
+  return a != nullptr && a->has_pending();
+}
+
+void ThreadedMachine::drain_agg(int pe) {
+  auto& a = agg(pe);
+  while (MessagePtr batch = a.next_ready()) send(std::move(batch));
+}
+
 void ThreadedMachine::send(MessagePtr msg) {
   const int dst = msg->dst_pe;
   if (dst < 0 || dst >= num_pes_) {
@@ -77,8 +98,33 @@ void ThreadedMachine::send(MessagePtr msg) {
   }
   const int src = t_current_pe;
   msg->src_pe = src;
-  CX_TRACE_EVENT(src, now(), cx::trace::EventKind::MsgSend,
-                 static_cast<std::uint64_t>(dst), msg->wire_size());
+  if (agg_on_ && src >= 0) {
+    auto& a = agg(src);
+    if (cx::wire::agg_eligible(*msg, a.config())) {
+      CX_TRACE_EVENT(src, now(), cx::trace::EventKind::MsgSend,
+                     static_cast<std::uint64_t>(dst), msg->wire_size());
+      // No flush timers here: pe_loop's idle hook seals open batches
+      // before the scheduler ever sleeps, so the arm flag is unused.
+      (void)a.absorb(std::move(msg));
+      drain_agg(src);
+      return;
+    }
+    // Bypassing message headed to a destination with an open batch:
+    // seal the batch first so it stays ahead in the mailbox.
+    if ((msg->wire_flags & kWireAggBatch) == 0 && dst != src &&
+        msg->local == nullptr && a.dst_pending(dst)) {
+      a.flush_dst(dst, cx::wire::AggFlush::Ordering);
+      drain_agg(src);
+    }
+  }
+  if ((msg->wire_flags & kWireAggBatch) == 0) {
+    CX_TRACE_EVENT(src, now(), cx::trace::EventKind::MsgSend,
+                   static_cast<std::uint64_t>(dst), msg->wire_size());
+  }
+  if (src >= 0 && dst != src && msg->local == nullptr) {
+    cx::trace::detail::g_wire.transport_msgs.fetch_add(
+        1, std::memory_order_relaxed);
+  }
   if (ft_enabled_ && src >= 0 && dst != src && !msg->local) {
     FtPeState& me = *ft_pes_[static_cast<std::size_t>(src)];
     if (ft_.reliable && msg->ft_flags == 0) {
@@ -91,6 +137,7 @@ void ThreadedMachine::send(MessagePtr msg) {
       p.data = msg->data;
       p.size_override = msg->size_override;
       p.seq = seq;
+      p.wire_flags = msg->wire_flags;  // a resent batch is still a batch
       {
         std::lock_guard<std::mutex> lk(inj_mutex_);
         p.deadline = now() + inj_->retry_timeout(0);
@@ -227,6 +274,7 @@ void ThreadedMachine::retransmit_due(int pe, FtPeState& me) {
       copy->size_override = p.size_override;
       copy->ft_seq = p.seq;
       copy->ft_flags = kFtReliable | kFtRetransmit;
+      copy->wire_flags = p.wire_flags;
       send(std::move(copy));  // flags are set: no re-enrollment in send()
     }
   }
@@ -263,6 +311,7 @@ void ThreadedMachine::pe_loop(int pe) {
   while (true) {
     MessagePtr msg;
     bool stopping = false;
+    bool flush_idle = false;
     double idle_s = -1.0;
     {
       std::unique_lock<std::mutex> lock(mb.mutex);
@@ -276,6 +325,12 @@ void ThreadedMachine::pe_loop(int pe) {
         if (!mb.queue.empty()) break;
         if (stop_.load(std::memory_order_acquire)) {
           stopping = true;
+          break;
+        }
+        if (agg_on_ && agg_pending(pe)) {
+          // Idle hook: out of work with open batches — seal and send
+          // them (outside the mailbox lock) before going to sleep.
+          flush_idle = true;
           break;
         }
         // The scheduler is about to sleep: bound the wait by the next
@@ -305,7 +360,19 @@ void ThreadedMachine::pe_loop(int pe) {
     if (me && !me->sw.pending.empty()) retransmit_due(pe, *me);
     if (!msg) {
       if (stopping) break;
-      continue;  // woke only to service retransmit timers
+      if (flush_idle) {
+        if (any_failed_.load(std::memory_order_relaxed) &&
+            crashed_[static_cast<std::size_t>(pe)].load(
+                std::memory_order_relaxed)) {
+          // A crashed PE's unsent batches die with it (like its
+          // mailbox backlog) — drop them instead of spinning.
+          aggs_[static_cast<std::size_t>(pe)].reset();
+        } else {
+          agg(pe).flush_all(cx::wire::AggFlush::Idle);
+          drain_agg(pe);
+        }
+      }
+      continue;  // woke only to flush batches / service retransmits
     }
     if (any_failed_.load(std::memory_order_relaxed) &&
         crashed_[static_cast<std::size_t>(pe)].load(
@@ -338,6 +405,31 @@ void ThreadedMachine::pe_loop(int pe) {
           continue;
         }
       }
+    }
+    if (agg_on_ && (msg->wire_flags & kWireAggBatch) != 0) {
+      // Unpack the batch into the normal delivery path, in append order.
+      const auto src64 = static_cast<std::uint64_t>(
+          static_cast<std::uint32_t>(msg->src_pe));
+      const bool ok = cx::wire::for_each_agg_record(
+          msg->data,
+          [&](std::uint32_t h, const std::byte* p, std::uint32_t len) {
+            if (h >= handlers_.size()) {
+              CX_LOG_ERROR("dropping batched message with unknown handler ",
+                           h);
+              return;
+            }
+            auto sub = std::make_unique<Message>();
+            sub->handler = h;
+            sub->src_pe = msg->src_pe;
+            sub->dst_pe = pe;
+            sub->data.assign(p, len);
+            CX_TRACE_EVENT(pe, now(), cx::trace::EventKind::MsgRecv, src64,
+                           len);
+            handlers_[h](std::move(sub));
+          });
+      if (!ok) CX_LOG_ERROR("dropping malformed aggregation batch");
+      if (stop_.load(std::memory_order_acquire)) break;
+      continue;
     }
     const std::uint32_t h = msg->handler;
     if (h >= handlers_.size()) {

@@ -24,6 +24,7 @@
 #include "ft/fault.hpp"
 #include "ft/reliable.hpp"
 #include "machine/machine.hpp"
+#include "wire/agg.hpp"
 
 namespace cxm {
 
@@ -70,9 +71,21 @@ class ThreadedMachine final : public Machine {
   void retransmit_due(int pe, FtPeState& me);
   void notify_failure_once(int pe, cx::ft::FailureKind kind);
 
+  // ---- sender-side aggregation (--wire-agg) ------------------------------
+  // Each PE's aggregator is touched only by its own scheduler thread
+  // (sends run on the sender's thread), so no locks are needed. The idle
+  // hook lives in pe_loop: a PE never sleeps on its mailbox while it
+  // still holds open batches.
+  [[nodiscard]] cx::wire::PeAggregator& agg(int pe);
+  [[nodiscard]] bool agg_pending(int pe) const noexcept;
+  void drain_agg(int pe);
+
   int num_pes_;
   std::vector<Handler> handlers_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  bool agg_on_ = false;  ///< sampled from cx::wire::agg_enabled() at ctor
+  cx::wire::AggConfig agg_cfg_;
+  std::vector<std::unique_ptr<cx::wire::PeAggregator>> aggs_;
   std::atomic<bool> stop_{false};
   bool running_ = false;
   double epoch_ = 0.0;

@@ -54,6 +54,13 @@ WireStats wire_stats() noexcept {
   s.msg_recycled = w.msg_recycled.load(std::memory_order_relaxed);
   s.env_allocs = w.env_allocs.load(std::memory_order_relaxed);
   s.env_hits = w.env_hits.load(std::memory_order_relaxed);
+  s.transport_msgs = w.transport_msgs.load(std::memory_order_relaxed);
+  s.agg_batches = w.agg_batches.load(std::memory_order_relaxed);
+  s.agg_msgs = w.agg_msgs.load(std::memory_order_relaxed);
+  s.agg_flush_bytes = w.agg_flush_bytes.load(std::memory_order_relaxed);
+  s.agg_flush_count = w.agg_flush_count.load(std::memory_order_relaxed);
+  s.agg_flush_idle = w.agg_flush_idle.load(std::memory_order_relaxed);
+  s.agg_flush_order = w.agg_flush_order.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -70,6 +77,13 @@ void reset_wire_stats() noexcept {
   w.msg_recycled.store(0, std::memory_order_relaxed);
   w.env_allocs.store(0, std::memory_order_relaxed);
   w.env_hits.store(0, std::memory_order_relaxed);
+  w.transport_msgs.store(0, std::memory_order_relaxed);
+  w.agg_batches.store(0, std::memory_order_relaxed);
+  w.agg_msgs.store(0, std::memory_order_relaxed);
+  w.agg_flush_bytes.store(0, std::memory_order_relaxed);
+  w.agg_flush_count.store(0, std::memory_order_relaxed);
+  w.agg_flush_idle.store(0, std::memory_order_relaxed);
+  w.agg_flush_order.store(0, std::memory_order_relaxed);
 }
 
 namespace {
@@ -511,6 +525,14 @@ std::string summary_table() {
        << w.buf_allocs + w.msg_allocs + w.env_allocs << " heap allocs, "
        << cxu::Table::num(100.0 * w.hit_rate(), 1) << "% pool hit rate\n";
   }
+  if (w.agg_batches > 0) {
+    os << "cx::wire agg: " << w.agg_msgs << " msgs in " << w.agg_batches
+       << " batches (" << cxu::Table::num(w.msgs_per_batch(), 1)
+       << " msgs/batch), " << w.transport_msgs
+       << " transport msgs, flushes: " << w.agg_flush_bytes << " bytes / "
+       << w.agg_flush_count << " count / " << w.agg_flush_idle << " idle / "
+       << w.agg_flush_order << " ordering\n";
+  }
   return os.str();
 }
 
@@ -562,7 +584,14 @@ void write_json(std::ostream& os) {
      << ",\"msg_allocs\":" << w.msg_allocs << ",\"msg_hits\":" << w.msg_hits
      << ",\"msg_recycled\":" << w.msg_recycled
      << ",\"env_allocs\":" << w.env_allocs << ",\"env_hits\":" << w.env_hits
-     << ",\"pool_hit_rate\":" << w.hit_rate() << "}}\n";
+     << ",\"pool_hit_rate\":" << w.hit_rate()
+     << ",\"transport_msgs\":" << w.transport_msgs
+     << ",\"agg_batches\":" << w.agg_batches
+     << ",\"agg_msgs\":" << w.agg_msgs
+     << ",\"agg_flush_bytes\":" << w.agg_flush_bytes
+     << ",\"agg_flush_count\":" << w.agg_flush_count
+     << ",\"agg_flush_idle\":" << w.agg_flush_idle
+     << ",\"agg_flush_order\":" << w.agg_flush_order << "}}\n";
 }
 
 bool write_json(const std::string& path) {

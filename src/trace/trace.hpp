@@ -162,6 +162,25 @@ struct WireStats {
   std::uint64_t env_allocs = 0;    ///< LocalEnvelopes from the system
   std::uint64_t env_hits = 0;      ///< LocalEnvelopes from the pool
 
+  // Sender-side aggregation (--wire-agg). transport_msgs counts physical
+  // cross-PE wire envelopes (batches count once); agg_msgs counts
+  // application messages that travelled inside a batch. The flush_*
+  // counters break sealed batches down by trigger.
+  std::uint64_t transport_msgs = 0;   ///< physical cross-PE envelopes
+  std::uint64_t agg_batches = 0;      ///< batches sealed
+  std::uint64_t agg_msgs = 0;         ///< app messages absorbed into batches
+  std::uint64_t agg_flush_bytes = 0;  ///< seals: byte threshold
+  std::uint64_t agg_flush_count = 0;  ///< seals: message-count threshold
+  std::uint64_t agg_flush_idle = 0;   ///< seals: idle scheduler / DES timer
+  std::uint64_t agg_flush_order = 0;  ///< seals: ordering (bypass/class switch)
+
+  /// Mean messages per sealed batch (0 when no batches were sealed).
+  [[nodiscard]] double msgs_per_batch() const noexcept {
+    return agg_batches > 0 ? static_cast<double>(agg_msgs) /
+                                 static_cast<double>(agg_batches)
+                           : 0.0;
+  }
+
   /// Pool hit rate over every allocation the wire layer served.
   [[nodiscard]] double hit_rate() const noexcept {
     const std::uint64_t total =
@@ -235,6 +254,13 @@ struct WireAtomics {
   std::atomic<std::uint64_t> msg_recycled{0};
   std::atomic<std::uint64_t> env_allocs{0};
   std::atomic<std::uint64_t> env_hits{0};
+  std::atomic<std::uint64_t> transport_msgs{0};
+  std::atomic<std::uint64_t> agg_batches{0};
+  std::atomic<std::uint64_t> agg_msgs{0};
+  std::atomic<std::uint64_t> agg_flush_bytes{0};
+  std::atomic<std::uint64_t> agg_flush_count{0};
+  std::atomic<std::uint64_t> agg_flush_idle{0};
+  std::atomic<std::uint64_t> agg_flush_order{0};
 };
 extern WireAtomics g_wire;
 }  // namespace detail

@@ -11,6 +11,10 @@
 
 namespace cx::wire {
 
+// Implemented in agg.cpp; declared here (not via agg.hpp) to keep the
+// pool TU free of the machine/message include the aggregator needs.
+void configure_agg_from_options(const cxu::Options& opt);
+
 namespace {
 
 using cx::trace::detail::g_wire;
@@ -54,14 +58,8 @@ int class_for_capacity(std::size_t cap) {
   return cls;
 }
 
-std::atomic<bool> g_pool_enabled{[] {
-  const char* e = std::getenv("CHARMX_WIRE_POOL");
-  if (e != nullptr && (e[0] == '0' || e[0] == 'o') &&
-      !(e[0] == 'o' && e[1] == 'n')) {
-    return false;  // "0", "off"
-  }
-  return true;
-}()};
+std::atomic<bool> g_pool_enabled{
+    parse_toggle(std::getenv("CHARMX_WIRE_POOL"), /*unset=*/true)};
 
 /// Mutex-protected overflow list shared by all threads, one per class.
 /// Leaked on purpose: thread-local cache destructors may run after
@@ -208,10 +206,27 @@ void set_pool_enabled(bool on) noexcept {
   g_pool_enabled.store(on, std::memory_order_relaxed);
 }
 
+bool parse_toggle(const char* v, bool unset) noexcept {
+  if (v == nullptr) return unset;
+  const auto ieq = [](const char* a, const char* b) noexcept {
+    for (;; ++a, ++b) {
+      const char ca = (*a >= 'A' && *a <= 'Z')
+                          ? static_cast<char>(*a - 'A' + 'a')
+                          : *a;
+      if (ca != *b) return false;
+      if (ca == '\0') return true;
+    }
+  };
+  return !(ieq(v, "0") || ieq(v, "off") || ieq(v, "false"));
+}
+
 void configure_from_options(const cxu::Options& opt) {
-  if (!opt.has("wire-pool")) return;
-  const std::string v = opt.get_string("wire-pool", "on");
-  set_pool_enabled(!(v == "off" || v == "0" || v == "false"));
+  if (opt.has("wire-pool")) {
+    // Bare --wire-pool parses as "true" -> enabled.
+    set_pool_enabled(
+        parse_toggle(opt.get_string("wire-pool", "on").c_str(), true));
+  }
+  configure_agg_from_options(opt);  // --wire-agg* ride along
 }
 
 void drain_caches() noexcept {

@@ -54,11 +54,20 @@ void free_block(std::byte* p, std::size_t cap) noexcept;
 void free_msg(void* p, std::size_t size) noexcept;
 
 /// Is recycling enabled? Defaults to on; seeded from CHARMX_WIRE_POOL
-/// (0/off disables) and overridable per run via --wire-pool=on|off.
+/// (0/off/false disables) and overridable per run via --wire-pool=on|off.
 [[nodiscard]] bool pool_enabled() noexcept;
 void set_pool_enabled(bool on) noexcept;
 
-/// Read --wire-pool=on|off (also plain --wire-pool for "on").
+/// Shared on/off parser for the wire layer's toggles (CHARMX_WIRE_POOL,
+/// CHARMX_WIRE_AGG, --wire-pool, --wire-agg): exactly "0", "off" or
+/// "false" (case-insensitive) mean off, any other value means on, and
+/// nullptr (unset) returns `unset`. The old env parser matched any
+/// value starting with 'o' except "on" — "omit" disabled the pool while
+/// the documented "false" did not.
+[[nodiscard]] bool parse_toggle(const char* v, bool unset) noexcept;
+
+/// Read --wire-pool=on|off (also plain --wire-pool for "on") plus the
+/// --wire-agg* aggregation flags (wire/agg.hpp).
 void configure_from_options(const cxu::Options& opt);
 
 /// Release every cached block (thread-local caches of the calling
