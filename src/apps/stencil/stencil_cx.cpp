@@ -1,7 +1,10 @@
 #include "apps/stencil/stencil_cx.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <map>
 #include <optional>
+#include <stdexcept>
 
 #include "ft/ft.hpp"
 #include "util/timer.hpp"
@@ -149,24 +152,71 @@ Result run_cx(const Params& p, const cxm::MachineConfig& machine,
         arr.broadcast<&CxBlock::start_until>(cx::cb(barrier), 0);
         (void)barrier.get();
       }
-      (void)cx::ft::checkpoint();
+      // Phase driver, retried under the unified RetryPolicy. Every
+      // checkpoint epoch is tagged with the phase boundary it snapshots
+      // so a rollback — even one that discarded a partial epoch and
+      // landed further back than the phase in flight — re-aligns
+      // done_iters to the restored state and replays the exact same
+      // phase/checkpoint structure as a fault-free run (the property the
+      // chaos tier's digest-equality assertions pin down).
+      const cx::ft::RetryPolicy& pol = cx::ft::retry_policy();
+      const bool autorec = machine.faults.auto_recover;
       int done_iters = 0;
       double sum = 0.0;
+      std::uint64_t seen = cx::ft::recoveries();
+      std::map<std::uint64_t, int> boundary;  // ckpt epoch -> done_iters
+      // Re-align after a rollback; done_iters keeps its value when the
+      // restored epoch is unknown (it then IS the current boundary: the
+      // epoch stored fully but its taker crashed before returning).
+      const auto resync = [&] {
+        const auto it = boundary.find(cx::ft::last_restored_epoch());
+        if (it != boundary.end()) done_iters = it->second;
+      };
+      boundary[cx::ft::checkpoint()] = 0;
       while (done_iters < p.iterations) {
-        const int until = std::min(done_iters + p.ckpt_every,
-                                   p.iterations);
+        int until = std::min(done_iters + p.ckpt_every, p.iterations);
         auto f = cx::make_future<double>();
         arr.broadcast<&CxBlock::start_until>(cx::cb(f), until);
         std::optional<double> phase;
-        while (!(phase = f.get_for(1.0))) {
-          if (cx::ft::failed_pes().empty()) continue;  // slow, not dead
-          cx::ft::restore();
+        int attempt = 0;
+        while (!(phase = f.get_for(std::max(pol.delay(attempt), 1.0)))) {
+          if (autorec) {
+            // A wait slice can expire with nothing wrong (slow run —
+            // keep waiting, not an attempt) or because the coordinator
+            // finished a rollback under us: rebroadcast exactly once
+            // per completed round.
+            const std::uint64_t rec = cx::ft::recoveries();
+            if (rec == seen) continue;
+            seen = rec;
+          } else {
+            if (cx::ft::failed_pes().empty()) continue;  // slow, not dead
+            if (cx::ft::restore() != cx::ft::RestoreStatus::Ok) continue;
+          }
+          if (!pol.allows(++attempt)) {
+            throw std::runtime_error(
+                "stencil: phase could not complete within the retry "
+                "policy's attempt budget");
+          }
+          resync();
+          until = std::min(done_iters + p.ckpt_every, p.iterations);
           f = cx::make_future<double>();
           arr.broadcast<&CxBlock::start_until>(cx::cb(f), until);
         }
         sum = *phase;
         done_iters = until;
-        if (done_iters < p.iterations) (void)cx::ft::checkpoint();
+        if (done_iters < p.iterations) {
+          const std::uint64_t e = cx::ft::checkpoint();
+          if (autorec) {
+            // A recovery that fired inside checkpoint() retook the
+            // epoch at the restored boundary, not at done_iters.
+            const std::uint64_t rec = cx::ft::recoveries();
+            if (rec != seen) {
+              seen = rec;
+              resync();
+            }
+          }
+          boundary[e] = done_iters;
+        }
       }
       result.checksum = sum;
     } else {

@@ -17,11 +17,14 @@ void Runtime::Impl::fulfill_future(FutureId fid,
                                    std::vector<std::byte>&& bytes) {
   auto& slot = me().futures[fid];
   slot.value = std::move(bytes);
-  if (slot.waiter != nullptr) {
-    Fiber* f = slot.waiter;
-    slot.waiter = nullptr;
-    send_resume(f);
-  }
+  Fiber* f = slot.waiter;
+  slot.waiter = nullptr;
+  // Send the wake envelope even when no fiber is suspended right now
+  // (f == nullptr makes the delivery a no-op): whether the consumer
+  // happened to be between two timed waits when the value landed must
+  // not change the counted-message ledger — the quiescence counters are
+  // checkpointed, and the chaos tier compares them across runs.
+  send_resume(f);
 }
 
 void Runtime::Impl::send_future_bytes(const ReplyTo& f,
@@ -371,8 +374,13 @@ std::optional<std::vector<std::byte>> future_get_bytes_for(const ReplyTo& f,
       // The deadline fired (it erased its own token before resuming us).
       auto& slot = I.me().futures[f.fid];
       if (slot.value.has_value()) return *slot.value;  // lost race: value won
-      // Timed out: a later fulfill must not resume a recycled fiber.
-      slot.waiter = nullptr;
+      // Timed out: drop the empty slot entirely. A later fulfill
+      // recreates it value-first (so a retried get_for still sees it),
+      // and a waiter slot left behind would outlive a restore's
+      // next_future rollback and make post-rollback make_future_slot
+      // skip an id a fault-free run hands out — fids are pupped inside
+      // callbacks, so that skew shows up in checkpoint digests.
+      I.me().futures.erase(f.fid);
       return std::nullopt;
     }
   }

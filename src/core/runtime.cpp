@@ -22,12 +22,20 @@ Runtime::Impl::Impl(RuntimeConfig c) : cfg(std::move(c)) {
   for (int i = 0; i < P; ++i) pes.push_back(std::make_unique<PeState>());
   register_handlers();
   cx::ft::CheckpointStore::instance().reset(P);
+  live_cfg = cx::ft::liveness_from_faults(cfg.machine.faults);
+  live.resize(static_cast<std::size_t>(P));
   machine->set_failure_listener([this](const cx::ft::PeFailure& f) {
-    // Route every detection (scripted crash, inject_kill, retransmit
-    // give-up) to PE 0's scheduler as an uncounted control message.
+    // Route every detection (scripted crash, inject_kill, heartbeat
+    // declaration, retransmit give-up) to the coordinator — the lowest
+    // live PE, so recovery survives losing PE 0 — as an uncounted
+    // control message.
+    int coord = 0;
+    while (coord < P - 1 && (machine->pe_failed(coord) || coord == f.pe)) {
+      ++coord;
+    }
     FtFailureHeader h;
     h.failure = f;
-    raw_send(wire::make_msg(h_ft_failure, 0, h));
+    raw_send(wire::make_msg(h_ft_failure, coord, h));
   });
 }
 
@@ -64,6 +72,10 @@ void Runtime::Impl::register_handlers() {
   h_ckpt_ack = reg(&Impl::on_ckpt_ack);
   h_restore = reg(&Impl::on_restore);
   h_restore_ack = reg(&Impl::on_restore_ack);
+  h_heartbeat = reg(&Impl::on_heartbeat);
+  h_hb_tick = reg(&Impl::on_hb_tick);
+  h_ft_notice = reg(&Impl::on_ft_notice);
+  h_ft_round_done = reg(&Impl::on_ft_round_done);
 }
 
 // ---------------------------------------------------------------------------
@@ -83,6 +95,20 @@ void Runtime::run(std::function<void()> entry) {
   env->kind = LocalEnvelope::Kind::Start;
   env->fn = std::move(entry);
   impl_->send_local(0, env);
+  if (impl_->live_cfg.enabled()) {
+    // Seed one heartbeat tick chain per PE. With --ft-heartbeat-ms=0
+    // (the default) this block is never entered: zero liveness traffic,
+    // zero overhead.
+    for (int pe = 0; pe < impl_->P; ++pe) {
+      auto m = std::make_unique<Message>();
+      m->handler = impl_->h_hb_tick;
+      m->dst_pe = pe;
+      m->ft_seq = 0;  // generation 0 matches the fresh PeLiveness
+      m->ft_flags = cxm::kFtBestEffort;
+      m->wire_flags = cxm::kWireNoAgg;
+      impl_->machine->send(std::move(m));
+    }
+  }
   impl_->machine->run();
 }
 

@@ -21,6 +21,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <unordered_map>
@@ -57,7 +58,9 @@ using wire::DoneInsertingHeader;
 using wire::ElementBlob;
 using wire::EntryHeader;
 using wire::FtFailureHeader;
+using wire::FtNoticeHeader;
 using wire::FutureHeader;
+using wire::HeartbeatHeader;
 using wire::InsertCountHeader;
 using wire::InsertHeader;
 using wire::LbAckHeader;
@@ -215,7 +218,8 @@ struct Runtime::Impl {
                 h_lb_sync = 0, h_lb_cmd = 0, h_lb_ack = 0, h_lb_resume = 0,
                 h_qd_start = 0, h_qd_probe = 0, h_qd_reply = 0,
                 h_ft_failure = 0, h_ckpt = 0, h_ckpt_ack = 0, h_restore = 0,
-                h_restore_ack = 0;
+                h_restore_ack = 0, h_heartbeat = 0, h_hb_tick = 0,
+                h_ft_notice = 0, h_ft_round_done = 0;
 
   // LB coordinator state (touched on PE 0 only).
   struct LbCollState {
@@ -237,18 +241,50 @@ struct Runtime::Impl {
   };
   QdState qd;
 
-  // Fault-tolerance coordinator state. Touched only on the PE that
-  // drives it: failure bookkeeping and callbacks on PE 0 (the failure
-  // listener routes every detection there), ack counting on whichever
-  // PE called checkpoint()/restore() — one collective at a time.
+  // Fault-tolerance coordinator state. Failure bookkeeping, callbacks
+  // and the recovery machine run on the coordinator PE (lowest live PE
+  // — the failure listener routes every detection there); ack counting
+  // on whichever PE drives checkpoint()/restore(). The shared-memory
+  // struct means coordinator failover needs no state handoff: the new
+  // coordinator sees the same FtState. `mu` guards cross-thread access
+  // on the threaded backend (the Sim scheduler is single-threaded).
   struct FtState {
     std::set<int> failed;
     std::vector<std::function<void(const cx::ft::PeFailure&)>> callbacks;
+    std::vector<std::function<void(std::uint64_t)>> recovery_callbacks;
     std::uint64_t next_epoch = 0;
     std::map<std::uint64_t, int> ckpt_acks;  ///< epoch -> PEs stored
-    int restore_acks = 0;
+    /// Restore ack counts keyed by the driving (PE, future id) — fids
+    /// are per-PE counters, so the PE disambiguates concurrent rounds
+    /// driven from different coordinators. Keys are pre-registered
+    /// before the broadcast; stale acks from an abandoned round land on
+    /// an unknown key and are ignored. Guarded by `mu`.
+    std::map<std::pair<std::int32_t, std::uint64_t>, int> restore_acks;
+    /// The restore driver's ack wait rides the timer-token mechanism,
+    /// not a future: future ids are pupped into checkpoint blobs, and
+    /// one burned across the rollback would skew the digest against a
+    /// fault-free run. `restore_rounds` supplies the ack key's id part.
+    Fiber* restore_waiter = nullptr;
+    bool restore_done = false;
+    std::uint64_t restore_rounds = 0;
+    /// Same discipline for the checkpoint driver's ack wait: the
+    /// completion wake must stay outside the counted-message ledger or
+    /// a rolled-back run (whose crashed epoch never completes) would
+    /// diverge from a fault-free one by one resume per recovery.
+    Fiber* ckpt_waiter = nullptr;
+    bool ckpt_done = false;
+    std::uint64_t ckpt_wait_epoch = 0;
+    cx::ft::RecoveryState rec;
+    std::atomic<std::uint64_t> completed_rounds{0};
+    std::atomic<std::uint64_t> last_restored{0};  ///< epoch of last Ok restore
+    std::mutex mu;
   };
   FtState ftst;
+
+  // Liveness layer (heartbeats). `live_cfg` is fixed at construction;
+  // `live[pe]` is touched only on that PE's scheduler.
+  cx::ft::LivenessConfig live_cfg;
+  std::vector<cx::ft::PeLiveness> live;
 
   explicit Impl(RuntimeConfig c);  // runtime.cpp
 
@@ -411,6 +447,21 @@ struct Runtime::Impl {
   void on_ckpt_ack(MessagePtr msg);
   void on_restore(MessagePtr msg);
   void on_restore_ack(MessagePtr msg);
+  void on_heartbeat(MessagePtr msg);
+  void on_hb_tick(MessagePtr msg);
+  void on_ft_notice(MessagePtr msg);
+  void on_ft_round_done(MessagePtr msg);
+  /// Re-fire every armed timer token on this PE (uncounted, idempotent)
+  /// so fibers suspended in timed waits re-check their condition now.
+  void wake_armed_timers();
+  /// Re-arm this PE's heartbeat tick chain under a fresh generation
+  /// (start of run, and after each restore revives dead chains).
+  void arm_hb_tick(int pe);
+  /// Coordinator-side auto-recovery driver (runs on a fiber).
+  void auto_recover_driver(std::uint64_t round);
+  /// Block the calling fiber for `seconds` of backend time without
+  /// counting against quiescence (uses a future + timer token).
+  void ft_sleep(double seconds);
 };
 
 }  // namespace cx

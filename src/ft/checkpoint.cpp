@@ -22,19 +22,14 @@ CheckpointStore& CheckpointStore::instance() {
 void CheckpointStore::reset(int num_pes) {
   std::lock_guard<std::mutex> lk(mu_);
   num_pes_ = num_pes;
-  epoch_ = 0;
-  primary_.assign(static_cast<std::size_t>(num_pes), {});
-  buddy_.assign(static_cast<std::size_t>(num_pes), {});
-  blob_epoch_.assign(static_cast<std::size_t>(num_pes), 0);
+  complete_epoch_ = 0;
+  slots_.assign(static_cast<std::size_t>(num_pes), {});
 }
 
 void CheckpointStore::store(int pe, std::uint64_t epoch,
                             std::vector<std::byte> blob) {
   std::lock_guard<std::mutex> lk(mu_);
   if (pe < 0 || pe >= num_pes_) return;
-  buddy_[static_cast<std::size_t>(pe)] = blob;  // "on" (pe+1) % P
-  blob_epoch_[static_cast<std::size_t>(pe)] = epoch;
-  if (epoch > epoch_) epoch_ = epoch;
   if (!disk_dir_.empty()) {
     const std::string path = disk_dir_ + "/ckpt_e" + std::to_string(epoch) +
                              "_pe" + std::to_string(pe) + ".bin";
@@ -44,38 +39,78 @@ void CheckpointStore::store(int pe, std::uint64_t epoch,
                 static_cast<std::streamsize>(blob.size()));
     }
   }
-  primary_[static_cast<std::size_t>(pe)] = std::move(blob);
+  Entry& e = slots_[static_cast<std::size_t>(pe)][epoch];
+  e.buddy = blob;  // "on" (pe+1) % P
+  e.primary = std::move(blob);
+  // Did this store complete the epoch? Only a complete epoch may be
+  // served — a partial one (crash mid-collective) would mix states.
+  if (epoch > complete_epoch_) {
+    bool complete = true;
+    for (const auto& per_pe : slots_) {
+      if (per_pe.find(epoch) == per_pe.end()) {
+        complete = false;
+        break;
+      }
+    }
+    if (complete) {
+      complete_epoch_ = epoch;
+      prune();
+    }
+  }
+}
+
+const std::vector<std::byte>* CheckpointStore::blob_at_complete(
+    int pe) const {
+  if (pe < 0 || pe >= num_pes_ || complete_epoch_ == 0) return nullptr;
+  const auto& per_pe = slots_[static_cast<std::size_t>(pe)];
+  const auto it = per_pe.find(complete_epoch_);
+  if (it == per_pe.end()) return nullptr;
+  return it->second.primary.empty() ? &it->second.buddy
+                                    : &it->second.primary;
+}
+
+void CheckpointStore::prune() {
+  for (auto& per_pe : slots_) {
+    for (auto it = per_pe.begin(); it != per_pe.end();) {
+      if (it->first < complete_epoch_) {
+        it = per_pe.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
 }
 
 std::uint64_t CheckpointStore::latest_epoch() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return epoch_;
+  return complete_epoch_;
 }
 
 std::vector<std::byte> CheckpointStore::latest(int pe) const {
   std::lock_guard<std::mutex> lk(mu_);
-  if (pe < 0 || pe >= num_pes_) return {};
-  const auto i = static_cast<std::size_t>(pe);
-  if (!primary_[i].empty()) return primary_[i];
-  return buddy_[i];
+  const auto* blob = blob_at_complete(pe);
+  return blob != nullptr ? *blob : std::vector<std::byte>{};
 }
 
 void CheckpointStore::drop_primary(int pe) {
   std::lock_guard<std::mutex> lk(mu_);
   if (pe < 0 || pe >= num_pes_) return;
-  primary_[static_cast<std::size_t>(pe)].clear();
-  primary_[static_cast<std::size_t>(pe)].shrink_to_fit();
+  for (auto& [epoch, e] : slots_[static_cast<std::size_t>(pe)]) {
+    e.primary.clear();
+    e.primary.shrink_to_fit();
+  }
 }
 
 std::uint64_t CheckpointStore::digest() const {
   std::lock_guard<std::mutex> lk(mu_);
   std::uint64_t h = 0xcbf29ce484222325ULL;
   for (int pe = 0; pe < num_pes_; ++pe) {
-    const auto i = static_cast<std::size_t>(pe);
-    const auto& blob = primary_[i].empty() ? buddy_[i] : primary_[i];
-    const std::uint64_t n = blob.size();
+    const auto* blob = blob_at_complete(pe);
+    static const std::vector<std::byte> kEmpty;
+    const auto& b = blob != nullptr ? *blob : kEmpty;
+    const std::uint64_t n = b.size();
     h = fnv1a(&n, sizeof(n), h);
-    h = fnv1a(blob.data(), blob.size(), h);
+    h = fnv1a(b.data(), b.size(), h);
   }
   return h;
 }
@@ -87,10 +122,8 @@ void CheckpointStore::set_disk_dir(std::string dir) {
 
 void CheckpointStore::clear() {
   std::lock_guard<std::mutex> lk(mu_);
-  for (auto& b : primary_) b.clear();
-  for (auto& b : buddy_) b.clear();
-  for (auto& e : blob_epoch_) e = 0;
-  epoch_ = 0;
+  for (auto& per_pe : slots_) per_pe.clear();
+  complete_epoch_ = 0;
 }
 
 }  // namespace cx::ft

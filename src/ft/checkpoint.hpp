@@ -8,11 +8,20 @@
 // copy instead — so a restart survives exactly one failed PE per buddy
 // pair, matching the in-memory double-checkpoint guarantee.
 //
+// Epoch consistency: a crash can land in the middle of a checkpoint
+// collective, leaving some PEs with epoch e stored and others still at
+// e-1. Restoring from a per-PE "latest" would then mix two epochs into
+// a franken-state, so the store versions blobs per epoch and only ever
+// serves the newest COMPLETE epoch (stored by all P PEs). Incomplete
+// epochs are retained until a newer complete one supersedes them, then
+// pruned; the last complete epoch is never evicted.
+//
 // An optional on-disk snapshot mirrors each blob to
 // <dir>/ckpt_e<epoch>_pe<pe>.bin for post-mortem inspection.
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -37,20 +46,23 @@ class CheckpointStore {
   /// plus buddy copy on (pe+1) % P, plus the optional disk mirror.
   void store(int pe, std::uint64_t epoch, std::vector<std::byte> blob);
 
-  /// Latest fully-stored epoch (0 = no checkpoint yet).
+  /// Newest epoch stored by every PE (0 = no complete checkpoint yet).
+  /// Partially-stored epochs — a crash interrupted the collective — are
+  /// invisible here until they complete.
   [[nodiscard]] std::uint64_t latest_epoch() const;
 
-  /// PE `pe`'s blob from the latest epoch: the primary copy when it
-  /// survived, else the buddy copy. Returns an empty vector when the
-  /// PE has no checkpoint at all.
+  /// PE `pe`'s blob from the newest complete epoch: the primary copy
+  /// when it survived, else the buddy copy. Empty when no complete
+  /// checkpoint exists.
   [[nodiscard]] std::vector<std::byte> latest(int pe) const;
 
-  /// Simulate the loss of a crashed PE's local checkpoint memory; the
-  /// buddy copy becomes the only source for restore.
+  /// Simulate the loss of a crashed PE's local checkpoint memory (all
+  /// epochs); the buddy copies become the only source for restore.
   void drop_primary(int pe);
 
-  /// Digest over every PE's latest blob (buddy fallback included) —
-  /// equal digests mean equal checkpointed runtime state.
+  /// Digest over every PE's blob at the newest complete epoch (buddy
+  /// fallback included) — equal digests mean equal checkpointed
+  /// runtime state.
   [[nodiscard]] std::uint64_t digest() const;
 
   /// Enable/disable the on-disk mirror ("" disables).
@@ -59,12 +71,22 @@ class CheckpointStore {
   void clear();
 
  private:
+  struct Entry {
+    std::vector<std::byte> primary;
+    std::vector<std::byte> buddy;
+  };
+
+  /// The blob to serve for `pe` at complete_epoch_ (primary else
+  /// buddy); nullptr when none. Caller holds mu_.
+  [[nodiscard]] const std::vector<std::byte>* blob_at_complete(int pe) const;
+  /// Drop epochs strictly older than the newest complete one. Caller
+  /// holds mu_.
+  void prune();
+
   mutable std::mutex mu_;
   int num_pes_ = 0;
-  std::uint64_t epoch_ = 0;
-  std::vector<std::vector<std::byte>> primary_;  ///< [pe] -> blob
-  std::vector<std::vector<std::byte>> buddy_;    ///< [pe] -> blob of pe
-  std::vector<std::uint64_t> blob_epoch_;        ///< [pe] -> epoch stored
+  std::uint64_t complete_epoch_ = 0;  ///< newest epoch all PEs stored
+  std::vector<std::map<std::uint64_t, Entry>> slots_;  ///< [pe] -> epoch
   std::string disk_dir_;
 };
 

@@ -2,18 +2,23 @@
 // cx::ft — fault model shared by both machine backends.
 //
 // A FaultConfig describes which failures a run injects (seeded message
-// drop/duplicate/delay probabilities, scripted PE crash/hang on the Sim
-// backend) and how the reliable-delivery protocol reacts (retransmit
-// timeout, exponential backoff, give-up threshold). It travels inside
+// drop/duplicate/delay probabilities, scripted PE crash/hang events)
+// and how the runtime reacts: the unified RetryPolicy drives reliable
+// delivery's retransmits, the liveness layer's heartbeats detect silent
+// PEs, and the recovery coordinator can restore from checkpoint
+// automatically (--ft-auto-recover). It travels inside
 // cxm::MachineConfig so every backend sees the same knobs.
 //
 // All randomness flows through one seeded FaultInjector per machine, so a
 // Sim run with the same seed replays the exact same fault script — the
-// property the ft test tier and the DES figure runs rely on.
+// property the ft/chaos test tiers and the DES figure runs rely on.
 
 #include <cstdint>
 #include <functional>
+#include <string>
+#include <vector>
 
+#include "ft/retry.hpp"
 #include "pup/pup.hpp"
 #include "util/rng.hpp"
 
@@ -26,7 +31,7 @@ namespace cx::ft {
 enum class FailureKind : std::uint8_t {
   Crashed = 0,      ///< PE stopped executing (scripted or inject_kill)
   Unreachable = 1,  ///< retransmits to the PE exhausted (ack give-up)
-  Hung = 2,         ///< PE stopped draining its mailbox (scripted)
+  Hung = 2,         ///< PE stopped draining its mailbox
 };
 
 /// A typed PE-failure notification, surfaced to the runtime instead of
@@ -45,6 +50,16 @@ struct PeFailure {
 
 const char* failure_kind_name(FailureKind k) noexcept;
 
+/// One scripted fault event: at backend time `at`, PE `pe` crashes or
+/// hangs. Unlike the legacy one-shot crash_pe/hang_pe fields, a script
+/// holds any number of events, so a PE revived by restore can be killed
+/// again by a later entry — the shape chaos schedules need.
+struct ScriptedFault {
+  std::int32_t pe = -1;
+  double at = 0.0;
+  FailureKind kind = FailureKind::Crashed;  ///< Crashed or Hung
+};
+
 struct FaultConfig {
   std::uint64_t seed = 1;  ///< drives every injection decision
 
@@ -55,40 +70,65 @@ struct FaultConfig {
   double delay_s = 1.0e-3;  ///< mean extra latency of a delayed message
 
   // Reliable delivery (send-side seq + ack, retransmit with backoff).
+  // `retry` is the unified RetryPolicy: base_s is the initial RTO,
+  // max_attempts the give-up threshold before PeFailure{Unreachable}.
   bool reliable = false;
-  double rto = 10.0e-3;    ///< initial retransmit timeout (seconds)
-  double backoff = 2.0;    ///< rto multiplier per attempt
-  double jitter = 0.25;    ///< retransmit jitter as a fraction of the rto
-  int max_retries = 8;     ///< attempts before PeFailure{Unreachable}
+  RetryPolicy retry{};
 
-  // Scripted faults (Sim backend: virtual-time triggers; the threaded
-  // backend crashes PEs programmatically via Machine::inject_kill).
+  // Liveness layer (src/ft/liveness.hpp): runtime heartbeats on a ring
+  // with an accrual-style detector per link. heartbeat_s == 0 disables
+  // it entirely — no timers armed, no messages sent, zero overhead.
+  double heartbeat_s = 0.0;   ///< heartbeat interval; 0 = off
+  double hb_threshold = 4.0;  ///< suspicion (missed intervals) to declare
+
+  // Recovery coordinator (src/ft/recovery.hpp): when on, the lowest
+  // live PE drives notice -> quiesce -> restore on every PeFailure.
+  bool auto_recover = false;
+  double settle_s = -1.0;  ///< quiesce delay before restore; <0 = backend default
+
+  // Scripted faults. The legacy single-event knobs remain for flag
+  // compatibility; full_script() merges them with `script` into one
+  // time-sorted event list (multi-event, works across revives).
   int crash_pe = -1;
   double crash_at = 0.0;  ///< virtual time of the scripted crash
   int hang_pe = -1;
-  double hang_at = 0.0;   ///< virtual time the PE stops draining
+  double hang_at = 0.0;  ///< virtual time the PE stops draining
+  std::vector<ScriptedFault> script;
 
   [[nodiscard]] bool injecting() const noexcept {
     return drop > 0.0 || dup > 0.0 || delay > 0.0;
   }
   [[nodiscard]] bool scripted() const noexcept {
-    return crash_pe >= 0 || hang_pe >= 0;
+    return crash_pe >= 0 || hang_pe >= 0 || !script.empty();
   }
+  [[nodiscard]] bool liveness() const noexcept { return heartbeat_s > 0.0; }
   /// True when any ft machinery must be active. When false, both
   /// backends keep the exact pre-ft send/deliver path: no acks, no
   /// buffering, no extra branches beyond this one check.
   [[nodiscard]] bool enabled() const noexcept {
-    return injecting() || reliable || scripted();
+    return injecting() || reliable || scripted() || liveness();
   }
+
+  /// All scripted events (legacy crash_pe/hang_pe plus `script`),
+  /// sorted by time with ties kept in insertion order.
+  [[nodiscard]] std::vector<ScriptedFault> full_script() const;
 };
 
 /// Parse the --ft-* flag family (see README "Fault injection &
-/// checkpointing"): --ft-seed, --ft-drop, --ft-dup, --ft-delay,
-/// --ft-delay-ms, --ft-reliable, --ft-rto-ms, --ft-retries,
-/// --ft-crash-pe, --ft-crash-at, --ft-hang-pe, --ft-hang-at.
+/// checkpointing" / "Self-healing"): --ft-seed, --ft-drop, --ft-dup,
+/// --ft-delay, --ft-delay-ms, --ft-reliable, --ft-rto-ms, --ft-backoff,
+/// --ft-jitter, --ft-retries, --ft-crash-pe, --ft-crash-at,
+/// --ft-hang-pe, --ft-hang-at, --ft-script, --ft-heartbeat-ms,
+/// --ft-heartbeat-threshold, --ft-auto-recover, --ft-settle-ms.
 /// Probabilities are validated via Options::get_prob (throw outside
 /// [0,1]); injection implies reliable delivery unless --ft-reliable=0.
 FaultConfig fault_config_from_options(const cxu::Options& opt);
+
+/// Parse a fault script string: comma-separated events of the form
+/// "crash:<pe>@<time_s>" / "hang:<pe>@<time_s>", e.g.
+/// "crash:2@5e-5,hang:1@9e-5". Throws std::invalid_argument on
+/// malformed input.
+std::vector<ScriptedFault> parse_fault_script(const std::string& spec);
 
 /// Per-message injection decisions, drawn from one seeded stream. The
 /// Sim backend calls this from its single scheduler thread; the threaded
@@ -121,12 +161,14 @@ class FaultInjector {
     return d;
   }
 
-  /// Retransmit timeout for `attempts` prior tries: exponential backoff
-  /// plus seeded jitter (desynchronizes retransmit storms).
+  /// Retransmit timeout for `attempts` prior tries: the RetryPolicy's
+  /// exponential backoff plus seeded jitter (desynchronizes retransmit
+  /// storms).
   double retry_timeout(int attempts) {
-    double t = cfg_.rto;
-    for (int i = 0; i < attempts; ++i) t *= cfg_.backoff;
-    if (cfg_.jitter > 0.0) t += rng_.uniform(0.0, cfg_.jitter * t);
+    double t = cfg_.retry.delay(attempts);
+    if (cfg_.retry.jitter > 0.0) {
+      t += rng_.uniform(0.0, cfg_.retry.jitter * t);
+    }
     return t;
   }
 

@@ -1,12 +1,19 @@
 #pragma once
 // cx::ft public API — the pieces an application touches. The heavy
-// lifting (collective checkpoint, crash recovery) lives in the runtime
-// scheduler (src/core/runtime.cpp) because it must walk live chare
+// lifting (collective checkpoint, crash recovery, the liveness layer
+// and the auto-recovery coordinator) lives in the runtime scheduler
+// (src/core/ft_handlers.cpp) because it must walk live chare
 // collections and reduction state; this header is the stable surface.
 //
 //   cx::ft::on_failure([](const cx::ft::PeFailure& f) { ... });
 //   std::uint64_t epoch = cx::ft::checkpoint();   // collective, blocking
-//   if (!cx::ft::failed_pes().empty()) cx::ft::restore();
+//   if (!cx::ft::failed_pes().empty()) {
+//     if (cx::ft::restore() != cx::ft::RestoreStatus::Ok) ...
+//   }
+//
+// With --ft-auto-recover the runtime drives restore itself: apps watch
+// cx::ft::recoveries() (or register on_recovery) to learn a rollback
+// happened and re-issue their in-flight phase.
 //
 // checkpoint()/restore() must be called from the driver fiber (the
 // cx::run body), between phases — the same discipline Charm++ demands
@@ -18,6 +25,9 @@
 
 #include "ft/checkpoint.hpp"
 #include "ft/fault.hpp"
+#include "ft/liveness.hpp"
+#include "ft/recovery.hpp"
+#include "ft/retry.hpp"
 
 namespace cx::ft {
 
@@ -25,30 +35,68 @@ namespace cx::ft {
 /// location tables, and in-flight reduction state on every PE into the
 /// CheckpointStore (primary + buddy copies, optional disk mirror).
 /// Blocks the driver fiber until all PEs have stored. Returns the new
-/// checkpoint epoch (monotonically increasing from 1).
+/// checkpoint epoch (monotonically increasing from 1). Under
+/// --ft-auto-recover a crash mid-checkpoint is survived: the partial
+/// epoch is discarded, recovery rolls back, and the checkpoint is
+/// retaken under a fresh epoch (RetryPolicy-bounded).
 std::uint64_t checkpoint();
 
-/// Restore every PE from the latest checkpoint: revives crashed/hung
-/// PEs, discards post-checkpoint runtime state (collections, stashes,
-/// pending reductions, unacked sends), reconstructs all elements via
-/// their PUP constructors, and resets quiescence counters to the
-/// checkpointed values. Blocks the driver fiber until done.
-void restore();
+/// Restore every PE from the newest complete checkpoint: revives
+/// crashed/hung PEs, discards post-checkpoint runtime state
+/// (collections, stashes, pending reductions, unacked sends),
+/// reconstructs all elements via their PUP constructors, resets
+/// quiescence counters to the checkpointed values, and wakes every
+/// armed Future::get_for deadline so suspended drivers observe the
+/// rollback. Blocks the driver fiber until done (or until `timeout_s`
+/// backend seconds pass, when timeout_s > 0).
+///
+/// Returns a typed status instead of throwing: NoCheckpoint when no
+/// complete checkpoint exists, Timeout when acks did not all arrive in
+/// time (another PE died mid-restore; retry after it is handled).
+RestoreStatus restore(double timeout_s = 0.0);
 
-/// Digest of the latest stored checkpoint (see CheckpointStore::digest).
+/// Digest of the newest complete checkpoint (CheckpointStore::digest).
 std::uint64_t checkpoint_digest();
 
 /// Mirror future checkpoints to on-disk snapshots under `dir`
 /// (pass "" to disable). The directory must already exist.
 void set_checkpoint_dir(const std::string& dir);
 
-/// Register a callback invoked on PE 0's scheduler whenever a PE
-/// failure is detected (scripted crash, inject_kill, or retransmit
-/// give-up). Callbacks run on the scheduler, so they may send messages
-/// but must not block.
+/// Register a callback invoked on the coordinator PE's scheduler
+/// whenever a PE failure is detected (scripted crash, inject_kill,
+/// heartbeat detection, or retransmit give-up). Callbacks run on the
+/// scheduler, so they may send messages but must not block.
 void on_failure(std::function<void(const PeFailure&)> cb);
+
+/// Register a callback invoked on the coordinator PE's scheduler after
+/// each completed auto-recovery round (state rolled back, all PEs
+/// live). Same discipline as on_failure.
+void on_recovery(std::function<void(std::uint64_t round)> cb);
+
+/// Completed auto-recovery rounds so far (0 without --ft-auto-recover).
+/// Safe from any PE/fiber; phase drivers compare before/after a timed
+/// wait to learn a rollback happened while they slept.
+std::uint64_t recoveries();
+
+/// Epoch the most recent successful restore() rolled back to (0 before
+/// any restore). Phase drivers that tag each checkpoint() epoch with
+/// their position use this to re-align after a rollback that went
+/// further back than the phase they were waiting on — e.g. a crash
+/// mid-checkpoint discards the partial epoch and restores an older one.
+std::uint64_t last_restored_epoch();
 
 /// PEs currently marked failed (crashed, hung, or unreachable).
 std::vector<int> failed_pes();
+
+/// True when --ft-auto-recover is on: the runtime itself rolls back
+/// after a failure, so components (pool, phase drivers) should park and
+/// wait for on_recovery instead of failing fast.
+bool auto_recover_enabled();
+
+/// The run's unified RetryPolicy (from --ft-rto-ms/--ft-backoff/
+/// --ft-jitter/--ft-retries/--ft-retry-deadline-ms): the same schedule
+/// reliable delivery retransmits on. Apps and the pool reuse it for
+/// their own retry loops instead of inventing local constants.
+RetryPolicy retry_policy();
 
 }  // namespace cx::ft

@@ -1,0 +1,12 @@
+#include "ft/liveness.hpp"
+
+namespace cx::ft {
+
+LivenessConfig liveness_from_faults(const FaultConfig& f) noexcept {
+  LivenessConfig cfg;
+  cfg.interval_s = f.heartbeat_s;
+  cfg.threshold = f.hb_threshold;
+  return cfg;
+}
+
+}  // namespace cx::ft

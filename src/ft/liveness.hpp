@@ -1,0 +1,101 @@
+#pragma once
+// cx::ft liveness — runtime-level heartbeats with an accrual-style
+// failure detector, so a silent or hung PE is noticed even when no
+// application message happens to target it (reliable delivery only
+// detects failures of PEs somebody is actively sending to).
+//
+// Topology: a ring. PE p heartbeats its successor (p+1)%P every
+// interval and monitors its predecessor (p-1+P)%P, so liveness costs
+// exactly P best-effort messages per interval regardless of scale and
+// every PE is watched by exactly one peer. Heartbeats ride
+// kFtBestEffort (no ack, no retransmit — the next beat supersedes a
+// lost one) and kWireNoAgg (like QD probes, they must never sit in an
+// aggregation batch).
+//
+// Detection: per monitored link, suspicion is the number of heartbeat
+// intervals elapsed since the last beat — a linear approximation of the
+// phi-accrual detector (Hayashibara et al.), exact under the DES
+// backend where the inter-arrival distribution is a point mass. When
+// suspicion crosses the configured threshold the monitor declares the
+// predecessor Hung via Machine::declare_failed, which feeds the normal
+// PeFailure -> (optional) auto-recovery pipeline.
+//
+// This header is pure detector state + ring arithmetic; the message
+// pumping lives in core/ft_handlers.cpp (it needs the runtime's handler
+// table and timers).
+
+#include <cstdint>
+
+#include "ft/fault.hpp"
+
+namespace cx::ft {
+
+struct LivenessConfig {
+  double interval_s = 0.0;  ///< heartbeat period; 0 disables the layer
+  double threshold = 4.0;   ///< suspicion (missed intervals) to declare
+
+  [[nodiscard]] bool enabled() const noexcept { return interval_s > 0.0; }
+
+  /// Worst-case detection latency from the moment a PE goes silent:
+  /// up to one interval since its last beat, plus `threshold` intervals
+  /// of accrued suspicion, observed at the monitor's next tick.
+  [[nodiscard]] double detection_bound() const noexcept {
+    return (threshold + 2.0) * interval_s;
+  }
+};
+
+/// Extract the liveness knobs from the machine's fault config.
+LivenessConfig liveness_from_faults(const FaultConfig& f) noexcept;
+
+/// Accrual detector for one monitored link.
+struct AccrualDetector {
+  double last_seen = -1.0;   ///< clock of the last heartbeat; <0 = none yet
+  std::uint64_t beats = 0;   ///< heartbeats observed since the last reset
+
+  void heartbeat(double now) noexcept {
+    if (now > last_seen) last_seen = now;
+    ++beats;
+  }
+
+  /// Restart the grace period (first tick, post-restore, recovery
+  /// notice): the peer gets a full threshold's worth of intervals
+  /// before suspicion accrues again.
+  void reset(double now) noexcept {
+    last_seen = now;
+    beats = 0;
+  }
+
+  /// Missed-interval count: 0 while beats arrive on time, grows
+  /// linearly with silence.
+  [[nodiscard]] double suspicion(double now, double interval_s) const
+      noexcept {
+    if (last_seen < 0.0 || interval_s <= 0.0) return 0.0;
+    return (now - last_seen) / interval_s;
+  }
+
+  [[nodiscard]] bool suspect(double now, const LivenessConfig& cfg) const
+      noexcept {
+    return suspicion(now, cfg.interval_s) >= cfg.threshold;
+  }
+};
+
+/// Per-PE liveness state owned by that PE's scheduler context.
+struct PeLiveness {
+  AccrualDetector pred;      ///< detector for the predecessor link
+  std::uint64_t hb_seq = 0;  ///< heartbeats sent to the successor
+  /// Tick-chain generation. A PE's periodic tick is a self-timer chain;
+  /// when the PE dies the chain dies with it, and restore starts a new
+  /// chain stamped with a bumped generation — stale ticks from the old
+  /// chain are dropped by the generation check, so there is never more
+  /// than one live chain per PE.
+  std::uint64_t tick_gen = 0;
+};
+
+[[nodiscard]] constexpr int hb_successor(int pe, int num_pes) noexcept {
+  return num_pes > 0 ? (pe + 1) % num_pes : 0;
+}
+[[nodiscard]] constexpr int hb_predecessor(int pe, int num_pes) noexcept {
+  return num_pes > 0 ? (pe - 1 + num_pes) % num_pes : 0;
+}
+
+}  // namespace cx::ft

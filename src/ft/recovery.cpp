@@ -1,0 +1,39 @@
+#include "ft/recovery.hpp"
+
+namespace cx::ft {
+
+const char* recovery_phase_name(RecoveryPhase p) noexcept {
+  switch (p) {
+    case RecoveryPhase::Idle:
+      return "idle";
+    case RecoveryPhase::Notifying:
+      return "notifying";
+    case RecoveryPhase::Settling:
+      return "settling";
+    case RecoveryPhase::Restoring:
+      return "restoring";
+  }
+  return "unknown";
+}
+
+const char* restore_status_name(RestoreStatus s) noexcept {
+  switch (s) {
+    case RestoreStatus::Ok:
+      return "ok";
+    case RestoreStatus::NoCheckpoint:
+      return "no_checkpoint";
+    case RestoreStatus::Timeout:
+      return "timeout";
+  }
+  return "unknown";
+}
+
+double effective_settle(double configured_s, bool simulated) noexcept {
+  if (configured_s >= 0.0) return configured_s;
+  // Defaults: well past any modeled network latency (sim runs operate
+  // in microseconds of virtual time), and past scheduler wakeup jitter
+  // plus one retransmit RTO on real threads.
+  return simulated ? 2.0e-4 : 0.05;
+}
+
+}  // namespace cx::ft

@@ -1,0 +1,93 @@
+#pragma once
+// cx::ft recovery — protocol state for the automatic recovery
+// coordinator (--ft-auto-recover). The message pumping lives in
+// core/ft_handlers.cpp; this header holds the pure state machine so it
+// can be unit-tested and documented in one place.
+//
+// Coordinator election is deterministic: the lowest live PE. That is
+// PE 0 unless PE 0 is itself a casualty, in which case the machine's
+// failure listener routes the PeFailure to the next-lowest live PE,
+// which becomes the coordinator. Both backends share one process, so
+// the coordinator state below is plain shared memory — failover needs
+// no state handoff, only a new owner driving it.
+//
+// One recovery round:
+//
+//   Idle ──failure──▶ Notifying   broadcast FtNoticeHeader to live PEs
+//                        │        (detectors reset; apps see the log)
+//                        ▼
+//                     Settling    quiesce: sleep settle_s so in-flight
+//                        │        pre-failure traffic drains or dies
+//                        ▼
+//                     Restoring   revive dead PEs, collective restore
+//                        │        from the newest complete checkpoint
+//              ┌─────────┴──────────┐
+//          acks in             timeout / new failure
+//              │                mid-round (dirty)
+//              ▼                     │
+//            Idle ◀── MTTR logged    └──▶ loop (fresh notice/settle/
+//                                         restore, bounded by the
+//                                         RetryPolicy)
+//
+// If the coordinator itself dies mid-round, the failure notification
+// for it reaches the next-lowest live PE, which begins a *new* round
+// (round number bumps); the old coordinator's driver fiber — possibly
+// revived later by restore — sees the stale round stamp and exits
+// quietly.
+
+#include <cstdint>
+
+namespace cx::ft {
+
+enum class RecoveryPhase : std::uint8_t {
+  Idle = 0,
+  Notifying,
+  Settling,
+  Restoring,
+};
+
+const char* recovery_phase_name(RecoveryPhase p) noexcept;
+
+/// Outcome of cx::ft::restore() — the typed replacement for the old
+/// throw-on-no-checkpoint behaviour.
+enum class RestoreStatus : std::uint8_t {
+  Ok = 0,
+  NoCheckpoint,  ///< nothing complete to restore from
+  Timeout,       ///< acks missing within the bound (a PE died mid-restore)
+};
+
+const char* restore_status_name(RestoreStatus s) noexcept;
+
+/// Coordinator-side state for the current recovery round. Owned by the
+/// runtime's shared FtState; only the elected coordinator mutates it
+/// (under the runtime's ft mutex on the threaded backend).
+struct RecoveryState {
+  RecoveryPhase phase = RecoveryPhase::Idle;
+  int owner = -1;           ///< PE driving the current round; -1 = none
+  std::uint64_t round = 0;  ///< rounds started (stamps driver fibers)
+  bool dirty = false;       ///< a failure arrived while a round ran
+  double t0 = 0.0;          ///< round start on the owner's clock (MTTR)
+
+  /// Start a new round owned by `pe`; returns its round stamp.
+  std::uint64_t begin(int pe, double now) noexcept {
+    phase = RecoveryPhase::Notifying;
+    owner = pe;
+    dirty = false;
+    t0 = now;
+    return ++round;
+  }
+
+  void finish() noexcept {
+    phase = RecoveryPhase::Idle;
+    owner = -1;
+    dirty = false;
+  }
+};
+
+/// Effective quiesce delay before restore: the configured value, or a
+/// backend-appropriate default (virtual microseconds on the DES
+/// backend, tens of wall milliseconds on threads) when settle < 0.
+[[nodiscard]] double effective_settle(double configured_s,
+                                      bool simulated) noexcept;
+
+}  // namespace cx::ft

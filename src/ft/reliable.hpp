@@ -16,7 +16,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <queue>
 #include <set>
+#include <vector>
 
 #include "wire/buffer.hpp"
 
@@ -64,8 +66,28 @@ struct PendingSend {
 /// no locking is needed.
 struct SenderWindow {
   std::map<std::int32_t, std::uint64_t> next_seq;  ///< per destination
-  /// Unacked copies keyed (dst, seq); ordered so due-scan is cheap.
+  /// Unacked copies keyed (dst, seq); ordered so abandon() is a range
+  /// erase.
   std::map<std::pair<std::int32_t, std::uint64_t>, PendingSend> pending;
+
+  /// Lazy-deletion min-heap over retransmit deadlines, so
+  /// next_deadline() is O(log n) amortized instead of a full scan over
+  /// thousands of unacked copies (chaos load). An entry is stale — and
+  /// skipped on pop — when its (dst, seq) was acked/abandoned or when
+  /// the pending copy was re-armed with a newer deadline. Deadlines are
+  /// copied exactly (no arithmetic), so the equality check is safe on
+  /// doubles.
+  struct DueEntry {
+    double deadline;
+    std::int32_t dst;
+    std::uint64_t seq;
+  };
+  struct DueLater {
+    bool operator()(const DueEntry& a, const DueEntry& b) const noexcept {
+      return a.deadline > b.deadline;
+    }
+  };
+  std::priority_queue<DueEntry, std::vector<DueEntry>, DueLater> due;
 
   std::uint64_t allocate(std::int32_t dst) { return ++next_seq[dst]; }
 
@@ -73,17 +95,37 @@ struct SenderWindow {
     return pending.erase({dst, seq}) > 0;
   }
 
-  /// Earliest retransmit deadline, or +inf when nothing is pending.
-  [[nodiscard]] double next_deadline() const {
-    double d = kNever;
-    for (const auto& [key, p] : pending) {
-      if (p.deadline < d) d = p.deadline;
+  /// Register (dst, seq)'s current retransmit deadline in the heap.
+  /// Call after inserting the pending copy or updating its deadline.
+  void arm(std::int32_t dst, std::uint64_t seq, double deadline) {
+    due.push({deadline, dst, seq});
+  }
+
+  /// Pop stale heap entries so the top (if any) is a live deadline.
+  void prune_due() {
+    while (!due.empty()) {
+      const DueEntry& e = due.top();
+      const auto it = pending.find({e.dst, e.seq});
+      if (it == pending.end() || it->second.deadline != e.deadline) {
+        due.pop();
+        continue;
+      }
+      break;
     }
-    return d;
+  }
+
+  /// Earliest retransmit deadline, or +inf when nothing is pending.
+  /// Backends that track deadlines with their own timers (SimMachine's
+  /// DES events) never call arm(), so the heap stays empty and this
+  /// returns kNever for them.
+  [[nodiscard]] double next_deadline() {
+    prune_due();
+    return due.empty() ? kNever : due.top().deadline;
   }
 
   /// Drop every unacked copy headed to `dst` (the PE was declared
-  /// failed; retrying a dead peer only generates noise).
+  /// failed; retrying a dead peer only generates noise). Heap entries
+  /// go stale and fall out on the next prune.
   void abandon(std::int32_t dst) {
     auto it = pending.lower_bound({dst, 0});
     while (it != pending.end() && it->first.first == dst) {

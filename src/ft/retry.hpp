@@ -1,0 +1,49 @@
+#pragma once
+// cx::ft::RetryPolicy — the one retry/backoff schedule shared by every
+// layer that retries something: reliable-delivery retransmits (the
+// machine backends via FaultInjector::retry_timeout), pool worker
+// resubmission, Future-based phase drivers (get_for loops), and the
+// auto-recovery coordinator. Before this struct the same
+// base-delay/backoff/jitter/max-attempts logic existed as three ad-hoc
+// copies with subtly different knobs.
+//
+// The policy is pure data + arithmetic: jitter is applied by the caller
+// (FaultInjector owns the seeded RNG) so the policy itself stays
+// deterministic and copyable across threads.
+
+namespace cx::ft {
+
+struct RetryPolicy {
+  double base_s = 10.0e-3;  ///< delay before the first retry (seconds)
+  double backoff = 2.0;     ///< delay multiplier per subsequent attempt
+  double jitter = 0.25;     ///< max extra delay, as a fraction of the delay
+  int max_attempts = 8;     ///< retries before giving up entirely
+  double deadline_s = 0.0;  ///< overall retry budget; 0 = unbounded
+
+  /// Deterministic (jitter-free) delay before retry number `attempt`
+  /// (0-based): base_s * backoff^attempt.
+  [[nodiscard]] double delay(int attempt) const noexcept {
+    double d = base_s;
+    for (int i = 0; i < attempt; ++i) d *= backoff;
+    return d;
+  }
+
+  /// True while retry number `attempt` (0-based) is still allowed and
+  /// `elapsed_s` of retrying has not exhausted the overall deadline.
+  [[nodiscard]] bool allows(int attempt, double elapsed_s = 0.0) const
+      noexcept {
+    if (attempt >= max_attempts) return false;
+    if (deadline_s > 0.0 && elapsed_s >= deadline_s) return false;
+    return true;
+  }
+
+  /// Sum of all jitter-free delays: the worst-case time a caller spends
+  /// retrying before giving up (ignoring deadline_s).
+  [[nodiscard]] double total_delay() const noexcept {
+    double sum = 0.0;
+    for (int i = 0; i < max_attempts; ++i) sum += delay(i);
+    return sum;
+  }
+};
+
+}  // namespace cx::ft

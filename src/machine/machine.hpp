@@ -98,6 +98,17 @@ class Machine {
   /// now on. Notifies the failure listener. Callable from handler context.
   virtual void inject_kill(int pe) = 0;
 
+  /// Make `pe` stop draining its mailbox without any notification — the
+  /// test/chaos hook for silent failures. Peers only learn of it via
+  /// retransmit give-up or the heartbeat detector (declare_failed).
+  virtual void inject_hang(int pe) = 0;
+
+  /// Mark `pe` failed as `kind` based on external evidence (the
+  /// liveness layer's accrual detector crossing its threshold). Traffic
+  /// to the PE stops and the failure listener fires once, exactly as if
+  /// the machine had detected the failure itself.
+  virtual void declare_failed(int pe, cx::ft::FailureKind kind) = 0;
+
   /// Undo inject_kill / a scripted crash or hang, as part of restart.
   /// Messages the PE accumulated while down are discarded.
   virtual void revive_pe(int pe) = 0;

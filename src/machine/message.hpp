@@ -31,6 +31,10 @@ inline constexpr std::uint8_t kFtReliable = 1;    ///< carries a seq, wants an a
 inline constexpr std::uint8_t kFtAck = 2;         ///< machine-level ack
 inline constexpr std::uint8_t kFtTimer = 4;       ///< internal retransmit timer
 inline constexpr std::uint8_t kFtRetransmit = 8;  ///< resent copy
+/// Fire-and-forget protocol traffic (heartbeats): never enrolled in
+/// reliable delivery — a lost copy is superseded by the next one, and
+/// acking every heartbeat would double the liveness layer's traffic.
+inline constexpr std::uint8_t kFtBestEffort = 16;
 
 // cx::wire aggregation flags (Message::wire_flags). All zero on the
 // ordinary path; the backends only inspect them when --wire-agg is on.

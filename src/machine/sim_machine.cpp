@@ -32,7 +32,10 @@ SimMachine::SimMachine(const MachineConfig& cfg)
     fifo_ = true;
   }
   ft_enabled_ = ft_.enabled();
-  if (ft_enabled_) inj_ = std::make_unique<cx::ft::FaultInjector>(ft_);
+  if (ft_enabled_) {
+    inj_ = std::make_unique<cx::ft::FaultInjector>(ft_);
+    script_ = ft_.full_script();
+  }
   // Failure bookkeeping is always sized: inject_kill() must work even
   // without any --ft-* config (e.g. the pool kills a worker directly).
   const auto n = static_cast<std::size_t>(num_pes_);
@@ -220,26 +223,23 @@ void SimMachine::fail_pe(int pe, cx::ft::FailureKind kind, double time) {
 }
 
 void SimMachine::check_scripted(double time) {
-  if (ft_.crash_pe >= 0 && ft_.crash_pe < num_pes_ &&
-      !crash_script_fired_ && time >= ft_.crash_at) {
-    const auto i = static_cast<std::size_t>(ft_.crash_pe);
-    crash_script_fired_ = true;
-    crashed_[i] = 1;
+  while (next_script_ < script_.size() && time >= script_[next_script_].at) {
+    const cx::ft::ScriptedFault& f = script_[next_script_++];
+    if (f.pe < 0 || f.pe >= num_pes_) continue;
+    const auto i = static_cast<std::size_t>(f.pe);
+    if (crashed_[i] != 0 || hung_[i] != 0) continue;  // already down
     any_failed_ = true;
-    // The PE died: its unacked sends die with it (nothing retransmits).
+    // The PE died/froze: its unacked sends die with it (a hung
+    // scheduler fires no retransmit timers either).
     senders_[i].pending.clear();
-    fail_pe(ft_.crash_pe, cx::ft::FailureKind::Crashed, time);
-  }
-  if (ft_.hang_pe >= 0 && ft_.hang_pe < num_pes_ && !hang_script_fired_ &&
-      time >= ft_.hang_at) {
-    const auto i = static_cast<std::size_t>(ft_.hang_pe);
-    hang_script_fired_ = true;
-    hung_[i] = 1;
-    any_failed_ = true;
-    // A hung scheduler fires no timers either; unacked sends are stuck.
-    senders_[i].pending.clear();
-    // No notification here: a hang is only *detected* when peers'
-    // retransmits to it give up (FailureKind::Unreachable).
+    if (f.kind == cx::ft::FailureKind::Crashed) {
+      crashed_[i] = 1;
+      fail_pe(f.pe, cx::ft::FailureKind::Crashed, f.at);
+    } else {
+      hung_[i] = 1;
+      // No notification: a hang is only *detected* — by peers'
+      // retransmits giving up or the heartbeat detector.
+    }
   }
 }
 
@@ -251,6 +251,33 @@ void SimMachine::inject_kill(int pe) {
   crashed_[i] = 1;
   senders_[i].pending.clear();
   fail_pe(pe, cx::ft::FailureKind::Crashed,
+          current_pe_ >= 0 ? clock_[static_cast<std::size_t>(current_pe_)]
+                           : 0.0);
+}
+
+void SimMachine::inject_hang(int pe) {
+  if (pe < 0 || pe >= num_pes_) return;
+  const auto i = static_cast<std::size_t>(pe);
+  if (crashed_[i] != 0 || hung_[i] != 0) return;
+  any_failed_ = true;
+  hung_[i] = 1;
+  senders_[i].pending.clear();
+  // Silent by design: peers must discover the hang themselves.
+}
+
+void SimMachine::declare_failed(int pe, cx::ft::FailureKind kind) {
+  if (pe < 0 || pe >= num_pes_) return;
+  const auto i = static_cast<std::size_t>(pe);
+  any_failed_ = true;
+  if (kind == cx::ft::FailureKind::Crashed) {
+    crashed_[i] = 1;
+  } else if (hung_[i] == 0) {
+    unreachable_[i] = 1;
+  }
+  senders_[i].pending.clear();
+  // Every peer stops (re)sending to the declared-dead PE immediately.
+  for (auto& sw : senders_) sw.abandon(pe);
+  fail_pe(pe, kind,
           current_pe_ >= 0 ? clock_[static_cast<std::size_t>(current_pe_)]
                            : 0.0);
 }
@@ -288,7 +315,7 @@ void SimMachine::handle_timer(int pe, const Message& msg, double time) {
   if (time > clk) clk = time;
   current_pe_ = pe;
   cx::ft::PendingSend& p = it->second;
-  if (p.attempts >= ft_.max_retries) {
+  if (p.attempts >= ft_.retry.max_attempts) {
     // Give up: declare the destination unreachable and stop all traffic
     // to it, surfacing a typed failure instead of retrying forever.
     senders_[i].abandon(dst);
@@ -321,7 +348,7 @@ void SimMachine::run() {
     MessagePtr msg(ev.msg);
     const int pe = msg->dst_pe;
     if (ft_enabled_ || any_failed_) {
-      if (ft_.scripted()) check_scripted(ev.time);
+      if (next_script_ < script_.size()) check_scripted(ev.time);
       if (msg->ft_flags & kFtTimer) {
         handle_timer(pe, *msg, ev.time);
         continue;

@@ -52,6 +52,8 @@ class SimMachine final : public Machine {
 
   void send_after(MessagePtr msg, double delay_s) override;
   void inject_kill(int pe) override;
+  void inject_hang(int pe) override;
+  void declare_failed(int pe, cx::ft::FailureKind kind) override;
   void revive_pe(int pe) override;
   [[nodiscard]] bool pe_failed(int pe) const noexcept override;
 
@@ -126,11 +128,12 @@ class SimMachine final : public Machine {
   std::vector<std::uint8_t> crashed_;
   std::vector<std::uint8_t> hung_;
   std::vector<std::uint8_t> unreachable_;
-  /// Scripted faults are one-shot: once fired they stay fired, so a
-  /// revived PE is not instantly re-killed (virtual time never rewinds
-  /// below crash_at/hang_at again).
-  bool crash_script_fired_ = false;
-  bool hang_script_fired_ = false;
+  /// Merged, time-sorted fault script (legacy --ft-crash-pe/--ft-hang-pe
+  /// plus --ft-script). The cursor only moves forward: a fired event
+  /// never refires, so a revived PE is not instantly re-killed, yet
+  /// later script entries can hit the same PE again across revives.
+  std::vector<cx::ft::ScriptedFault> script_;
+  std::size_t next_script_ = 0;
   std::vector<std::uint8_t> failure_notified_;
   /// Messages that arrived at a hung PE (its mailbox fills; nothing
   /// drains). Discarded on revive — restore rebuilds state anyway.

@@ -25,6 +25,7 @@ ThreadedMachine::ThreadedMachine(const MachineConfig& cfg)
       ft_(cfg.faults),
       crashed_(static_cast<std::size_t>(cfg.num_pes)),
       unreachable_(static_cast<std::size_t>(cfg.num_pes)),
+      hung_(static_cast<std::size_t>(cfg.num_pes)),
       failure_notified_(static_cast<std::size_t>(cfg.num_pes), 0) {
   if (num_pes_ < 1) throw std::invalid_argument("num_pes must be >= 1");
   mailboxes_.reserve(static_cast<std::size_t>(num_pes_));
@@ -142,7 +143,9 @@ void ThreadedMachine::send(MessagePtr msg) {
         std::lock_guard<std::mutex> lk(inj_mutex_);
         p.deadline = now() + inj_->retry_timeout(0);
       }
+      const double deadline = p.deadline;
       me.sw.pending.emplace(std::make_pair(dst, seq), std::move(p));
+      me.sw.arm(dst, seq, deadline);
     }
     if (ft_.injecting()) {
       cx::ft::FaultInjector::Decision d;
@@ -219,64 +222,111 @@ void ThreadedMachine::inject_kill(int pe) {
   notify_failure_once(pe, cx::ft::FailureKind::Crashed);
 }
 
+void ThreadedMachine::inject_hang(int pe) {
+  if (pe < 0 || pe >= num_pes_) return;
+  const auto i = static_cast<std::size_t>(pe);
+  if (hung_[i].exchange(true, std::memory_order_relaxed)) return;
+  any_failed_.store(true, std::memory_order_release);
+  // Wake the PE so it parks promptly. Silent by design: peers must
+  // discover the hang themselves (retransmit give-up or heartbeats).
+  Mailbox& mb = *mailboxes_[i];
+  {
+    std::lock_guard<std::mutex> lock(mb.mutex);
+  }
+  mb.cv.notify_all();
+}
+
+void ThreadedMachine::declare_failed(int pe, cx::ft::FailureKind kind) {
+  if (pe < 0 || pe >= num_pes_) return;
+  const auto i = static_cast<std::size_t>(pe);
+  any_failed_.store(true, std::memory_order_release);
+  if (kind == cx::ft::FailureKind::Crashed) {
+    crashed_[i].store(true, std::memory_order_relaxed);
+  } else if (!hung_[i].load(std::memory_order_relaxed)) {
+    // Declared dead on external evidence (heartbeat silence) without a
+    // local hang flag: mark unreachable so all traffic to it stops.
+    unreachable_[i].store(true, std::memory_order_relaxed);
+  }
+  Mailbox& mb = *mailboxes_[i];
+  {
+    std::lock_guard<std::mutex> lock(mb.mutex);
+  }
+  mb.cv.notify_all();
+  notify_failure_once(pe, kind);
+}
+
 void ThreadedMachine::revive_pe(int pe) {
   if (pe < 0 || pe >= num_pes_) return;
-  crashed_[static_cast<std::size_t>(pe)].store(false,
-                                               std::memory_order_relaxed);
-  unreachable_[static_cast<std::size_t>(pe)].store(false,
-                                                   std::memory_order_relaxed);
+  const auto i = static_cast<std::size_t>(pe);
+  {
+    // Discard everything the PE accumulated while down (a hung PE's
+    // mailbox kept filling): restore rebuilds application state, so
+    // pre-failure messages must not resurface in the revived PE.
+    Mailbox& mb = *mailboxes_[i];
+    std::lock_guard<std::mutex> lock(mb.mutex);
+    mb.queue.clear();
+    mb.delayed.clear();
+    crashed_[i].store(false, std::memory_order_relaxed);
+    unreachable_[i].store(false, std::memory_order_relaxed);
+    hung_[i].store(false, std::memory_order_relaxed);
+    mb.cv.notify_all();
+  }
   std::lock_guard<std::mutex> lk(failure_mutex_);
-  failure_notified_[static_cast<std::size_t>(pe)] = 0;
+  failure_notified_[i] = 0;
 }
 
 bool ThreadedMachine::pe_failed(int pe) const noexcept {
   if (pe < 0 || pe >= num_pes_) return false;
-  return crashed_[static_cast<std::size_t>(pe)].load(
-             std::memory_order_relaxed) ||
-         unreachable_[static_cast<std::size_t>(pe)].load(
-             std::memory_order_relaxed);
+  const auto i = static_cast<std::size_t>(pe);
+  return crashed_[i].load(std::memory_order_relaxed) ||
+         unreachable_[i].load(std::memory_order_relaxed) ||
+         hung_[i].load(std::memory_order_relaxed);
 }
 
 void ThreadedMachine::retransmit_due(int pe, FtPeState& me) {
+  // Heap-driven: pop due deadlines off the sender's min-heap instead of
+  // scanning every pending send. Stale heap entries (acked, abandoned,
+  // or superseded by a later retransmit) are pruned lazily.
   const double tnow = now();
-  bool rescan = true;
-  while (rescan) {
-    rescan = false;
-    for (auto it = me.sw.pending.begin(); it != me.sw.pending.end(); ++it) {
-      cx::ft::PendingSend& p = it->second;
-      const int dst = p.dst_pe;
-      const auto di = static_cast<std::size_t>(dst);
-      if (crashed_[di].load(std::memory_order_relaxed) ||
-          unreachable_[di].load(std::memory_order_relaxed)) {
-        // Known-dead peer: retrying only generates noise.
-        me.sw.abandon(dst);
-        rescan = true;
-        break;
-      }
-      if (p.deadline > tnow) continue;
-      if (p.attempts >= ft_.max_retries) {
-        unreachable_[di].store(true, std::memory_order_relaxed);
-        any_failed_.store(true, std::memory_order_release);
-        me.sw.abandon(dst);
-        notify_failure_once(dst, cx::ft::FailureKind::Unreachable);
-        rescan = true;
-        break;
-      }
-      p.attempts++;
-      CX_TRACE_EVENT(pe, tnow, cx::trace::EventKind::FtRetransmit,
-                     static_cast<std::uint64_t>(dst),
-                     static_cast<std::uint64_t>(p.attempts));
-      {
-        std::lock_guard<std::mutex> lk(inj_mutex_);
-        p.deadline = tnow + inj_->retry_timeout(p.attempts);
-      }
-      auto copy = cx::wire::clone_payload(p.handler, dst, p.data);
-      copy->size_override = p.size_override;
-      copy->ft_seq = p.seq;
-      copy->ft_flags = kFtReliable | kFtRetransmit;
-      copy->wire_flags = p.wire_flags;
-      send(std::move(copy));  // flags are set: no re-enrollment in send()
+  for (;;) {
+    me.sw.prune_due();
+    if (me.sw.due.empty()) return;
+    const cx::ft::SenderWindow::DueEntry e = me.sw.due.top();
+    const auto di = static_cast<std::size_t>(e.dst);
+    if (crashed_[di].load(std::memory_order_relaxed) ||
+        unreachable_[di].load(std::memory_order_relaxed)) {
+      // Known-dead peer: retrying only generates noise.
+      me.sw.due.pop();
+      me.sw.abandon(e.dst);
+      continue;
     }
+    if (e.deadline > tnow) return;  // nothing (valid) due yet
+    me.sw.due.pop();
+    auto it = me.sw.pending.find({e.dst, e.seq});
+    if (it == me.sw.pending.end()) continue;  // raced away; harmless
+    cx::ft::PendingSend& p = it->second;
+    if (p.attempts >= ft_.retry.max_attempts) {
+      unreachable_[di].store(true, std::memory_order_relaxed);
+      any_failed_.store(true, std::memory_order_release);
+      me.sw.abandon(e.dst);
+      notify_failure_once(e.dst, cx::ft::FailureKind::Unreachable);
+      continue;
+    }
+    p.attempts++;
+    CX_TRACE_EVENT(pe, tnow, cx::trace::EventKind::FtRetransmit,
+                   static_cast<std::uint64_t>(e.dst),
+                   static_cast<std::uint64_t>(p.attempts));
+    {
+      std::lock_guard<std::mutex> lk(inj_mutex_);
+      p.deadline = tnow + inj_->retry_timeout(p.attempts);
+    }
+    me.sw.arm(e.dst, e.seq, p.deadline);
+    auto copy = cx::wire::clone_payload(p.handler, p.dst_pe, p.data);
+    copy->size_override = p.size_override;
+    copy->ft_seq = p.seq;
+    copy->ft_flags = kFtReliable | kFtRetransmit;
+    copy->wire_flags = p.wire_flags;
+    send(std::move(copy));  // flags are set: no re-enrollment in send()
   }
 }
 
@@ -316,6 +366,27 @@ void ThreadedMachine::pe_loop(int pe) {
     {
       std::unique_lock<std::mutex> lock(mb.mutex);
       for (;;) {
+        if (any_failed_.load(std::memory_order_relaxed) &&
+            hung_[static_cast<std::size_t>(pe)].load(
+                std::memory_order_relaxed)) {
+          // A hung PE parks: it drains nothing, acks nothing, fires no
+          // retransmits — total silence until revive_pe() or stop().
+          // Its unacked sends and open batches die with it (own-thread
+          // state, so only the owner may clear them).
+          if (me && !me->sw.pending.empty()) {
+            me->sw.pending.clear();
+            while (!me->sw.due.empty()) me->sw.due.pop();
+          }
+          if (agg_on_ && aggs_[static_cast<std::size_t>(pe)]) {
+            aggs_[static_cast<std::size_t>(pe)].reset();
+          }
+          if (stop_.load(std::memory_order_acquire)) {
+            stopping = true;
+            break;
+          }
+          mb.cv.wait(lock);
+          continue;
+        }
         const double tnow = now();
         // Promote deferred deliveries that have come due.
         while (!mb.delayed.empty() && mb.delayed.begin()->first <= tnow) {

@@ -46,6 +46,8 @@ class ThreadedMachine final : public Machine {
 
   void send_after(MessagePtr msg, double delay_s) override;
   void inject_kill(int pe) override;
+  void inject_hang(int pe) override;
+  void declare_failed(int pe, cx::ft::FailureKind kind) override;
   void revive_pe(int pe) override;
   [[nodiscard]] bool pe_failed(int pe) const noexcept override;
 
@@ -100,6 +102,9 @@ class ThreadedMachine final : public Machine {
   std::atomic<bool> any_failed_{false};
   std::vector<std::atomic<bool>> crashed_;
   std::vector<std::atomic<bool>> unreachable_;
+  /// A hung PE parks: unlike a crashed PE it does not even drain its
+  /// mailbox, so peers see total silence (no acks, no heartbeats).
+  std::vector<std::atomic<bool>> hung_;
   std::mutex failure_mutex_;
   std::vector<std::uint8_t> failure_notified_;  ///< guarded by failure_mutex_
 };

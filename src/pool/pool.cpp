@@ -1,8 +1,10 @@
 #include "pool/pool.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "ft/ft.hpp"
 #include "trace/trace.hpp"
@@ -357,13 +359,50 @@ void define_manager() {
                       cpy::to_value(cpy::proxy_of(self))});
       }
       if (job["remaining"].as_int() > 0 && procs.empty()) {
-        CX_LOG_WARN("pool: job ", key, " lost its last worker (PE ", pe,
-                    "); failing the job");
-        finish_job(self, key, job,
-                   make_error("worker on PE " + pkey +
-                              " failed and no processors remain"));
+        if (cx::ft::auto_recover_enabled()) {
+          // The runtime will roll back and revive the dead workers; park
+          // the job back on the queue instead of failing its future. The
+          // recovered handler (or any job releasing processors) will
+          // re-dispatch it; its redo list already holds the lost tasks.
+          CX_LOG_WARN("pool: job ", key, " lost its last worker (PE ", pe,
+                      "); parking until recovery");
+          self["queued"].as_list().emplace_back(
+              static_cast<std::int64_t>(std::stoll(key)));
+        } else {
+          CX_LOG_WARN("pool: job ", key, " lost its last worker (PE ", pe,
+                      "); failing the job");
+          finish_job(self, key, job,
+                     make_error("worker on PE " + pkey +
+                                " failed and no processors remain"));
+        }
       }
     }
+    return Value::none();
+  });
+
+  // Auto-recovery completed (wired from cx::ft::on_recovery): every PE
+  // is live again. Forget the dead set, rebuild the free list from the
+  // PEs no job currently holds, and re-dispatch parked jobs.
+  cls.def("recovered", {"round"}, [](DChare& self, Args&) {
+    self["failed"] = Value::dict({});
+    self["heartbeats"] = Value::dict({});
+    std::vector<bool> used(static_cast<std::size_t>(cx::num_pes()), false);
+    for (auto& [k, v] : self["jobs"].as_dict()) {
+      for (const Value& pv : v.as_dict()["procs"].as_list()) {
+        used[static_cast<std::size_t>(pv.as_int())] = true;
+      }
+    }
+    List free;
+    const int p = cx::num_pes();
+    if (p == 1) {
+      if (!used[0]) free.emplace_back(0);
+    } else {
+      for (int i = 1; i < p; ++i) {
+        if (!used[static_cast<std::size_t>(i)]) free.emplace_back(i);
+      }
+    }
+    self["free_procs"] = Value::list(std::move(free));
+    dispatch_queued(self);
     return Value::none();
   });
 
@@ -435,6 +474,12 @@ Pool::Pool() {
   cx::ft::on_failure([master](const cx::ft::PeFailure& f) {
     master.send("peFailed",
                 {Value(static_cast<std::int64_t>(f.pe))});
+  });
+  // After an auto-recovery round every PE is live again: let the master
+  // reclaim the revived workers and re-dispatch parked jobs.
+  cx::ft::on_recovery([master](std::uint64_t round) {
+    master.send("recovered",
+                {Value(static_cast<std::int64_t>(round))});
   });
 }
 

@@ -201,6 +201,16 @@ void bump_counters(Counters& c, EventKind kind, std::uint64_t a,
     case EventKind::FtResubmit:
       c.ft_resubmits++;
       break;
+    case EventKind::FtDetect:
+      c.ft_detections++;
+      c.ft_detect_latency_s += static_cast<double>(b) * 1e-9;
+      break;
+    case EventKind::FtNotice:
+      break;  // informational; rounds are counted at FtRecover
+    case EventKind::FtRecover:
+      c.ft_recoveries++;
+      c.ft_mttr_s += static_cast<double>(b) * 1e-9;
+      break;
   }
 }
 
@@ -245,6 +255,10 @@ void json_counters(std::ostream& os, const Counters& c) {
      << ",\"ft_checkpoints\":" << c.ft_checkpoints
      << ",\"ft_restores\":" << c.ft_restores
      << ",\"ft_resubmits\":" << c.ft_resubmits
+     << ",\"ft_detections\":" << c.ft_detections
+     << ",\"ft_detect_latency_s\":" << c.ft_detect_latency_s
+     << ",\"ft_recoveries\":" << c.ft_recoveries
+     << ",\"ft_mttr_s\":" << c.ft_mttr_s
      << ",\"dropped_events\":" << c.dropped_events << ",\"entry_hist_us\":[";
   for (int i = 0; i < kHistBuckets; ++i) {
     if (i > 0) os << ',';
@@ -295,6 +309,10 @@ void Counters::merge(const Counters& o) {
   ft_checkpoints += o.ft_checkpoints;
   ft_restores += o.ft_restores;
   ft_resubmits += o.ft_resubmits;
+  ft_detections += o.ft_detections;
+  ft_detect_latency_s += o.ft_detect_latency_s;
+  ft_recoveries += o.ft_recoveries;
+  ft_mttr_s += o.ft_mttr_s;
   dropped_events += o.dropped_events;
   for (int i = 0; i < kHistBuckets; ++i) entry_hist[i] += o.entry_hist[i];
 }
@@ -349,6 +367,12 @@ const char* kind_name(EventKind k) noexcept {
       return "ft_restore";
     case EventKind::FtResubmit:
       return "ft_resubmit";
+    case EventKind::FtDetect:
+      return "ft_detect";
+    case EventKind::FtNotice:
+      return "ft_notice";
+    case EventKind::FtRecover:
+      return "ft_recover";
   }
   return "unknown";
 }

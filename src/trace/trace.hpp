@@ -65,6 +65,11 @@ namespace cx::trace {
 //   FtCheckpoint  a = epoch             b = blob bytes on this PE
 //   FtRestore     a = epoch             b = blob bytes on this PE
 //   FtResubmit    a = failed PE         b = tasks resubmitted
+//   FtDetect      a = suspected PE      b = silence nanoseconds
+//                                           (heartbeat detection latency)
+//   FtNotice      a = failed PE         b = recovery round
+//   FtRecover     a = recovery round    b = MTTR nanoseconds
+//                                           (failure detection -> restored)
 enum class EventKind : std::uint8_t {
   MsgSend = 0,
   MsgRecv,
@@ -90,6 +95,9 @@ enum class EventKind : std::uint8_t {
   FtCheckpoint,
   FtRestore,
   FtResubmit,
+  FtDetect,
+  FtNotice,
+  FtRecover,
 };
 
 /// Stable snake_case name used in the JSON timeline.
@@ -135,6 +143,10 @@ struct Counters {
   std::uint64_t ft_checkpoints = 0;
   std::uint64_t ft_restores = 0;
   std::uint64_t ft_resubmits = 0;
+  std::uint64_t ft_detections = 0;     ///< heartbeat-detector declarations
+  double ft_detect_latency_s = 0.0;    ///< summed silence at detection
+  std::uint64_t ft_recoveries = 0;     ///< completed auto-recovery rounds
+  double ft_mttr_s = 0.0;              ///< summed MTTR across rounds
   std::uint64_t dropped_events = 0;  ///< ring overwrites (oldest lost)
   std::uint64_t entry_hist[kHistBuckets] = {0};
 

@@ -266,6 +266,32 @@ struct RestoreAckHeader {
   void pup(pup::Er& p) { p | reply; }
 };
 
+/// Liveness heartbeat: PE `src` telling its ring successor it is alive.
+/// Best-effort (kFtBestEffort): a lost beat is superseded by the next.
+struct HeartbeatHeader {
+  std::int32_t src = -1;
+  std::uint64_t seq = 0;
+  void pup(pup::Er& p) {
+    p | src;
+    p | seq;
+  }
+};
+
+/// Recovery coordinator's failure notice: broadcast to every live PE at
+/// the start of recovery round `round` so each resets its liveness
+/// detector (the failed PE stops beating) and stops trusting in-flight
+/// traffic from the casualty.
+struct FtNoticeHeader {
+  std::uint64_t round = 0;
+  std::int32_t coordinator = -1;
+  std::int32_t failed_pe = -1;
+  void pup(pup::Er& p) {
+    p | round;
+    p | coordinator;
+    p | failed_pe;
+  }
+};
+
 // ---- cx::ft checkpoint blobs ---------------------------------------------
 // One PeBlob captures everything the scheduler owns on one PE. Iteration
 // order of the live unordered_maps is not deterministic, so every list is

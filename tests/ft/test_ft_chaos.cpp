@@ -1,0 +1,157 @@
+// Chaos tier: the stencil figure workload on the DES backend survives
+// seeded multi-event fault schedules — double crashes, a coordinator
+// (PE 0) crash, a silent hang caught by the heartbeat ring, and a PE
+// crashed again after being revived — with --ft-auto-recover driving
+// every rollback. Each schedule must reproduce the fault-free checksum
+// AND the fault-free final checkpoint digest bit for bit; the trace
+// counters prove the faults actually fired (no vacuous pass).
+//
+// Schedule times are fractions of the measured fault-free makespan, so
+// the scripts stay mid-run even as the stencil's cost model evolves.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/stencil/stencil_cx.hpp"
+#include "ft/ft.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+stencil::Params chaos_stencil() {
+  stencil::Params p;  // default geometry: 2x2x2 blocks of 8x8x8 cells
+  p.iterations = 10;
+  p.real_kernel = true;
+  p.ckpt_every = 2;
+  return p;
+}
+
+struct ChaosRun {
+  stencil::Result result;
+  std::uint64_t digest = 0;
+  cx::trace::Counters counters;
+};
+
+ChaosRun run_schedule(const cxm::MachineConfig& machine) {
+  cx::trace::reset();
+  cx::trace::Config tc;
+  tc.enabled = true;
+  tc.print_summary = false;
+  cx::trace::configure(tc);
+  ChaosRun out;
+  out.result = stencil::run_cx(chaos_stencil(), machine);
+  out.digest = cx::ft::checkpoint_digest();
+  out.counters = cx::trace::aggregate();
+  cx::trace::reset();
+  return out;
+}
+
+struct Schedule {
+  std::string name;
+  std::vector<cx::ft::ScriptedFault> script;
+  double heartbeat_s = 0.0;       // >0 arms the liveness ring
+  std::uint64_t min_failures = 1;  // trace floor: the schedule really bit
+};
+
+class FtChaos : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    cxm::MachineConfig machine;
+    machine.num_pes = 4;
+    machine.backend = cxm::Backend::Sim;
+    const ChaosRun clean = run_schedule(machine);
+    clean_checksum_ = clean.result.checksum;
+    clean_digest_ = clean.digest;
+    clean_makespan_ = clean.result.elapsed;
+    ASSERT_GT(clean_makespan_, 0.0);
+    ASSERT_NE(clean_digest_, 0u);
+  }
+
+  static cx::ft::ScriptedFault at(double frac, int pe,
+                                  cx::ft::FailureKind kind) {
+    cx::ft::ScriptedFault f;
+    f.pe = pe;
+    f.at = frac * clean_makespan_;
+    f.kind = kind;
+    return f;
+  }
+
+  void soak(const Schedule& s) {
+    SCOPED_TRACE(s.name);
+    cxm::MachineConfig machine;
+    machine.num_pes = 4;
+    machine.backend = cxm::Backend::Sim;
+    machine.faults.seed = 11;
+    machine.faults.auto_recover = true;
+    machine.faults.script = s.script;
+    if (s.heartbeat_s > 0.0) {
+      machine.faults.heartbeat_s = s.heartbeat_s;
+      machine.faults.hb_threshold = 3.0;
+    }
+    const ChaosRun r = run_schedule(machine);
+
+    // The schedule fired (no vacuous pass), recovery ran, and the
+    // machine converged back to the fault-free answer and digest.
+    EXPECT_GE(r.counters.ft_failures, s.min_failures);
+    EXPECT_GE(r.counters.ft_recoveries, 1u);
+    EXPECT_DOUBLE_EQ(r.result.checksum, clean_checksum_);
+    EXPECT_EQ(r.digest, clean_digest_);
+    // Recovery costs time: the faulty run cannot be faster than clean.
+    EXPECT_GE(r.result.elapsed, clean_makespan_);
+  }
+
+  static double clean_checksum_;
+  static std::uint64_t clean_digest_;
+  static double clean_makespan_;
+};
+
+double FtChaos::clean_checksum_ = 0.0;
+std::uint64_t FtChaos::clean_digest_ = 0;
+double FtChaos::clean_makespan_ = 0.0;
+
+using cx::ft::FailureKind;
+
+// ---------------------------------------------------------------------------
+
+TEST_F(FtChaos, SingleMidRunCrash) {
+  soak({"single-crash", {at(0.4, 2, FailureKind::Crashed)}});
+}
+
+TEST_F(FtChaos, DoubleCrashTwoPes) {
+  soak({"double-crash",
+        {at(0.3, 1, FailureKind::Crashed), at(0.6, 3, FailureKind::Crashed)},
+        0.0, 2});
+}
+
+TEST_F(FtChaos, CoordinatorCrashFailsOverToNextPe) {
+  // PE 0 hosts the recovery coordinator (and the driver fiber): killing
+  // it forces the failover election to the lowest surviving PE.
+  soak({"coordinator-crash", {at(0.4, 0, FailureKind::Crashed)}});
+}
+
+TEST_F(FtChaos, SilentHangCaughtByHeartbeats) {
+  Schedule s{"silent-hang", {at(0.4, 2, FailureKind::Hung)}};
+  // The interval must sit well above the network alpha (2us): beats
+  // arriving at latency scale look like silence and every PE declares
+  // every other hung. A tenth of the makespan (~16us) keeps detection
+  // mid-run while staying an order of magnitude above the noise floor.
+  s.heartbeat_s = clean_makespan_ / 10.0;
+  soak(s);
+}
+
+TEST_F(FtChaos, RevivedPeCrashesAgain) {
+  // The second event targets the PE the first recovery just revived —
+  // the multi-event script shape the legacy one-shot knobs could not
+  // express. It must land after the first recovery round is over
+  // (detection + settle + restore cost roughly a clean makespan here);
+  // a script event for a PE that is still down is consumed unfired.
+  // 2.2x the clean makespan is past the revival yet still mid-replay.
+  soak({"crash-revive-crash",
+        {at(0.3, 2, FailureKind::Crashed), at(2.2, 2, FailureKind::Crashed)},
+        0.0, 2});
+}
+
+}  // namespace

@@ -59,9 +59,9 @@ void expect_all(cx::CollectionProxy<CkptCell>& arr, int want) {
 
 // ---------------------------------------------------------------------------
 
-TEST(FtCheckpoint, RestoreWithoutCheckpointThrows) {
+TEST(FtCheckpoint, RestoreWithoutCheckpointReportsTypedError) {
   run_program(sim_cfg(2), [] {
-    EXPECT_THROW(cx::ft::restore(), std::logic_error);
+    EXPECT_EQ(cx::ft::restore(), cx::ft::RestoreStatus::NoCheckpoint);
     cx::exit();
   });
 }

@@ -1,0 +1,92 @@
+// Future::get_for under faults, on both backends: a timed wait expires
+// without a value (and really waits that long), a value arriving after
+// an expired slice is picked up by the next one (the retry-loop idiom
+// every phase driver uses), and a wait whose producer PE dies mid-wait
+// times out while the failure surfaces through cx::ft::failed_pes() —
+// the future never resolves with garbage and never hangs the driver.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "ft/ft.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using cxtest::run_program;
+using cxtest::sim_cfg;
+using cxtest::threaded_cfg;
+
+struct Filler : cx::Chare {
+  void fill(cx::Future<int> f, int v) { f.send(v); }
+  void fill_later(cx::Future<int> f, int v, double after_s) {
+    cx::compute(after_s);  // busy the producer before it answers
+    f.send(v);
+  }
+};
+
+// ---------------------------------------------------------------------------
+
+TEST(FtFuture, TimedWaitExpiresAndReallyWaits) {
+  for (const auto& cfg : {threaded_cfg(2), sim_cfg(2)}) {
+    run_program(cfg, [] {
+      const double t0 = cx::now();
+      auto f = cx::make_future<int>();
+      EXPECT_EQ(f.get_for(0.02), std::nullopt);  // nobody will send
+      EXPECT_GE(cx::now() - t0, 0.02 * 0.5);     // not an instant bailout
+      cx::exit();
+    });
+  }
+}
+
+TEST(FtFuture, ValueAfterExpiredSliceIsPickedUpByTheNextOne) {
+  for (const auto& cfg : {threaded_cfg(2), sim_cfg(2)}) {
+    run_program(cfg, [] {
+      auto filler = cx::create_chare<Filler>(1);
+      auto f = cx::make_future<int>();
+      // The producer answers only after 30ms of (virtual or real) work;
+      // the first 5ms slice must expire empty, a later one succeeds.
+      filler.send<&Filler::fill_later>(f, 77, 0.03);
+      const std::optional<int> first = f.get_for(0.005);
+      std::optional<int> got;
+      int slices = 1;
+      while (!(got = f.get_for(0.02)) && slices < 100) ++slices;
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(*got, 77);
+      if (cx::Runtime::current().is_simulated()) {
+        // Virtual time is exact: the 5ms slice expires empty and the
+        // 5..25ms slice does too; the value lands in the third. Wall
+        // clocks on a loaded host can oversleep a slice past the
+        // producer's 30ms, so only the DES asserts the slice count.
+        EXPECT_EQ(first, std::nullopt) << "first slice must expire empty";
+        EXPECT_GT(slices, 1);
+      }
+      cx::exit();
+    });
+  }
+}
+
+TEST(FtFuture, ProducerPeDeadMidWaitTimesOutAndSurfacesFailure) {
+  for (const auto& cfg : {threaded_cfg(3), sim_cfg(3)}) {
+    run_program(cfg, [] {
+      auto filler = cx::create_chare<Filler>(1);
+      auto f = cx::make_future<int>();
+      cx::Runtime::current().machine().inject_kill(1);
+      filler.send<&Filler::fill>(f, 5);  // lands in a dead mailbox
+      std::optional<int> got;
+      int slices = 0;
+      while (!(got = f.get_for(0.01)) && cx::ft::failed_pes().empty() &&
+             slices < 200) {
+        ++slices;
+      }
+      EXPECT_EQ(got, std::nullopt);  // the value never arrives...
+      EXPECT_EQ(cx::ft::failed_pes(),
+                std::vector<int>{1});  // ...and the death is visible
+      cx::exit();
+    });
+  }
+}
+
+}  // namespace

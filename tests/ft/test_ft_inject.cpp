@@ -106,7 +106,7 @@ cx::RuntimeConfig faulty_sim_cfg(std::uint64_t seed) {
   cfg.machine.faults.delay = 0.2;
   cfg.machine.faults.delay_s = 2.0e-4;
   cfg.machine.faults.reliable = true;
-  cfg.machine.faults.rto = 1.0e-3;
+  cfg.machine.faults.retry.base_s = 1.0e-3;
   return cfg;
 }
 
@@ -201,8 +201,8 @@ TEST(FtFailure, HungPeExhaustsRetriesAndIsReportedUnreachable) {
   cfg.machine.faults.hang_pe = 1;
   cfg.machine.faults.hang_at = 1.0e-6;  // stops draining almost at once
   cfg.machine.faults.reliable = true;
-  cfg.machine.faults.rto = 1.0e-4;
-  cfg.machine.faults.max_retries = 2;
+  cfg.machine.faults.retry.base_s = 1.0e-4;
+  cfg.machine.faults.retry.max_attempts = 2;
   run_program(cfg, [&] {
     std::vector<cx::ft::PeFailure> seen;
     cx::ft::on_failure(

@@ -1,0 +1,164 @@
+// Liveness layer + auto-recovery coordinator: runtime heartbeats catch
+// a PE that goes silent with NO application traffic in flight (the case
+// retransmit give-up can never detect), the coordinator rolls the
+// machine back to the last checkpoint on its own, and the whole layer
+// is inert — no false positives, no app-visible traffic — when healthy
+// or disabled.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+
+#include "ft/ft.hpp"
+#include "test_helpers.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+using cxtest::run_program;
+using cxtest::sim_cfg;
+using cxtest::threaded_cfg;
+
+struct LiveCell : cx::Chare {
+  int x = 0;
+  void bump() { ++x; }
+  int get() { return x; }
+  void pup(pup::Er& p) override { p | x; }
+};
+
+constexpr int kCells = 8;
+
+/// Drive the backend clock from the main fiber until `pred` holds:
+/// repeated bounded waits on a future nobody fulfils. Spurious wakes
+/// (the restore wake-all) just re-check the predicate.
+template <typename Pred>
+bool wait_until(Pred pred, double slice, int slices) {
+  auto idle = cx::make_future<int>();
+  for (int i = 0; i < slices && !pred(); ++i) (void)idle.get_for(slice);
+  return pred();
+}
+
+// ---------------------------------------------------------------------------
+// Detection with zero app traffic. The hung PE stops draining its
+// mailbox and sends nothing — only the heartbeat ring can notice. The
+// detector must fire within the documented bound and the coordinator
+// must bring the machine back to the checkpointed state.
+
+void run_silent_hang(const cx::RuntimeConfig& cfg, int hang_pe,
+                     bool scripted) {
+  cx::trace::reset();
+  cx::trace::Config tc;
+  tc.enabled = true;
+  tc.print_summary = false;
+  cx::trace::configure(tc);
+  run_program(cfg, [&] {
+    auto arr = cx::create_array<LiveCell>({kCells});
+    for (int i = 0; i < kCells; ++i) arr[{i}].send<&LiveCell::bump>();
+    for (int i = 0; i < kCells; ++i) {
+      (void)arr[{i}].call<&LiveCell::get>().get();  // drain
+    }
+    (void)cx::ft::checkpoint();
+    if (!scripted) cx::Runtime::current().machine().inject_hang(hang_pe);
+    // From here the application is silent; only heartbeats flow.
+    const double slice = cfg.machine.faults.heartbeat_s * 4.0;
+    EXPECT_TRUE(wait_until([] { return cx::ft::recoveries() >= 1; },
+                           slice, 400));
+    EXPECT_TRUE(cx::ft::failed_pes().empty());  // hung PE revived
+    // The rollback landed on the checkpointed state.
+    for (int i = 0; i < kCells; ++i) {
+      EXPECT_EQ(arr[{i}].call<&LiveCell::get>().get(), 1);
+    }
+    cx::exit();
+  });
+  const auto counters = cx::trace::aggregate();
+  cx::trace::reset();
+  ASSERT_GE(counters.ft_detections, 1u);
+  EXPECT_GE(counters.ft_recoveries, 1u);
+  // Mean detection latency within the accrual detector's bound (plus
+  // slack for the wall-clock backend's scheduling noise).
+  const cx::ft::LivenessConfig live =
+      cx::ft::liveness_from_faults(cfg.machine.faults);
+  const double mean_latency =
+      counters.ft_detect_latency_s /
+      static_cast<double>(counters.ft_detections);
+  EXPECT_LE(mean_latency, 3.0 * live.detection_bound());
+}
+
+TEST(FtLiveness, SilentHungPeAutoRecoveredSim) {
+  cx::RuntimeConfig cfg = sim_cfg(4);
+  cfg.machine.faults.heartbeat_s = 1.0e-4;
+  cfg.machine.faults.hb_threshold = 3.0;
+  cfg.machine.faults.auto_recover = true;
+  cfg.machine.faults.script = cx::ft::parse_fault_script("hang:2@2e-3");
+  run_silent_hang(cfg, 2, /*scripted=*/true);
+}
+
+TEST(FtLiveness, SilentHungPeAutoRecoveredThreaded) {
+  cx::RuntimeConfig cfg = threaded_cfg(4);
+  cfg.machine.faults.heartbeat_s = 10.0e-3;
+  cfg.machine.faults.hb_threshold = 5.0;
+  cfg.machine.faults.auto_recover = true;
+  run_silent_hang(cfg, 2, /*scripted=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// A healthy run with heartbeats on must look exactly like one without:
+// same answers, same app-visible message count (liveness traffic is
+// uncounted), and zero detections (no false positives even while every
+// PE is busy).
+
+TEST(FtLiveness, HealthyRunSeesNoFalsePositivesOrExtraMessages) {
+  std::uint64_t msgs[2] = {0, 0};
+  int sums[2] = {0, 0};
+  for (int hb = 0; hb < 2; ++hb) {
+    cx::RuntimeConfig cfg = sim_cfg(4);
+    if (hb == 1) {
+      cfg.machine.faults.heartbeat_s = 2.0e-4;
+      cfg.machine.faults.hb_threshold = 4.0;
+    }
+    cx::trace::reset();
+    cx::trace::Config tc;
+    tc.enabled = true;
+    tc.print_summary = false;
+    cx::trace::configure(tc);
+    cx::Runtime rt(cfg);
+    rt.run([&] {
+      auto arr = cx::create_array<LiveCell>({kCells});
+      for (int r = 0; r < 50; ++r) {
+        for (int i = 0; i < kCells; ++i) arr[{i}].send<&LiveCell::bump>();
+      }
+      int total = 0;
+      for (int i = 0; i < kCells; ++i) {
+        total += arr[{i}].call<&LiveCell::get>().get();
+      }
+      sums[hb] = total;
+      cx::exit();
+    });
+    msgs[hb] = rt.messages_sent();
+    const auto counters = cx::trace::aggregate();
+    cx::trace::reset();
+    EXPECT_EQ(counters.ft_detections, 0u) << "false positive with hb=" << hb;
+    EXPECT_EQ(counters.ft_failures, 0u);
+  }
+  EXPECT_EQ(sums[0], 50 * kCells);
+  EXPECT_EQ(sums[0], sums[1]);
+  EXPECT_EQ(msgs[0], msgs[1]);  // heartbeats never hit the app counters
+}
+
+// ---------------------------------------------------------------------------
+// interval == 0 (the default) disables the layer outright.
+
+TEST(FtLiveness, ZeroIntervalDisablesTheLayer) {
+  const cx::ft::LivenessConfig off =
+      cx::ft::liveness_from_faults(cx::ft::FaultConfig{});
+  EXPECT_FALSE(off.enabled());
+
+  cx::ft::FaultConfig f;
+  f.heartbeat_s = 5.0e-3;
+  EXPECT_TRUE(cx::ft::liveness_from_faults(f).enabled());
+  EXPECT_DOUBLE_EQ(cx::ft::liveness_from_faults(f).detection_bound(),
+                   (f.hb_threshold + 2.0) * f.heartbeat_s);
+}
+
+}  // namespace

@@ -321,7 +321,7 @@ TEST(AggRuntime, FtInjectionStillDeliversExactlyOnce) {
   cfg.machine.faults.delay = 0.1;
   cfg.machine.faults.delay_s = 2.0e-4;
   cfg.machine.faults.reliable = true;
-  cfg.machine.faults.rto = 1.0e-3;
+  cfg.machine.faults.retry.base_s = 1.0e-3;
 
   // Per PE: sum_i (i + 3i+1) over kMsgs messages; 4 PEs.
   const std::uint64_t per_pe =
