@@ -431,6 +431,13 @@ void Runtime::Impl::on_local(MessagePtr msg) {
     resume_fiber(f);
     return;
   }
+  if (env->kind == LocalEnvelope::Kind::Post) {
+    // Posts (cx::post_after) ride Machine::send_after like timers:
+    // uncounted, so an armed periodic callback never holds off
+    // quiescence detection.
+    run_fiber(std::move(env->fn), nullptr);
+    return;
+  }
   me().processed++;
   switch (env->kind) {
     case LocalEnvelope::Kind::Start:
@@ -468,6 +475,7 @@ void Runtime::Impl::on_local(MessagePtr msg) {
       return;
     }
     case LocalEnvelope::Kind::Timer:
+    case LocalEnvelope::Kind::Post:
       return;  // handled above
   }
 }
@@ -491,6 +499,18 @@ void Runtime::Impl::on_entry(MessagePtr msg) {
   } else {
     route_entry_msg(cm, h.idx, std::move(msg));
   }
+}
+
+// ---- scheduled callbacks --------------------------------------------------
+
+void post_after(double delay_s, std::function<void()> fn) {
+  auto& I = Runtime::current().impl();
+  const int pe = I.mype();
+  assert(pe >= 0 && "post_after outside of a PE context");
+  LocalEnvelope* env = acquire_envelope();
+  env->kind = LocalEnvelope::Kind::Post;
+  env->fn = std::move(fn);
+  I.machine->send_after(I.wrap_local(env, pe), delay_s);
 }
 
 // ---- point-to-point sends (bridge from the header-only proxies) -----------

@@ -95,4 +95,11 @@ inline void compute(double s) { Runtime::current().compute(s); }
 inline void charge(double s) { Runtime::current().charge(s); }
 inline void exit() { Runtime::current().exit(); }
 
+/// Run `fn` on the calling PE's scheduler after `delay_s` (wall clock on
+/// the threaded backend, virtual time on the simulator). Uncounted —
+/// like Future::get_for deadlines, an armed post never holds off
+/// quiescence detection; a post still armed when the runtime exits is
+/// dropped. Must be called from a PE context (entry method or fiber).
+void post_after(double delay_s, std::function<void()> fn);
+
 }  // namespace cx

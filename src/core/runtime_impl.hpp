@@ -99,7 +99,7 @@ inline Index& staged_idx() {
 // ---- in-process (same-PE) payloads: the zero-serialization fast path ----
 
 struct LocalEnvelope {
-  enum class Kind { Entry, Resume, Start, Timer } kind = Kind::Entry;
+  enum class Kind { Entry, Resume, Start, Timer, Post } kind = Kind::Entry;
   // Entry:
   CollectionId coll = kInvalidCollection;
   Index idx;
@@ -110,7 +110,7 @@ struct LocalEnvelope {
   ReplyTo bcast_done;
   // Resume:
   Fiber* fiber = nullptr;
-  // Start:
+  // Start / Post:
   std::function<void()> fn;
   // Timer (Future::get_for deadline; delivered via Machine::send_after):
   std::uint64_t timer_token = 0;

@@ -18,7 +18,98 @@ namespace detail {
 std::atomic<bool> g_enabled{false};
 WireAtomics g_wire;
 WhenAtomics g_when;
+PoolAtomics g_pool;
+
+void PoolAtomics::note_task(std::uint64_t ns) noexcept {
+  tasks_done.fetch_add(1, std::memory_order_relaxed);
+  task_ns_sum.fetch_add(ns, std::memory_order_relaxed);
+  int b = 0;
+  while ((1ull << (b + 1)) <= ns && b < kPoolLatBuckets - 1) ++b;
+  lat_hist[b].fetch_add(1, std::memory_order_relaxed);
+}
 }  // namespace detail
+
+namespace {
+struct PoolJobs {
+  std::mutex mu;
+  std::vector<PoolJobRecord> records;
+};
+PoolJobs& pool_jobs() {
+  static PoolJobs j;
+  return j;
+}
+}  // namespace
+
+double PoolStats::p99_task_s() const noexcept {
+  if (tasks_done == 0) return 0.0;
+  const std::uint64_t target =
+      tasks_done - tasks_done / 100;  // ceil-ish 99th percentile rank
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kPoolLatBuckets; ++i) {
+    seen += lat_hist[i];
+    if (seen >= target) {
+      return static_cast<double>(1ull << (i + 1)) * 1e-9;
+    }
+  }
+  return static_cast<double>(1ull << kPoolLatBuckets) * 1e-9;
+}
+
+PoolStats pool_stats() noexcept {
+  const auto& p = detail::g_pool;
+  PoolStats s;
+  s.grants = p.grants.load(std::memory_order_relaxed);
+  s.granted_tasks = p.granted_tasks.load(std::memory_order_relaxed);
+  s.max_chunk = p.max_chunk.load(std::memory_order_relaxed);
+  s.steal_attempts = p.steal_attempts.load(std::memory_order_relaxed);
+  s.steal_hits = p.steal_hits.load(std::memory_order_relaxed);
+  s.stolen_tasks = p.stolen_tasks.load(std::memory_order_relaxed);
+  s.result_batches = p.result_batches.load(std::memory_order_relaxed);
+  s.tasks_done = p.tasks_done.load(std::memory_order_relaxed);
+  s.beats = p.beats.load(std::memory_order_relaxed);
+  s.reassigns = p.reassigns.load(std::memory_order_relaxed);
+  s.inflight_clamps = p.inflight_clamps.load(std::memory_order_relaxed);
+  s.queue_high_water = p.queue_high_water.load(std::memory_order_relaxed);
+  s.task_ns_sum = p.task_ns_sum.load(std::memory_order_relaxed);
+  for (int i = 0; i < kPoolLatBuckets; ++i) {
+    s.lat_hist[i] = p.lat_hist[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void reset_pool_stats() noexcept {
+  auto& p = detail::g_pool;
+  p.grants.store(0, std::memory_order_relaxed);
+  p.granted_tasks.store(0, std::memory_order_relaxed);
+  p.max_chunk.store(0, std::memory_order_relaxed);
+  p.steal_attempts.store(0, std::memory_order_relaxed);
+  p.steal_hits.store(0, std::memory_order_relaxed);
+  p.stolen_tasks.store(0, std::memory_order_relaxed);
+  p.result_batches.store(0, std::memory_order_relaxed);
+  p.tasks_done.store(0, std::memory_order_relaxed);
+  p.beats.store(0, std::memory_order_relaxed);
+  p.reassigns.store(0, std::memory_order_relaxed);
+  p.inflight_clamps.store(0, std::memory_order_relaxed);
+  p.queue_high_water.store(0, std::memory_order_relaxed);
+  p.task_ns_sum.store(0, std::memory_order_relaxed);
+  for (int i = 0; i < kPoolLatBuckets; ++i) {
+    p.lat_hist[i].store(0, std::memory_order_relaxed);
+  }
+  auto& j = pool_jobs();
+  std::lock_guard<std::mutex> lock(j.mu);
+  j.records.clear();
+}
+
+void pool_job_note(const PoolJobRecord& rec) {
+  auto& j = pool_jobs();
+  std::lock_guard<std::mutex> lock(j.mu);
+  j.records.push_back(rec);
+}
+
+std::vector<PoolJobRecord> pool_job_records() {
+  auto& j = pool_jobs();
+  std::lock_guard<std::mutex> lock(j.mu);
+  return j.records;
+}
 
 WhenEngineStats when_stats() noexcept {
   const auto& w = detail::g_when;
@@ -403,6 +494,7 @@ void begin_run(int num_pes, bool simulated) {
   s.simulated = simulated;
   reset_wire_stats();
   reset_when_stats();
+  reset_pool_stats();
   if (!s.cfg.enabled) return;
   // Rings are allocated eagerly, so clamp the per-PE capacity to keep the
   // total bounded when a simulated run uses thousands of virtual PEs
@@ -557,6 +649,27 @@ std::string summary_table() {
        << w.agg_flush_count << " count / " << w.agg_flush_idle << " idle / "
        << w.agg_flush_order << " ordering\n";
   }
+  const PoolStats ps = pool_stats();
+  if (ps.tasks_done + ps.grants > 0) {
+    os << "\ncx::pool: " << ps.tasks_done << " tasks in " << ps.grants
+       << " grants (" << cxu::Table::num(ps.mean_chunk(), 1)
+       << " tasks/grant, max " << ps.max_chunk << "), " << ps.steal_hits
+       << "/" << ps.steal_attempts << " steals hit ("
+       << cxu::Table::num(100.0 * ps.steal_hit_rate(), 1) << "%, "
+       << ps.stolen_tasks << " tasks moved), " << ps.result_batches
+       << " result batches, " << ps.beats << " beats, "
+       << ps.inflight_clamps << " inflight clamps, queue high water "
+       << ps.queue_high_water << ", task mean "
+       << cxu::Table::num(ps.mean_task_s() * 1e6, 2) << " us / p99 "
+       << cxu::Table::num(ps.p99_task_s() * 1e6, 2) << " us\n";
+    for (const PoolJobRecord& r : pool_job_records()) {
+      os << "  job " << r.job_id << " (prio " << r.priority << "): "
+         << r.tasks << " tasks in "
+         << cxu::Table::num(r.done_t - r.start_t, 6) << " s ("
+         << cxu::Table::num(r.tasks_per_s(), 0) << " tasks/s)"
+         << (r.failed ? " FAILED" : "") << "\n";
+    }
+  }
   return os.str();
 }
 
@@ -615,7 +728,34 @@ void write_json(std::ostream& os) {
      << ",\"agg_flush_bytes\":" << w.agg_flush_bytes
      << ",\"agg_flush_count\":" << w.agg_flush_count
      << ",\"agg_flush_idle\":" << w.agg_flush_idle
-     << ",\"agg_flush_order\":" << w.agg_flush_order << "}}\n";
+     << ",\"agg_flush_order\":" << w.agg_flush_order << "}";
+  const PoolStats pool = pool_stats();
+  os << ",\"pool\":{\"grants\":" << pool.grants
+     << ",\"granted_tasks\":" << pool.granted_tasks
+     << ",\"mean_chunk\":" << pool.mean_chunk()
+     << ",\"max_chunk\":" << pool.max_chunk
+     << ",\"steal_attempts\":" << pool.steal_attempts
+     << ",\"steal_hits\":" << pool.steal_hits
+     << ",\"steal_hit_rate\":" << pool.steal_hit_rate()
+     << ",\"stolen_tasks\":" << pool.stolen_tasks
+     << ",\"result_batches\":" << pool.result_batches
+     << ",\"tasks_done\":" << pool.tasks_done << ",\"beats\":" << pool.beats
+     << ",\"reassigns\":" << pool.reassigns
+     << ",\"inflight_clamps\":" << pool.inflight_clamps
+     << ",\"queue_high_water\":" << pool.queue_high_water
+     << ",\"mean_task_s\":" << pool.mean_task_s()
+     << ",\"p99_task_s\":" << pool.p99_task_s() << ",\"jobs\":[";
+  bool jfirst = true;
+  for (const PoolJobRecord& r : pool_job_records()) {
+    if (!jfirst) os << ',';
+    jfirst = false;
+    os << "{\"job_id\":" << r.job_id << ",\"priority\":" << r.priority
+       << ",\"tasks\":" << r.tasks << ",\"submit_t\":" << r.submit_t
+       << ",\"start_t\":" << r.start_t << ",\"done_t\":" << r.done_t
+       << ",\"tasks_per_s\":" << r.tasks_per_s()
+       << ",\"failed\":" << (r.failed ? "true" : "false") << '}';
+  }
+  os << "]}}\n";
 }
 
 bool write_json(const std::string& path) {
@@ -649,6 +789,7 @@ void reset() {
   s.simulated = false;
   reset_wire_stats();
   reset_when_stats();
+  reset_pool_stats();
   detail::g_enabled.store(false, std::memory_order_relaxed);
 }
 

@@ -253,6 +253,121 @@ extern WhenAtomics g_when;
 /// Zero the condition-engine counters (begin_run does this too).
 void reset_when_stats() noexcept;
 
+// ---- task-pool engine counters -------------------------------------------
+//
+// The chunked/stealing pool (src/pool/) reports its scheduling work
+// here: grants and their sizes, steal traffic, result batches, beats,
+// and the per-task latency histogram benches read p99 from. Always on
+// (relaxed atomic adds) so bench/micro_pool A/B runs work without
+// --trace.
+
+/// Log2-nanosecond buckets for the pool task-latency histogram. Bucket
+/// i holds tasks with execution time in [2^i, 2^(i+1)) ns.
+inline constexpr int kPoolLatBuckets = 48;
+
+struct PoolStats {
+  std::uint64_t grants = 0;          ///< chunk grants sent by the master
+  std::uint64_t granted_tasks = 0;   ///< tasks covered by those grants
+  std::uint64_t max_chunk = 0;       ///< largest single grant
+  std::uint64_t steal_attempts = 0;  ///< steal requests sent by workers
+  std::uint64_t steal_hits = 0;      ///< steals that returned work
+  std::uint64_t stolen_tasks = 0;    ///< tasks moved worker-to-worker
+  std::uint64_t result_batches = 0;  ///< batched result messages
+  std::uint64_t tasks_done = 0;      ///< task executions (incl. reruns)
+  std::uint64_t beats = 0;           ///< decoupled heartbeat messages
+  std::uint64_t reassigns = 0;       ///< steal reassignments at the master
+  std::uint64_t inflight_clamps = 0; ///< grants clamped by --pool-max-inflight
+  std::uint64_t queue_high_water = 0;///< max jobs waiting for processors
+  std::uint64_t task_ns_sum = 0;     ///< summed task execution nanoseconds
+  std::uint64_t lat_hist[kPoolLatBuckets] = {0};
+
+  /// Mean tasks per grant (0 when no grants went out).
+  [[nodiscard]] double mean_chunk() const noexcept {
+    return grants > 0 ? static_cast<double>(granted_tasks) /
+                            static_cast<double>(grants)
+                      : 0.0;
+  }
+
+  /// Fraction of steal attempts that returned work.
+  [[nodiscard]] double steal_hit_rate() const noexcept {
+    return steal_attempts > 0 ? static_cast<double>(steal_hits) /
+                                    static_cast<double>(steal_attempts)
+                              : 0.0;
+  }
+
+  /// Mean task execution seconds (0 when no tasks ran).
+  [[nodiscard]] double mean_task_s() const noexcept {
+    return tasks_done > 0 ? static_cast<double>(task_ns_sum) * 1e-9 /
+                                static_cast<double>(tasks_done)
+                          : 0.0;
+  }
+
+  /// p99 task execution seconds, read off the log2 histogram (upper
+  /// bucket edge — a conservative estimate).
+  [[nodiscard]] double p99_task_s() const noexcept;
+};
+
+namespace detail {
+struct PoolAtomics {
+  std::atomic<std::uint64_t> grants{0};
+  std::atomic<std::uint64_t> granted_tasks{0};
+  std::atomic<std::uint64_t> max_chunk{0};
+  std::atomic<std::uint64_t> steal_attempts{0};
+  std::atomic<std::uint64_t> steal_hits{0};
+  std::atomic<std::uint64_t> stolen_tasks{0};
+  std::atomic<std::uint64_t> result_batches{0};
+  std::atomic<std::uint64_t> tasks_done{0};
+  std::atomic<std::uint64_t> beats{0};
+  std::atomic<std::uint64_t> reassigns{0};
+  std::atomic<std::uint64_t> inflight_clamps{0};
+  std::atomic<std::uint64_t> queue_high_water{0};
+  std::atomic<std::uint64_t> task_ns_sum{0};
+  std::atomic<std::uint64_t> lat_hist[kPoolLatBuckets] = {};
+
+  void raise_max(std::atomic<std::uint64_t>& slot,
+                 std::uint64_t v) noexcept {
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  void note_task(std::uint64_t ns) noexcept;
+};
+extern PoolAtomics g_pool;
+}  // namespace detail
+
+/// Snapshot of the pool counters since the last
+/// begin_run()/reset_pool_stats().
+[[nodiscard]] PoolStats pool_stats() noexcept;
+
+/// Zero the pool counters (begin_run does this too).
+void reset_pool_stats() noexcept;
+
+/// One completed pool job, recorded by the master at job completion.
+/// Times come from the backend clock (virtual on the simulator).
+struct PoolJobRecord {
+  std::uint64_t job_id = 0;
+  std::int64_t priority = 0;
+  std::uint64_t tasks = 0;
+  double submit_t = 0.0;  ///< map_async reached the master
+  double start_t = 0.0;   ///< first processors granted
+  double done_t = 0.0;    ///< future resolved
+  bool failed = false;
+
+  /// Job throughput over its running span (tasks per second).
+  [[nodiscard]] double tasks_per_s() const noexcept {
+    const double span = done_t - start_t;
+    return span > 0 ? static_cast<double>(tasks) / span : 0.0;
+  }
+};
+
+/// Append one job record (called by the pool master; mutex-guarded).
+void pool_job_note(const PoolJobRecord& rec);
+
+/// Job records accumulated since begin_run()/reset_pool_stats().
+[[nodiscard]] std::vector<PoolJobRecord> pool_job_records();
+
 namespace detail {
 struct WireAtomics {
   std::atomic<std::uint64_t> envelopes{0};

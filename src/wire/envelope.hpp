@@ -38,6 +38,38 @@ inline void note_envelope(std::size_t bytes, bool inline_payload) noexcept {
   }
 }
 
+/// Thread-local bypass flag consumed by the builders (see ScopedNoAgg).
+inline bool& tls_no_agg() noexcept {
+  thread_local bool v = false;
+  return v;
+}
+
+inline void apply_send_flags(cxm::Message& msg) noexcept {
+  if (tls_no_agg()) msg.wire_flags |= cxm::kWireNoAgg;
+}
+
+}  // namespace detail
+
+/// RAII guard: every message built on this thread while the guard lives
+/// is marked kWireNoAgg and bypasses sender-side aggregation (--wire-agg).
+/// For freshness-sensitive application traffic — e.g. the task pool's
+/// worker heartbeats, which must not age inside an open batch while the
+/// liveness layer counts silence. Nestable.
+class ScopedNoAgg {
+ public:
+  ScopedNoAgg() noexcept : prev_(detail::tls_no_agg()) {
+    detail::tls_no_agg() = true;
+  }
+  ~ScopedNoAgg() { detail::tls_no_agg() = prev_; }
+  ScopedNoAgg(const ScopedNoAgg&) = delete;
+  ScopedNoAgg& operator=(const ScopedNoAgg&) = delete;
+
+ private:
+  bool prev_;
+};
+
+namespace detail {
+
 template <typename H>
 std::size_t sized(const H& h) {
   pup::Sizer s;
@@ -57,6 +89,7 @@ cxm::MessagePtr make_msg(std::uint32_t handler, int dst, const H& h) {
   pup::Packer pk(msg->data.data(), msg->data.size());
   pk | const_cast<H&>(h);
   detail::note_envelope(msg->data.size(), msg->data.is_inline());
+  detail::apply_send_flags(*msg);
   return msg;
 }
 
@@ -73,6 +106,7 @@ cxm::MessagePtr make_msg(std::uint32_t handler, int dst, const H& h,
   pk | const_cast<H&>(h);
   if (body_len > 0) pk.bytes(const_cast<std::byte*>(body), body_len);
   detail::note_envelope(msg->data.size(), msg->data.is_inline());
+  detail::apply_send_flags(*msg);
   return msg;
 }
 
@@ -100,6 +134,7 @@ cxm::MessagePtr make_msg_pup(std::uint32_t handler, int dst, const H& h,
   pk | const_cast<H&>(h);
   traverse(static_cast<pup::Er&>(pk));
   detail::note_envelope(msg->data.size(), msg->data.is_inline());
+  detail::apply_send_flags(*msg);
   return msg;
 }
 
@@ -115,6 +150,7 @@ cxm::MessagePtr make_msg_body(std::uint32_t handler, int dst, F&& traverse) {
   pup::Packer pk(msg->data.data(), msg->data.size());
   traverse(static_cast<pup::Er&>(pk));
   detail::note_envelope(msg->data.size(), msg->data.is_inline());
+  detail::apply_send_flags(*msg);
   return msg;
 }
 
@@ -128,6 +164,7 @@ inline cxm::MessagePtr clone_payload(std::uint32_t handler, int dst,
   msg->dst_pe = dst;
   msg->data = payload;
   detail::note_envelope(msg->data.size(), msg->data.is_inline());
+  detail::apply_send_flags(*msg);
   return msg;
 }
 

@@ -6,9 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "test_helpers.hpp"
+#include "trace/trace.hpp"
+#include "util/options.hpp"
 
 namespace {
 
@@ -274,6 +277,170 @@ TEST(Pool, WorksOnSimBackend) {
     }
     cx::exit();
   });
+}
+
+// ---------------------------------------------------------------------------
+// Task engine: chunked grants, stealing, priorities, backpressure.
+
+/// Restore the process-global pool configuration after each test (the
+/// whole suite shares one binary).
+struct PoolConfigGuard {
+  cxpool::PoolConfig saved = cxpool::config();
+  ~PoolConfigGuard() { cxpool::configure(saved); }
+};
+
+List iota(int n) {
+  List l;
+  for (int i = 0; i < n; ++i) l.emplace_back(i);
+  return l;
+}
+
+TEST(PoolEngine, ChunkedGrantsCollapseMasterTraffic) {
+  PoolConfigGuard guard;
+  cxpool::configure(cxpool::PoolConfig{});  // defaults: guided chunks
+  const int n = 2000;
+  run_program(sim_cfg(8), [n] {
+    Pool pool;
+    const Value r = pool.map("square", 7, iota(n));
+    ASSERT_EQ(r.length(), static_cast<std::uint64_t>(n));
+    for (int i = 0; i < n; ++i) {
+      ASSERT_EQ(r.item(Value(i)).as_int(),
+                static_cast<std::int64_t>(i) * i);
+    }
+    cx::exit();
+  });
+  const cx::trace::PoolStats s = cx::trace::pool_stats();
+  // Every task is granted exactly once (no failures, and steals move
+  // already-granted work without re-granting it)...
+  EXPECT_EQ(s.granted_tasks, static_cast<std::uint64_t>(n));
+  // ...in far fewer master round trips than the per-task protocol's n.
+  EXPECT_LT(s.grants, static_cast<std::uint64_t>(n) / 10);
+  EXPECT_GT(s.mean_chunk(), 10.0);
+  EXPECT_LT(s.result_batches, static_cast<std::uint64_t>(n));
+  EXPECT_EQ(s.tasks_done, static_cast<std::uint64_t>(n));
+}
+
+TEST(PoolEngine, StealingFiresOnSkewedCosts) {
+  cxpool::register_function("pool_skew", [](const Value& x) {
+    // The first quarter of the ids cost 5x: a contiguous-chunk split
+    // leaves the low-range holder straggling and forces steals.
+    cx::compute(x.as_int() < 1000 ? 5e-6 : 1e-6);
+    return Value(x.as_int() + 7);
+  });
+  PoolConfigGuard guard;
+  cxpool::configure(cxpool::PoolConfig{});
+  const int n = 4000;
+  run_program(sim_cfg(8), [n] {
+    Pool pool;
+    const Value r = pool.map("pool_skew", 7, iota(n));
+    ASSERT_EQ(r.length(), static_cast<std::uint64_t>(n));
+    for (int i = 0; i < n; ++i) {
+      ASSERT_EQ(r.item(Value(i)).as_int(), i + 7);
+    }
+    cx::exit();
+  });
+  const cx::trace::PoolStats s = cx::trace::pool_stats();
+  EXPECT_GT(s.steal_attempts, 0u);
+  EXPECT_GT(s.steal_hits, 0u);
+  EXPECT_GT(s.stolen_tasks, 0u);
+}
+
+TEST(PoolEngine, PriorityOrdersQueuedJobs) {
+  cxpool::register_function("pool_tick", [](const Value& x) {
+    cx::compute(1e-3);
+    return x;
+  });
+  PoolConfigGuard guard;
+  cxpool::configure(cxpool::PoolConfig{});
+  run_program(sim_cfg(2), [] {  // one worker: jobs run strictly serially
+    Pool pool;
+    // Job 0 occupies the worker; jobs 1 (low) and 2 (high) queue behind
+    // it. The high-priority job must start (and finish) first even
+    // though it was submitted last.
+    auto f0 = pool.submit("pool_tick", 1, iota(5), 0);
+    auto f1 = pool.submit("pool_tick", 1, iota(5), 0);
+    auto f2 = pool.submit("pool_tick", 1, iota(5), 5);
+    ASSERT_EQ(f0.get().length(), 5u);
+    ASSERT_EQ(f1.get().length(), 5u);
+    ASSERT_EQ(f2.get().length(), 5u);
+    cx::exit();
+  });
+  const auto recs = cx::trace::pool_job_records();
+  ASSERT_EQ(recs.size(), 3u);
+  double start1 = -1.0, start2 = -1.0;
+  for (const auto& r : recs) {
+    if (r.job_id == 1) start1 = r.start_t;
+    if (r.job_id == 2) start2 = r.start_t;
+  }
+  ASSERT_GE(start1, 0.0);
+  ASSERT_GE(start2, 0.0);
+  EXPECT_LT(start2, start1) << "high-priority job must start first";
+}
+
+TEST(PoolEngine, BackpressureBoundsInflightTasks) {
+  PoolConfigGuard guard;
+  cxpool::PoolConfig pc;
+  pc.max_inflight = 8;  // per-job outstanding-task budget
+  cxpool::configure(pc);
+  const int n = 500;
+  run_program(sim_cfg(4), [n] {
+    Pool pool;
+    const Value r = pool.map("square", 3, iota(n));
+    ASSERT_EQ(r.length(), static_cast<std::uint64_t>(n));
+    for (int i = 0; i < n; ++i) {
+      ASSERT_EQ(r.item(Value(i)).as_int(),
+                static_cast<std::int64_t>(i) * i);
+    }
+    cx::exit();
+  });
+  const cx::trace::PoolStats s = cx::trace::pool_stats();
+  // No grant may exceed the budget, and with 500 tasks through an
+  // 8-task window the clamp must have engaged.
+  EXPECT_LE(s.max_chunk, 8u);
+  EXPECT_GT(s.inflight_clamps, 0u);
+  EXPECT_EQ(s.tasks_done, static_cast<std::uint64_t>(n));
+}
+
+cxu::Options parse_flags(std::vector<std::string> args) {
+  args.insert(args.begin(), "test");
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (auto& a : args) argv.push_back(a.data());
+  return cxu::Options(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(PoolEngine, FlagsValidateStrictly) {
+  PoolConfigGuard guard;
+  cxpool::configure_from_options(
+      parse_flags({"--pool-chunk", "64", "--pool-max-inflight", "256",
+                   "--pool-quantum", "4", "--pool-batch", "32",
+                   "--pool-beat-ms", "12.5", "--pool-steal", "off",
+                   "--pool-steal-retries", "3"}));
+  EXPECT_EQ(cxpool::config().chunk, 64);
+  EXPECT_EQ(cxpool::config().max_inflight, 256);
+  EXPECT_EQ(cxpool::config().quantum, 4);
+  EXPECT_EQ(cxpool::config().result_batch, 32);
+  EXPECT_NEAR(cxpool::config().beat_s, 0.0125, 1e-9);
+  EXPECT_FALSE(cxpool::config().steal);
+  EXPECT_EQ(cxpool::config().steal_retries, 3);
+
+  // "auto" re-enables guided self-scheduling.
+  cxpool::configure_from_options(parse_flags({"--pool-chunk", "auto"}));
+  EXPECT_EQ(cxpool::config().chunk, 0);
+
+  // Malformed or out-of-range values throw instead of being swallowed.
+  EXPECT_ANY_THROW(cxpool::configure_from_options(
+      parse_flags({"--pool-chunk", "banana"})));
+  EXPECT_ANY_THROW(cxpool::configure_from_options(
+      parse_flags({"--pool-chunk", "-4"})));
+  EXPECT_ANY_THROW(cxpool::configure_from_options(
+      parse_flags({"--pool-quantum", "0"})));
+  EXPECT_ANY_THROW(cxpool::configure_from_options(
+      parse_flags({"--pool-batch", "0"})));
+  EXPECT_ANY_THROW(cxpool::configure_from_options(
+      parse_flags({"--pool-max-inflight", "-1"})));
+  EXPECT_ANY_THROW(cxpool::configure_from_options(
+      parse_flags({"--pool-beat-ms", "soon"})));
 }
 
 }  // namespace
