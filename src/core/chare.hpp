@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -172,6 +173,21 @@ class Chare {
   template <typename T>
   void contribute_gather(const T& value, const Callback& target);
 
+  /// Section-scoped contribution: fold `value` over the members of
+  /// `section` only (a SectionProxy obtained from
+  /// CollectionProxy::section). Multiple reductions per section may be
+  /// in flight — each call advances this element's per-section sequence
+  /// tag. Works from migrated elements: the fragment routes through the
+  /// member's home PE (its delegate in the section tree). Defined in
+  /// charm.hpp.
+  template <typename S, typename T>
+  void contribute(const S& section, const T& value, CombineId reducer,
+                  const Callback& target);
+
+  /// Section-scoped empty reduction (barrier over the section).
+  template <typename S>
+  void contribute(const S& section, const Callback& target);
+
  private:
   friend class Runtime;
   friend struct Runtime::Impl;
@@ -179,6 +195,8 @@ class Chare {
   CollectionId coll_ = kInvalidCollection;
   Index idx_;
   std::uint32_t red_no_ = 0;      ///< this element's next reduction number
+  /// Per-section reduction sequence tags (travel with migration).
+  std::map<std::uint64_t, std::uint32_t> sect_seq_;
   double load_ = 0.0;             ///< accumulated EM time since last LB
   bool migrate_pending_ = false;
   bool migrate_for_lb_ = false;

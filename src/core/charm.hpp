@@ -128,6 +128,20 @@ void Chare::contribute_gather(const T& value, const Callback& target) {
                            target);
 }
 
+template <typename S, typename T>
+void Chare::contribute(const S& section, const T& value, CombineId reducer,
+                       const Callback& target) {
+  T copy = value;
+  detail::section_contribute_bytes(*this, section.section_id(),
+                                   pup::to_bytes(copy), reducer, target);
+}
+
+template <typename S>
+void Chare::contribute(const S& section, const Callback& target) {
+  detail::section_contribute_bytes(*this, section.section_id(), {},
+                                   kNoCombine, target);
+}
+
 /// Callback targeting a future (usable as reduction target).
 template <typename T>
 Callback cb(const Future<T>& f) {

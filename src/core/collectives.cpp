@@ -83,11 +83,7 @@ void Runtime::Impl::on_bcast(MessagePtr msg) {
   const BcastHeader h = wire::read_header<BcastHeader>(msg->data, &args_off);
   auto& ps = me();
   const auto it = ps.colls.find(h.coll);
-  if (h.root != -2) {
-    std::vector<int> kids;
-    tree_children(mype(), h.root, P, kids);
-    for (int k : kids) rt_send(wire::clone_payload(h_bcast, k, msg->data));
-  }
+  if (h.root != -2) forward_tree(h_bcast, h.root, msg->data);
   if (it == ps.colls.end()) {
     // Keep local delivery for later; mark as forward-complete.
     BcastHeader h2 = h;
@@ -125,8 +121,15 @@ void Runtime::Impl::on_bcast_done(MessagePtr msg) {
   const auto key = std::make_pair(h.reply.pe, h.reply.fid);
   auto& count = ps.bcast_done_root[key];
   count += h.count;
-  if (count >= cit->second.info.size) {
+  // A proper-subset section multicast registers its own (smaller)
+  // completion expectation; whole-collection broadcasts — and
+  // all-members sections, which never register one — fire at info.size.
+  const auto eit = ps.bcast_expect.find(key);
+  const std::uint64_t expected =
+      eit != ps.bcast_expect.end() ? eit->second : cit->second.info.size;
+  if (count >= expected) {
     ps.bcast_done_root.erase(key);
+    if (eit != ps.bcast_expect.end()) ps.bcast_expect.erase(eit);
     send_future_bytes(h.reply, {});
   }
 }
@@ -152,7 +155,8 @@ void Runtime::Impl::on_reduce(MessagePtr msg) {
       rs.has_acc = true;
       rs.combiner = h.combiner;
     } else {
-      rs.acc = CombinerRegistry::instance().get(h.combiner)(rs.acc, value);
+      rs.acc = checked_combine(h.combiner, rs.acc, value, h.coll,
+                               h.contributor);
     }
   }
   if (h.cb.kind != Callback::Kind::Ignore) rs.cb = h.cb;
@@ -179,11 +183,7 @@ void Runtime::Impl::on_future(MessagePtr msg) {
 void Runtime::Impl::on_done_inserting(MessagePtr msg) {
   me().processed++;
   DoneInsertingHeader h = pup::from_bytes<DoneInsertingHeader>(msg->data);
-  std::vector<int> kids;
-  tree_children(mype(), h.root, P, kids);
-  for (int k : kids) {
-    rt_send(wire::clone_payload(h_done_inserting, k, msg->data));
-  }
+  forward_tree(h_done_inserting, h.root, msg->data);
   auto& ps = me();
   const auto cit = ps.colls.find(h.coll);
   const std::uint64_t n =
@@ -216,9 +216,7 @@ void Runtime::Impl::on_insert_count(MessagePtr msg) {
 void Runtime::Impl::on_set_size(MessagePtr msg) {
   me().processed++;
   SetSizeHeader h = pup::from_bytes<SetSizeHeader>(msg->data);
-  std::vector<int> kids;
-  tree_children(mype(), h.root, P, kids);
-  for (int k : kids) rt_send(wire::clone_payload(h_set_size, k, msg->data));
+  forward_tree(h_set_size, h.root, msg->data);
   auto& ps = me();
   const auto cit = ps.colls.find(h.coll);
   if (cit == ps.colls.end()) {
@@ -296,6 +294,7 @@ void contribute_bytes(Chare& chare, std::vector<std::byte> value,
   h.combiner = combiner;
   h.cb = target;
   h.count = 1;
+  h.contributor = chare.this_index();
   I.rt_send(
       wire::make_msg(I.h_reduce, static_cast<int>(h.coll) % I.P, h, value));
 }

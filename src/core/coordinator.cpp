@@ -93,9 +93,7 @@ void Runtime::Impl::on_lb_ack(MessagePtr msg) {
 void Runtime::Impl::on_lb_resume(MessagePtr msg) {
   me().processed++;
   LbResumeHeader h = pup::from_bytes<LbResumeHeader>(msg->data);
-  std::vector<int> kids;
-  tree_children(mype(), h.root, P, kids);
-  for (int k : kids) rt_send(wire::clone_payload(h_lb_resume, k, msg->data));
+  forward_tree(h_lb_resume, h.root, msg->data);
   auto& ps = me();
   const auto cit = ps.colls.find(h.coll);
   if (cit == ps.colls.end()) return;

@@ -94,13 +94,14 @@ void drop_envelope(void* env) noexcept {
 // ---- shared topology helpers ---------------------------------------------
 
 void tree_children(int self, int root, int num_pes, std::vector<int>& out) {
-  out.clear();
-  const int q = (self - root + num_pes) % num_pes;
-  const int lim = (q == 0) ? num_pes : (q & -q);
-  for (int mask = 1; mask < lim; mask <<= 1) {
-    const int child = q + mask;
-    if (child < num_pes) out.push_back((child + root) % num_pes);
-  }
+  tree::binomial_children(self, root, num_pes, out);
+}
+
+void Runtime::Impl::forward_tree(std::uint32_t handler, int root,
+                                 const wire::Buffer& payload) {
+  std::vector<int> kids;
+  tree_children(mype(), root, P, kids);
+  for (const int k : kids) rt_send(wire::clone_payload(handler, k, payload));
 }
 
 Index delinearize(std::uint64_t lin, const Index& dims) {

@@ -350,6 +350,7 @@ void Runtime::Impl::on_ckpt(MessagePtr msg) {
       ElementBlob eb;
       eb.idx = idx;
       eb.red_no = obj->red_no_;
+      eb.sect_seq = obj->sect_seq_;
       pup::Sizer sz;
       obj->pup(sz);
       eb.state.resize(sz.size());
@@ -376,6 +377,28 @@ void Runtime::Impl::on_ckpt(MessagePtr msg) {
     rb.cb = rs.cb;
     blob.reductions.push_back(std::move(rb));
   }
+  // Sections and in-flight section reductions (both std::maps: ordered,
+  // so the blob packs deterministically). The present/away delivery
+  // split is a cache and is not captured — restore rebuilds it lazily.
+  for (auto& [sid, sm] : ps.sections) {
+    (void)sid;
+    SectBlob sb;
+    sb.spec = sm.spec;
+    sb.epoch = sm.epoch;
+    blob.sections.push_back(std::move(sb));
+  }
+  for (auto& [key, rs] : ps.sect_red) {
+    SectRedBlob sb;
+    sb.sect = key.first;
+    sb.seq = key.second;
+    sb.count = rs.count;
+    sb.has_acc = rs.has_acc;
+    sb.acc = rs.acc;
+    sb.combiner = rs.combiner;
+    sb.cb = rs.cb;
+    blob.sect_reductions.push_back(std::move(sb));
+  }
+  blob.next_sect = ps.next_sect;
   auto bytes = pup::to_bytes(blob);
   CX_TRACE_EVENT(mype(), machine->now(), cx::trace::EventKind::FtCheckpoint,
                  h.epoch, bytes.size());
@@ -417,6 +440,13 @@ void Runtime::Impl::on_restore(MessagePtr msg) {
   ps.stash.clear();
   ps.red_root.clear();
   ps.bcast_done_root.clear();
+  // Like bcast_done_root: completion expectations describe post-
+  // checkpoint multicasts, and a replayed broadcast re-registers its
+  // own (same reply fid — next_future rolls back below).
+  ps.bcast_expect.clear();
+  ps.sections.clear();
+  ps.sect_red.clear();
+  ps.sect_stash.clear();
   ps.ins_count.clear();
   ps.size_acks.clear();
   if (mype() == 0) {
@@ -444,6 +474,7 @@ void Runtime::Impl::on_restore(MessagePtr msg) {
         pup::Unpacker u(eb.state.data(), eb.state.size());
         obj->pup(u);
         obj->red_no_ = eb.red_no;
+        obj->sect_seq_ = eb.sect_seq;
         obj->load_ = 0.0;
         cm.elements[eb.idx].reset(obj);
         obj->on_migrated();
@@ -459,6 +490,33 @@ void Runtime::Impl::on_restore(MessagePtr msg) {
       rs.cb = rb.cb;
       ps.red_root[{rb.coll, rb.red_no}] = std::move(rs);
     }
+    // Sections: re-derive home membership from the restored collection
+    // info; the present/away split rebuilds lazily on the next
+    // multicast (exactly like a post-migration repair).
+    for (auto& sb : blob.sections) {
+      SectMeta sm;
+      sm.spec = sb.spec;
+      sm.epoch = sb.epoch;
+      const auto cit = ps.colls.find(sb.spec.coll);
+      if (cit != ps.colls.end()) {
+        for (const Index& m : sm.spec.members) {
+          if (home_pe(cit->second.info, m, P) == mype()) {
+            sm.home_members.push_back(m);
+          }
+        }
+      }
+      ps.sections[sm.spec.id] = std::move(sm);
+    }
+    for (auto& sb : blob.sect_reductions) {
+      RedState rs;
+      rs.count = sb.count;
+      rs.has_acc = sb.has_acc;
+      rs.acc = sb.acc;
+      rs.combiner = sb.combiner;
+      rs.cb = sb.cb;
+      ps.sect_red[{sb.sect, sb.seq}] = std::move(rs);
+    }
+    ps.next_sect = blob.next_sect;
     // Roll the quiescence counters back too, so created/processed match
     // a run that never diverged from this checkpoint.
     ps.created = blob.created;

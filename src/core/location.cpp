@@ -115,11 +115,15 @@ void Runtime::Impl::do_migrate(Chare* obj, int to_pe, bool for_lb) {
   mh.idx = idx;
   mh.red_no = obj->red_no_;
   mh.for_lb = for_lb;
+  mh.sect_seq = obj->sect_seq_;
   auto out = wire::make_msg_pup(h_migrate, to_pe, mh,
                                 [&](pup::Er& p) { obj->pup(p); });
   // Remove locally, install forwarder, update the home PE.
   cm.elements.erase(idx);
   cm.overrides[idx] = to_pe;
+  // Any section counting this element among its local members must
+  // re-derive its delivery split: bump the epoch, repair lazily.
+  invalidate_section_routes(coll, idx);
   const int home = home_pe(cm.info, idx, P);
   if (home != mype()) {
     LocUpdateHeader lh;
@@ -137,11 +141,7 @@ void Runtime::Impl::on_create(MessagePtr msg) {
   me().processed++;
   CreateHeader h = pup::from_bytes<CreateHeader>(msg->data);
   // Forward down the creation tree first.
-  std::vector<int> kids;
-  tree_children(mype(), h.root, P, kids);
-  for (int k : kids) {
-    rt_send(wire::clone_payload(h_create, k, msg->data));
-  }
+  forward_tree(h_create, h.root, msg->data);
   auto& cm = me().colls[h.info.id];
   cm.info = h.info;
   switch (h.info.kind) {
@@ -185,9 +185,11 @@ void Runtime::Impl::on_migrate(MessagePtr msg) {
   staged_coll() = kInvalidCollection;
   obj->pup(u);
   obj->red_no_ = h.red_no;
+  obj->sect_seq_ = h.sect_seq;
   obj->load_ = 0.0;
   cm.elements[h.idx].reset(obj);
   cm.overrides.erase(h.idx);
+  invalidate_section_routes(h.coll, h.idx);
   CX_TRACE_EVENT(mype(), machine->now(), cx::trace::EventKind::MigrateIn,
                  h.coll, 0);
   obj->on_migrated();
@@ -215,6 +217,9 @@ void Runtime::Impl::on_loc(MessagePtr msg) {
   } else {
     cm.overrides[h.idx] = h.pe;
   }
+  // The home PE is the section tree node responsible for this member;
+  // its cached delivery split just went stale.
+  invalidate_section_routes(h.coll, h.idx);
   flush_pending(cm, h.idx);
 }
 

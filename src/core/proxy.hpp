@@ -98,6 +98,68 @@ class ElementProxy {
   Index idx_;
 };
 
+/// Proxy to a *section* — an arbitrary index subset of a chare array
+/// (obtained from CollectionProxy::section). Multicasts travel a k-ary
+/// spanning tree over just the PEs hosting members; section-scoped
+/// reductions climb the same tree. Plain value: copyable, PUPable,
+/// passable as an entry-method argument — members typically receive
+/// their section proxy that way and contribute to it.
+template <typename C>
+class SectionProxy {
+ public:
+  SectionProxy() = default;
+
+  /// Invoke M on every member of the section (multicast).
+  template <auto M, typename... Us>
+  void broadcast(Us&&... us) const {
+    detail::section_broadcast(sect_, coll_, root_, ep_id<M>(),
+                              detail::make_args<M, C>(std::forward<Us>(us)...),
+                              {});
+  }
+
+  /// Multicast M and obtain a future that completes (with no value)
+  /// once every member has executed it.
+  template <auto M, typename... Us>
+  [[nodiscard]] Future<void> broadcast_done(Us&&... us) const {
+    const ReplyTo slot = detail::make_future_slot();
+    detail::section_broadcast(sect_, coll_, root_, ep_id<M>(),
+                              detail::make_args<M, C>(std::forward<Us>(us)...),
+                              slot);
+    return Future<void>(slot);
+  }
+
+  /// The section id (distinct namespace from collection ids).
+  [[nodiscard]] std::uint64_t section_id() const noexcept { return sect_; }
+  [[nodiscard]] CollectionId collection() const noexcept { return coll_; }
+  /// Number of (deduplicated) members.
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+  [[nodiscard]] bool valid() const noexcept { return sect_ != 0; }
+
+  bool operator==(const SectionProxy& o) const {
+    return sect_ == o.sect_ && coll_ == o.coll_;
+  }
+
+  void pup(pup::Er& p) {
+    p | sect_;
+    p | coll_;
+    p | size_;
+    p | root_;
+  }
+
+ private:
+  template <typename>
+  friend class CollectionProxy;
+
+  SectionProxy(std::uint64_t sect, CollectionId coll, std::uint64_t size,
+               std::int32_t root)
+      : sect_(sect), coll_(coll), size_(size), root_(root) {}
+
+  std::uint64_t sect_ = 0;
+  CollectionId coll_ = kInvalidCollection;
+  std::uint64_t size_ = 0;
+  std::int32_t root_ = -1;
+};
+
 /// Proxy to a whole collection (Array or Group).
 template <typename C>
 class CollectionProxy {
@@ -149,6 +211,16 @@ class CollectionProxy {
     auto args = std::make_tuple(std::decay_t<Us>(std::forward<Us>(us))...);
     detail::sparse_insert(coll_, idx, factory_id<C, std::decay_t<Us>...>(),
                           pup::to_bytes(args), pe);
+  }
+
+  /// Build a section over an arbitrary index subset of this array.
+  /// Creation is asynchronous; the returned proxy is usable
+  /// immediately (early operations are stashed until the section's
+  /// build reaches the involved PEs).
+  [[nodiscard]] SectionProxy<C> section(std::vector<Index> indices) const {
+    const detail::SectionHandle h =
+        detail::section_create(coll_, std::move(indices));
+    return SectionProxy<C>(h.id, coll_, h.size, h.root);
   }
 
   /// Finish sparse insertion (paper: ckDoneInserting). The returned

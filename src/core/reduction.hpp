@@ -19,6 +19,7 @@
 #include <deque>
 #include <functional>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/ids.hpp"
@@ -71,7 +72,10 @@ void apply_elementwise(T& a, const T& b, Op op) {
 template <typename U, typename Op>
 void apply_elementwise(std::vector<U>& a, const std::vector<U>& b, Op op) {
   if (a.size() != b.size()) {
-    throw std::invalid_argument("reduction: mismatched vector lengths");
+    throw std::invalid_argument(
+        "reduction: mismatched vector lengths (accumulator has " +
+        std::to_string(a.size()) + " elements, contribution has " +
+        std::to_string(b.size()) + ")");
   }
   for (std::size_t i = 0; i < a.size(); ++i) op(a[i], b[i]);
 }
@@ -122,6 +126,25 @@ struct OrOp {
 };
 
 }  // namespace detail
+
+/// Run a registered combiner and, if it throws std::invalid_argument
+/// (e.g. apply_elementwise on mismatched vector lengths), rethrow with
+/// the contributing element's collection and index attached. The fold
+/// handlers route every combine through this so a bad contribution is
+/// attributable instead of a bare "mismatched lengths".
+inline std::vector<std::byte> checked_combine(CombineId combiner,
+                                              const std::vector<std::byte>& acc,
+                                              const std::vector<std::byte>& value,
+                                              CollectionId coll,
+                                              const Index& contributor) {
+  try {
+    return CombinerRegistry::instance().get(combiner)(acc, value);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(std::string(e.what()) + " [collection " +
+                                std::to_string(coll) + ", contributing element " +
+                                contributor.to_string() + "]");
+  }
+}
 
 namespace reducer {
 

@@ -76,6 +76,12 @@ void Runtime::Impl::register_handlers() {
   h_hb_tick = reg(&Impl::on_hb_tick);
   h_ft_notice = reg(&Impl::on_ft_notice);
   h_ft_round_done = reg(&Impl::on_ft_round_done);
+  // Section handlers (PR 9) append after the ft block for the same
+  // wire-stability reason.
+  h_sect_build = reg(&Impl::on_sect_build);
+  h_sect_bcast = reg(&Impl::on_sect_bcast);
+  h_sect_reduce = reg(&Impl::on_sect_reduce);
+  h_sect_expect = reg(&Impl::on_sect_expect);
 }
 
 // ---------------------------------------------------------------------------

@@ -33,6 +33,7 @@
 #include "core/registry.hpp"
 #include "core/runtime.hpp"
 #include "core/send_iface.hpp"
+#include "core/spantree.hpp"
 #include "fiber/fiber.hpp"
 #include "ft/ft.hpp"
 #include "machine/machine.hpp"
@@ -77,6 +78,13 @@ using wire::RedBlob;
 using wire::ReduceHeader;
 using wire::RestoreAckHeader;
 using wire::RestoreHeader;
+using wire::SectBcastHeader;
+using wire::SectBlob;
+using wire::SectBuildHeader;
+using wire::SectExpectHeader;
+using wire::SectionSpec;
+using wire::SectRedBlob;
+using wire::SectReduceHeader;
 using wire::SetSizeHeader;
 using wire::SizeAckHeader;
 
@@ -144,7 +152,8 @@ struct EnvelopeDeleter {
 using EnvelopePtr = std::unique_ptr<LocalEnvelope, EnvelopeDeleter>;
 
 /// Binomial-tree children of `self` in a broadcast rooted at `root`
-/// (delivery.cpp).
+/// (delivery.cpp; the math lives in core/spantree.hpp and is shared
+/// with the section SpanningTree).
 void tree_children(int self, int root, int num_pes, std::vector<int>& out);
 
 Index delinearize(std::uint64_t lin, const Index& dims);
@@ -164,6 +173,23 @@ struct RedState {
   std::vector<std::byte> acc;
   CombineId combiner = kNoCombine;
   Callback cb;
+};
+
+/// Per-PE view of a section (sections.cpp). The spec is identical on
+/// every involved PE; the delivery split (which home members are
+/// physically present vs migrated away) is a cache that migration
+/// invalidates by bumping `epoch` — the next multicast rebuilds it
+/// (counted as a tree repair).
+struct SectMeta {
+  wire::SectionSpec spec;
+  /// Members homed on this PE (static under migration: home_pe never
+  /// changes). Computed once at build.
+  std::vector<Index> home_members;
+  std::uint64_t epoch = 0;        ///< bumped by migrations touching members
+  std::uint64_t routes_epoch = 0; ///< epoch the split below was built at
+  bool routes_built = false;
+  std::vector<Index> present;  ///< home members with a live local element
+  std::vector<Index> away;     ///< home members migrated off this PE
 };
 
 struct FutureSlot {
@@ -187,6 +213,24 @@ struct PeState {
   std::map<std::pair<CollectionId, std::uint32_t>, RedState> red_root;
   /// Broadcast-completion counts, keyed (reply.pe, reply.fid).
   std::map<std::pair<std::int32_t, FutureId>, std::uint64_t> bcast_done_root;
+  /// Section completion expectations registered by the section tree
+  /// root for broadcast_done over a proper subset: the credit count to
+  /// fire at instead of info.size. All-members sections never register
+  /// one (the info.size path is already correct), which keeps the two
+  /// completion sources race-free. Ordered for checkpoint determinism.
+  std::map<std::pair<std::int32_t, FutureId>, std::uint64_t> bcast_expect;
+  /// Sections this PE participates in (or created), keyed by id.
+  /// Ordered so checkpoint blobs pack deterministically.
+  std::map<std::uint64_t, SectMeta> sections;
+  /// Section-reduction fold state at this tree node, keyed (section,
+  /// seq). Multiple in-flight reductions per section = multiple seqs.
+  std::map<std::pair<std::uint64_t, std::uint32_t>, RedState> sect_red;
+  /// Messages for sections whose build hasn't reached this PE yet.
+  std::unordered_map<std::uint64_t, std::vector<MessagePtr>> sect_stash;
+  /// Per-PE section-id allocator (id = pe<<32 | ++next_sect); rolled
+  /// back by restore like next_future so replayed creations after a
+  /// recovery reuse the same ids a fault-free run hands out.
+  std::uint64_t next_sect = 0;
   /// Sparse-array size gathering, keyed by collection: (total, reports).
   std::unordered_map<CollectionId, std::pair<std::uint64_t, int>> ins_count;
   /// SetSize acknowledgment counts (done_inserting completion).
@@ -219,7 +263,8 @@ struct Runtime::Impl {
                 h_qd_start = 0, h_qd_probe = 0, h_qd_reply = 0,
                 h_ft_failure = 0, h_ckpt = 0, h_ckpt_ack = 0, h_restore = 0,
                 h_restore_ack = 0, h_heartbeat = 0, h_hb_tick = 0,
-                h_ft_notice = 0, h_ft_round_done = 0;
+                h_ft_notice = 0, h_ft_round_done = 0, h_sect_build = 0,
+                h_sect_bcast = 0, h_sect_reduce = 0, h_sect_expect = 0;
 
   // LB coordinator state (touched on PE 0 only).
   struct LbCollState {
@@ -291,6 +336,12 @@ struct Runtime::Impl {
   [[nodiscard]] int mype() const { return machine->current_pe(); }
 
   std::uint32_t next_red_no(Chare& c) { return c.red_no_++; }
+
+  /// Per-section reduction sequence on a contributing element: the tag
+  /// that keeps multiple in-flight reductions over one section apart.
+  std::uint32_t next_sect_seq(Chare& c, std::uint64_t sect) {
+    return c.sect_seq_[sect]++;
+  }
 
   PeState& me() {
     const int pe = mype();
@@ -374,6 +425,29 @@ struct Runtime::Impl {
     }
   }
 
+  /// Forward an already-packed payload to this PE's children in the
+  /// binomial broadcast tree rooted at `root` (delivery.cpp). One
+  /// definition for what used to be a copy-pasted tree_children +
+  /// clone_payload loop at every broadcast-shaped handler.
+  void forward_tree(std::uint32_t handler, int root, const wire::Buffer& payload);
+
+  // ---- sections (sections.cpp) -------------------------------------------
+
+  /// The k-ary tree over the PEs hosting members of `spec`.
+  [[nodiscard]] tree::SpanningTree section_tree(const SectionSpec& spec) const;
+  /// Contributions the subtree rooted at this PE must fold before the
+  /// combined fragment may travel up (member count per involved PE,
+  /// summed over the subtree positions).
+  [[nodiscard]] std::uint64_t sect_subtree_expected(const SectionSpec& spec) const;
+  /// Install a section meta on this PE (idempotent) and flush stashes.
+  SectMeta& install_section(const SectionSpec& spec);
+  /// Rebuild the present/away delivery split if migration invalidated
+  /// it (counts a tree repair in the section stats).
+  void sect_refresh_routes(SectMeta& sm, CollMeta& cm);
+  /// Bump the epoch of every section of `coll` containing `idx` —
+  /// called by migration (out, in, and location updates).
+  void invalidate_section_routes(CollectionId coll, const Index& idx);
+
   // ---- fibers / delivery (delivery.cpp) ----------------------------------
 
   void run_fiber(std::function<void()> body, Chare* owner);
@@ -451,6 +525,11 @@ struct Runtime::Impl {
   void on_hb_tick(MessagePtr msg);
   void on_ft_notice(MessagePtr msg);
   void on_ft_round_done(MessagePtr msg);
+  // sections.cpp
+  void on_sect_build(MessagePtr msg);
+  void on_sect_bcast(MessagePtr msg);
+  void on_sect_reduce(MessagePtr msg);
+  void on_sect_expect(MessagePtr msg);
   /// Re-fire every armed timer token on this PE (uncounted, idempotent)
   /// so fibers suspended in timed waits re-check their condition now.
   void wake_armed_timers();

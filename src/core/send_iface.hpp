@@ -66,6 +66,36 @@ ReplyTo make_future_slot();
 void contribute_bytes(Chare& chare, std::vector<std::byte> value,
                       CombineId combiner, const Callback& target);
 
+// ---- sections (sections.cpp) ---------------------------------------------
+
+/// What a SectionProxy needs to operate: the id, the deduplicated
+/// member count, and the section tree's root PE (first involved PE).
+struct SectionHandle {
+  std::uint64_t id = 0;
+  std::uint64_t size = 0;
+  std::int32_t root = -1;
+};
+
+/// Build a section over `members` of `coll`: allocates the id, computes
+/// the spanning tree over the members' home PEs, and ships the spec
+/// down that tree. Returns immediately (construction is async; early
+/// multicasts/contributions stash at nodes that don't know the section
+/// yet).
+SectionHandle section_create(CollectionId coll, std::vector<Index> members);
+
+/// Multicast an entry method over a section. If `reply` is valid it is
+/// fulfilled (empty) once every member has executed.
+void section_broadcast(std::uint64_t sect, CollectionId coll,
+                       std::int32_t root, EpId ep, ArgsCarrier args,
+                       const ReplyTo& reply);
+
+/// Contribute packed data to a section-scoped reduction. The fragment
+/// routes through the element's home PE — its delegate node in the
+/// section tree — so it works unchanged from a migrated element.
+void section_contribute_bytes(Chare& chare, std::uint64_t sect,
+                              std::vector<std::byte> value,
+                              CombineId combiner, const Callback& target);
+
 /// Argument-tuple PUP traversal instantiated per tuple type.
 template <typename Tuple>
 void pup_tuple(void* t, pup::Er& p) {

@@ -1,0 +1,159 @@
+#pragma once
+// Shared spanning-tree math for the collectives stack.
+//
+// Two tree shapes live here:
+//
+//  * binomial_children — the hypercube dissemination order used by
+//    whole-collection broadcasts, collection creation, and LB resume.
+//    The math used to be copy-pasted at every forward site; it now has
+//    exactly one definition (unit-tested in test_spantree).
+//
+//  * SpanningTree — a k-ary tree laid out over an explicit, sorted PE
+//    list. Sections build one over the PEs that actually host section
+//    members, so a multicast to a 16-member section of a 1024-PE array
+//    touches only the PEs with members on them. The same tree carries
+//    reduction fragments up its edges. Fanout comes from
+//    --section-tree-arity (section_arity() below) and is frozen into
+//    each SectionSpec at creation so every node agrees.
+//
+// Everything here is pure position math — no runtime state — so the
+// unit tests exercise it without spinning up PEs.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace cx::tree {
+
+/// Children of `self` in the binomial broadcast tree rooted at `root`
+/// over PEs 0..num_pes-1. Rotating by `root` keeps the tree balanced
+/// for any root without renumbering PEs.
+inline void binomial_children(int self, int root, int num_pes,
+                              std::vector<int>& out) {
+  out.clear();
+  const int q = (self - root + num_pes) % num_pes;
+  const int lim = (q == 0) ? num_pes : (q & -q);
+  for (int mask = 1; mask < lim; mask <<= 1) {
+    const int child = q + mask;
+    if (child < num_pes) out.push_back((child + root) % num_pes);
+  }
+}
+
+/// Parent position in a k-ary heap layout over positions 0..n-1
+/// (-1 for the root or an invalid position).
+inline int kary_parent(int pos, int arity) {
+  if (pos <= 0 || arity < 1) return -1;
+  return (pos - 1) / arity;
+}
+
+/// Child positions of `pos` in a k-ary heap layout over 0..n-1.
+inline void kary_children(int pos, int n, int arity, std::vector<int>& out) {
+  out.clear();
+  if (pos < 0 || pos >= n || arity < 1) return;
+  // Guard the multiply: positions are ints but n is bounded by the PE
+  // count, so first_child overflows only for absurd inputs; the
+  // 64-bit intermediate keeps the comparison exact anyway.
+  const std::int64_t first = static_cast<std::int64_t>(pos) * arity + 1;
+  for (int k = 0; k < arity; ++k) {
+    const std::int64_t child = first + k;
+    if (child >= n) break;
+    out.push_back(static_cast<int>(child));
+  }
+}
+
+/// Sum of `weight[p]` over every position p in the subtree rooted at
+/// `pos`. Sections use this for reduction bookkeeping: a tree node can
+/// tell, purely from the (deterministic) member-to-PE assignment, how
+/// many contributions its subtree must fold before the combined
+/// fragment may travel up to the parent.
+inline std::uint64_t kary_subtree_sum(int pos, int n, int arity,
+                                      const std::vector<std::uint64_t>& weight) {
+  if (pos < 0 || pos >= n || static_cast<std::size_t>(n) > weight.size()) {
+    return 0;
+  }
+  std::uint64_t sum = 0;
+  std::vector<int> stack{pos};
+  std::vector<int> kids;
+  while (!stack.empty()) {
+    const int p = stack.back();
+    stack.pop_back();
+    sum += weight[static_cast<std::size_t>(p)];
+    kary_children(p, n, arity, kids);
+    stack.insert(stack.end(), kids.begin(), kids.end());
+  }
+  return sum;
+}
+
+/// k-ary spanning tree over an explicit PE list (sorted ascending,
+/// duplicates removed by the builder). Position i in `pes` occupies
+/// heap slot i; the root is pes[0].
+struct SpanningTree {
+  std::vector<int> pes;
+  int arity = 4;
+
+  [[nodiscard]] int size() const {
+    return static_cast<int>(pes.size());
+  }
+
+  [[nodiscard]] int root() const { return pes.empty() ? -1 : pes.front(); }
+
+  /// Position of `pe` in the tree, or -1 if it is not a member.
+  [[nodiscard]] int pos_of(int pe) const {
+    const auto it = std::lower_bound(pes.begin(), pes.end(), pe);
+    if (it == pes.end() || *it != pe) return -1;
+    return static_cast<int>(it - pes.begin());
+  }
+
+  /// Parent PE of `pe` (-1 for the root or a non-member).
+  [[nodiscard]] int parent_of(int pe) const {
+    const int pos = pos_of(pe);
+    const int pp = kary_parent(pos, arity);
+    return pp < 0 ? -1 : pes[static_cast<std::size_t>(pp)];
+  }
+
+  /// Child PEs of `pe` in the tree (empty for leaves and non-members).
+  void children_of(int pe, std::vector<int>& out) const {
+    out.clear();
+    const int pos = pos_of(pe);
+    if (pos < 0) return;
+    std::vector<int> kid_pos;
+    kary_children(pos, size(), arity, kid_pos);
+    out.reserve(kid_pos.size());
+    for (const int p : kid_pos) out.push_back(pes[static_cast<std::size_t>(p)]);
+  }
+};
+
+/// Build a tree over a (possibly unsorted, possibly duplicated) PE
+/// list. Sorting makes the layout canonical: every node derives the
+/// identical tree from the same member set.
+inline SpanningTree make_spanning_tree(std::vector<int> pes, int arity) {
+  std::sort(pes.begin(), pes.end());
+  pes.erase(std::unique(pes.begin(), pes.end()), pes.end());
+  SpanningTree t;
+  t.pes = std::move(pes);
+  t.arity = arity < 1 ? 1 : arity;
+  return t;
+}
+
+namespace detail {
+inline std::atomic<int>& section_arity_slot() noexcept {
+  static std::atomic<int> v{4};
+  return v;
+}
+}  // namespace detail
+
+/// Process-wide default fanout for new section trees
+/// (--section-tree-arity in the examples/benches). Captured into each
+/// SectionSpec at creation time, so changing it never re-shapes a tree
+/// that is already live.
+[[nodiscard]] inline int section_arity() noexcept {
+  return detail::section_arity_slot().load(std::memory_order_relaxed);
+}
+
+inline void set_section_arity(int arity) noexcept {
+  detail::section_arity_slot().store(arity < 1 ? 1 : arity,
+                                     std::memory_order_relaxed);
+}
+
+}  // namespace cx::tree

@@ -19,6 +19,7 @@ std::atomic<bool> g_enabled{false};
 WireAtomics g_wire;
 WhenAtomics g_when;
 PoolAtomics g_pool;
+SectionAtomics g_section;
 
 void PoolAtomics::note_task(std::uint64_t ns) noexcept {
   tasks_done.fetch_add(1, std::memory_order_relaxed);
@@ -175,6 +176,32 @@ void reset_wire_stats() noexcept {
   w.agg_flush_count.store(0, std::memory_order_relaxed);
   w.agg_flush_idle.store(0, std::memory_order_relaxed);
   w.agg_flush_order.store(0, std::memory_order_relaxed);
+}
+
+SectionStats section_stats() noexcept {
+  const auto& s = detail::g_section;
+  SectionStats out;
+  out.sections_built = s.sections_built.load(std::memory_order_relaxed);
+  out.tree_repairs = s.tree_repairs.load(std::memory_order_relaxed);
+  out.mcasts = s.mcasts.load(std::memory_order_relaxed);
+  out.mcast_envelopes = s.mcast_envelopes.load(std::memory_order_relaxed);
+  out.envelopes_saved = s.envelopes_saved.load(std::memory_order_relaxed);
+  out.contributions = s.contributions.load(std::memory_order_relaxed);
+  out.red_fragments = s.red_fragments.load(std::memory_order_relaxed);
+  out.reductions_done = s.reductions_done.load(std::memory_order_relaxed);
+  return out;
+}
+
+void reset_section_stats() noexcept {
+  auto& s = detail::g_section;
+  s.sections_built.store(0, std::memory_order_relaxed);
+  s.tree_repairs.store(0, std::memory_order_relaxed);
+  s.mcasts.store(0, std::memory_order_relaxed);
+  s.mcast_envelopes.store(0, std::memory_order_relaxed);
+  s.envelopes_saved.store(0, std::memory_order_relaxed);
+  s.contributions.store(0, std::memory_order_relaxed);
+  s.red_fragments.store(0, std::memory_order_relaxed);
+  s.reductions_done.store(0, std::memory_order_relaxed);
 }
 
 namespace {
@@ -495,6 +522,7 @@ void begin_run(int num_pes, bool simulated) {
   reset_wire_stats();
   reset_when_stats();
   reset_pool_stats();
+  reset_section_stats();
   if (!s.cfg.enabled) return;
   // Rings are allocated eagerly, so clamp the per-PE capacity to keep the
   // total bounded when a simulated run uses thousands of virtual PEs
@@ -649,6 +677,15 @@ std::string summary_table() {
        << w.agg_flush_count << " count / " << w.agg_flush_idle << " idle / "
        << w.agg_flush_order << " ordering\n";
   }
+  const SectionStats ss = section_stats();
+  if (ss.sections_built + ss.mcasts + ss.contributions > 0) {
+    os << "\ncx::sections: " << ss.sections_built << " built, " << ss.mcasts
+       << " multicasts (" << ss.mcast_envelopes << " envelopes, "
+       << ss.envelopes_saved << " saved vs broadcast), " << ss.contributions
+       << " contributions in " << ss.reductions_done << " reductions ("
+       << ss.red_fragments << " fragments), " << ss.tree_repairs
+       << " tree repairs\n";
+  }
   const PoolStats ps = pool_stats();
   if (ps.tasks_done + ps.grants > 0) {
     os << "\ncx::pool: " << ps.tasks_done << " tasks in " << ps.grants
@@ -729,6 +766,15 @@ void write_json(std::ostream& os) {
      << ",\"agg_flush_count\":" << w.agg_flush_count
      << ",\"agg_flush_idle\":" << w.agg_flush_idle
      << ",\"agg_flush_order\":" << w.agg_flush_order << "}";
+  const SectionStats sect = section_stats();
+  os << ",\"sections\":{\"sections_built\":" << sect.sections_built
+     << ",\"tree_repairs\":" << sect.tree_repairs
+     << ",\"mcasts\":" << sect.mcasts
+     << ",\"mcast_envelopes\":" << sect.mcast_envelopes
+     << ",\"envelopes_saved\":" << sect.envelopes_saved
+     << ",\"contributions\":" << sect.contributions
+     << ",\"red_fragments\":" << sect.red_fragments
+     << ",\"reductions_done\":" << sect.reductions_done << "}";
   const PoolStats pool = pool_stats();
   os << ",\"pool\":{\"grants\":" << pool.grants
      << ",\"granted_tasks\":" << pool.granted_tasks
@@ -790,6 +836,7 @@ void reset() {
   reset_wire_stats();
   reset_when_stats();
   reset_pool_stats();
+  reset_section_stats();
   detail::g_enabled.store(false, std::memory_order_relaxed);
 }
 

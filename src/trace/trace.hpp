@@ -399,6 +399,48 @@ extern WireAtomics g_wire;
 /// Zero the wire counters (begin_run does this too).
 void reset_wire_stats() noexcept;
 
+// ---- chare-array section counters ----------------------------------------
+//
+// The section layer (core/sections.cpp) reports its work here: sections
+// built, spanning-tree repairs after migration, multicasts and the
+// envelopes they cost vs what a naive whole-collection broadcast would
+// have cost, and section-reduction traffic. Always on (relaxed atomic
+// adds) so bench/micro_section A/B runs work without --trace.
+
+struct SectionStats {
+  std::uint64_t sections_built = 0;   ///< section_create calls
+  std::uint64_t tree_repairs = 0;     ///< delivery splits rebuilt post-migration
+  std::uint64_t mcasts = 0;           ///< multicasts initiated
+  std::uint64_t mcast_envelopes = 0;  ///< envelopes sent by section multicast
+  /// Envelopes a naive broadcast+filter would have needed minus what the
+  /// section tree used, accumulated at the tree root per multicast.
+  std::uint64_t envelopes_saved = 0;
+  std::uint64_t contributions = 0;    ///< section contribute calls
+  std::uint64_t red_fragments = 0;    ///< combined fragments sent up tree edges
+  std::uint64_t reductions_done = 0;  ///< section reductions delivered at root
+};
+
+namespace detail {
+struct SectionAtomics {
+  std::atomic<std::uint64_t> sections_built{0};
+  std::atomic<std::uint64_t> tree_repairs{0};
+  std::atomic<std::uint64_t> mcasts{0};
+  std::atomic<std::uint64_t> mcast_envelopes{0};
+  std::atomic<std::uint64_t> envelopes_saved{0};
+  std::atomic<std::uint64_t> contributions{0};
+  std::atomic<std::uint64_t> red_fragments{0};
+  std::atomic<std::uint64_t> reductions_done{0};
+};
+extern SectionAtomics g_section;
+}  // namespace detail
+
+/// Snapshot of the section counters accumulated since the last
+/// begin_run()/reset_section_stats().
+[[nodiscard]] SectionStats section_stats() noexcept;
+
+/// Zero the section counters (begin_run does this too).
+void reset_section_stats() noexcept;
+
 struct Config {
   bool enabled = false;
   std::string out_path = "trace.json";

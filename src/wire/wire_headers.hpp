@@ -12,6 +12,7 @@
 // layouts casually.
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "core/collection.hpp"
@@ -64,19 +65,24 @@ struct BcastDoneHeader {
   }
 };
 
-/// Reduction fragment; body = partial accumulator bytes.
+/// Reduction fragment; body = partial accumulator bytes. `contributor`
+/// identifies the element the fragment came from (a representative for
+/// combined fragments) so combiner failures — e.g. mismatched vector
+/// lengths — can say who sent the offending piece.
 struct ReduceHeader {
   CollectionId coll = kInvalidCollection;
   std::uint32_t red_no = 0;
   CombineId combiner = kNoCombine;
   Callback cb;
   std::uint64_t count = 0;
+  Index contributor;
   void pup(pup::Er& p) {
     p | coll;
     p | red_no;
     p | combiner;
     p | cb;
     p | count;
+    p | contributor;
   }
 };
 
@@ -86,17 +92,21 @@ struct FutureHeader {
   void pup(pup::Er& p) { p | fid; }
 };
 
-/// Element migration; body = the chare's pup()'d state.
+/// Element migration; body = the chare's pup()'d state. `sect_seq`
+/// carries the per-section reduction sequence counters so an element's
+/// section contributions stay correctly tagged across the move.
 struct MigrateHeader {
   CollectionId coll = kInvalidCollection;
   Index idx;
   std::uint32_t red_no = 0;
   bool for_lb = false;
+  std::map<std::uint64_t, std::uint32_t> sect_seq;
   void pup(pup::Er& p) {
     p | coll;
     p | idx;
     p | red_no;
     p | for_lb;
+    p | sect_seq;
   }
 };
 
@@ -227,6 +237,95 @@ struct CreateHeader {
   }
 };
 
+// ---- chare-array sections ------------------------------------------------
+// A section is a first-class handle over an arbitrary index subset of a
+// chare array. The spec is the single source of truth: every involved
+// PE derives the identical k-ary spanning tree (over the distinct home
+// PEs of the members, sorted) and the identical member-to-node
+// assignment from it, so no per-edge routing state ever travels.
+
+struct SectionSpec {
+  std::uint64_t id = 0;  ///< (creator_pe << 32) | per-PE counter
+  CollectionId coll = kInvalidCollection;
+  std::vector<Index> members;  ///< sorted, duplicates removed
+  std::int32_t arity = 4;      ///< tree fanout, frozen at creation
+  void pup(pup::Er& p) {
+    p | id;
+    p | coll;
+    p | members;
+    p | arity;
+  }
+};
+
+/// Section construction, forwarded down the section's own tree.
+/// `down` is false on the creator's initial self-routed message (which
+/// may have to detour to the tree root first) and true once the spec is
+/// descending the tree proper.
+struct SectBuildHeader {
+  SectionSpec spec;
+  bool down = false;
+  void pup(pup::Er& p) {
+    p | spec;
+    p | down;
+  }
+};
+
+/// Section multicast; body = packed argument tuple. Travels initiator →
+/// tree root (`down` false) → down the k-ary tree (`down` true); each
+/// node delivers to the members homed on it (routing through overrides
+/// for migrated ones).
+struct SectBcastHeader {
+  std::uint64_t sect = 0;
+  CollectionId coll = kInvalidCollection;
+  EpId ep = 0;
+  ReplyTo reply;  ///< completion slot for broadcast_done
+  bool down = false;
+  void pup(pup::Er& p) {
+    p | sect;
+    p | coll;
+    p | ep;
+    p | reply;
+    p | down;
+  }
+};
+
+/// Section-reduction fragment travelling up the tree; body = partial
+/// accumulator bytes. `seq` is the per-section sequence tag (multiple
+/// reductions per section may be in flight); `contributor` names the
+/// element (or a representative) for error reporting.
+struct SectReduceHeader {
+  std::uint64_t sect = 0;
+  CollectionId coll = kInvalidCollection;
+  std::uint32_t seq = 0;
+  CombineId combiner = kNoCombine;
+  Callback cb;
+  std::uint64_t count = 0;
+  Index contributor;
+  void pup(pup::Er& p) {
+    p | sect;
+    p | coll;
+    p | seq;
+    p | combiner;
+    p | cb;
+    p | count;
+    p | contributor;
+  }
+};
+
+/// Completion expectation for a proper-subset broadcast_done: the
+/// section tree root tells the collection's completion PE (coll % P)
+/// how many delivery credits make this broadcast complete.
+struct SectExpectHeader {
+  CollectionId coll = kInvalidCollection;
+  ReplyTo reply;
+  std::uint64_t expected = 0;
+  void pup(pup::Er& p) {
+    p | coll;
+    p | reply;
+    p | expected;
+  }
+};
+
 // ---- cx::ft wire headers -------------------------------------------------
 
 struct FtFailureHeader {
@@ -302,10 +401,13 @@ struct ElementBlob {
   Index idx;
   std::uint32_t red_no = 0;
   std::vector<std::byte> state;  ///< the chare's own pup()
+  /// Per-section reduction sequence counters (std::map: ordered).
+  std::map<std::uint64_t, std::uint32_t> sect_seq;
   void pup(pup::Er& p) {
     p | idx;
     p | red_no;
     p | state;
+    p | sect_seq;
   }
 };
 
@@ -348,18 +450,57 @@ struct RedBlob {
   }
 };
 
+/// Section membership + epoch on one PE. The present/away delivery
+/// split is a cache and is NOT captured: restore rebuilds it lazily on
+/// the next multicast, exactly like a post-migration repair.
+struct SectBlob {
+  SectionSpec spec;
+  std::uint64_t epoch = 0;
+  void pup(pup::Er& p) {
+    p | spec;
+    p | epoch;
+  }
+};
+
+/// In-flight section-reduction fold state at one tree node — the piece
+/// that lets a crash mid-section-reduction roll back and complete.
+struct SectRedBlob {
+  std::uint64_t sect = 0;
+  std::uint32_t seq = 0;
+  std::uint64_t count = 0;
+  bool has_acc = false;
+  std::vector<std::byte> acc;
+  CombineId combiner = kNoCombine;
+  Callback cb;
+  void pup(pup::Er& p) {
+    p | sect;
+    p | seq;
+    p | count;
+    p | has_acc;
+    p | acc;
+    p | combiner;
+    p | cb;
+  }
+};
+
 struct PeBlob {
   std::vector<CollBlob> colls;      ///< sorted by collection id
   std::vector<RedBlob> reductions;  ///< red_root is a std::map: ordered
   std::uint64_t created = 0;
   std::uint64_t processed = 0;
   FutureId next_future = 0;
+  std::vector<SectBlob> sections;       ///< sections map: ordered by id
+  std::vector<SectRedBlob> sect_reductions;  ///< sect_red map: ordered
+  std::uint64_t next_sect = 0;
   void pup(pup::Er& p) {
     p | colls;
     p | reductions;
     p | created;
     p | processed;
     p | next_future;
+    p | sections;
+    p | sect_reductions;
+    p | next_sect;
   }
 };
 

@@ -1,0 +1,261 @@
+// Chare-array sections: spanning-tree multicast over an arbitrary index
+// subset, section-scoped reductions (multiple in flight), and the
+// location-manager delegation that keeps both working across element
+// migration and AtSync load balancing.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "test_helpers.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+using namespace cx;
+using cxtest::run_program;
+using cxtest::sim_cfg;
+using cxtest::threaded_cfg;
+
+struct Cell : Chare {
+  int hits = 0;
+
+  void pup(pup::Er& p) override { p | hits; }
+
+  void hit() { ++hits; }
+  int get_hits() { return hits; }
+  int where() { return cx::my_pe(); }
+  void go_to(int pe) { migrate(pe); }
+
+  void hit_and_contribute(SectionProxy<Cell> s, Future<int> f) {
+    ++hits;
+    contribute(s, this_index()[0], reducer::sum<int>(), cb(f));
+  }
+
+  // Two section reductions from the same entry: exercises the
+  // per-section sequence tags that keep concurrent folds apart.
+  void contribute_twice(SectionProxy<Cell> s, Future<int> f1,
+                        Future<int> f2) {
+    contribute(s, this_index()[0], reducer::sum<int>(), cb(f1));
+    contribute(s, this_index()[0] * 10, reducer::sum<int>(), cb(f2));
+  }
+
+  void barrier_contribute(SectionProxy<Cell> s, Future<void> f) {
+    contribute(s, cb(f));
+  }
+
+  void relocate_then_contribute(int pe, SectionProxy<Cell> s,
+                                Future<int> f) {
+    if (this_index()[0] == 3) migrate(pe);
+    contribute(s, this_index()[0], reducer::sum<int>(), cb(f));
+  }
+};
+
+TEST(Sections, MulticastReachesExactlyTheMembers) {
+  run_program(threaded_cfg(4), [] {
+    auto arr = create_array<Cell>({12});
+    auto s = arr.section({1, 4, 7, 10});
+    EXPECT_TRUE(s.valid());
+    EXPECT_EQ(s.size(), 4u);
+    s.broadcast_done<&Cell::hit>().get();
+    for (int i = 0; i < 12; ++i) {
+      const bool member = (i % 3 == 1);
+      EXPECT_EQ(arr[i].call<&Cell::get_hits>().get(), member ? 1 : 0)
+          << "element " << i;
+    }
+    cx::exit();
+  });
+}
+
+TEST(Sections, DuplicateIndicesAreDeduplicated) {
+  run_program(threaded_cfg(2), [] {
+    auto arr = create_array<Cell>({6});
+    auto s = arr.section({2, 5, 2, 5, 2});
+    EXPECT_EQ(s.size(), 2u);
+    s.broadcast_done<&Cell::hit>().get();
+    EXPECT_EQ(arr[2].call<&Cell::get_hits>().get(), 1);
+    EXPECT_EQ(arr[5].call<&Cell::get_hits>().get(), 1);
+    cx::exit();
+  });
+}
+
+TEST(Sections, WholeArraySectionBroadcastDone) {
+  // members.size() == info.size: completion rides the unchanged
+  // collection path (no SectExpect override).
+  run_program(threaded_cfg(3), [] {
+    auto arr = create_array<Cell>({8});
+    std::vector<Index> all;
+    for (int i = 0; i < 8; ++i) all.push_back(Index(i));
+    auto s = arr.section(all);
+    s.broadcast_done<&Cell::hit>().get();
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(arr[i].call<&Cell::get_hits>().get(), 1);
+    }
+    cx::exit();
+  });
+}
+
+TEST(Sections, SectionReductionSumsOverMembersOnly) {
+  run_program(threaded_cfg(4), [] {
+    auto arr = create_array<Cell>({12});
+    auto s = arr.section({1, 4, 7, 10});
+    auto f = make_future<int>();
+    s.broadcast<&Cell::hit_and_contribute>(s, f);
+    EXPECT_EQ(f.get(), 1 + 4 + 7 + 10);
+    cx::exit();
+  });
+}
+
+TEST(Sections, MultipleReductionsInFlightPerSection) {
+  run_program(threaded_cfg(4), [] {
+    auto arr = create_array<Cell>({12});
+    auto s = arr.section({1, 4, 7, 10});
+    auto f1 = make_future<int>();
+    auto f2 = make_future<int>();
+    s.broadcast<&Cell::contribute_twice>(s, f1, f2);
+    EXPECT_EQ(f1.get(), 22);
+    EXPECT_EQ(f2.get(), 220);
+    // A fresh round on the same section keeps its own sequence slot.
+    auto f3 = make_future<int>();
+    auto f4 = make_future<int>();
+    s.broadcast<&Cell::contribute_twice>(s, f3, f4);
+    EXPECT_EQ(f3.get(), 22);
+    EXPECT_EQ(f4.get(), 220);
+    cx::exit();
+  });
+}
+
+TEST(Sections, SectionBarrier) {
+  run_program(threaded_cfg(3), [] {
+    auto arr = create_array<Cell>({9});
+    auto s = arr.section({0, 4, 8});
+    auto f = make_future<void>();
+    s.broadcast<&Cell::barrier_contribute>(s, f);
+    f.get();
+    cx::exit();
+  });
+}
+
+TEST(Sections, SurviveExplicitMigration) {
+  run_program(threaded_cfg(4), [] {
+    auto arr = create_array<Cell>({8});
+    auto s = arr.section({1, 3, 5, 7});
+    s.broadcast_done<&Cell::hit>().get();
+
+    // Move a member off its home PE, then multicast and reduce again:
+    // its home PE stays its delegate in the section tree and routes the
+    // delivery (and accepts the contribution) from wherever it lives.
+    const int was = arr[3].call<&Cell::where>().get();
+    arr[3].send<&Cell::go_to>((was + 1) % 4);
+    while (arr[3].call<&Cell::where>().get() == was) {
+    }
+
+    s.broadcast_done<&Cell::hit>().get();
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(arr[i].call<&Cell::get_hits>().get(), i % 2 == 1 ? 2 : 0)
+          << "element " << i;
+    }
+
+    auto f = make_future<int>();
+    s.broadcast<&Cell::hit_and_contribute>(s, f);
+    EXPECT_EQ(f.get(), 1 + 3 + 5 + 7);
+
+    // The delivery split on the member's home PE was rebuilt lazily.
+    EXPECT_GE(cx::trace::section_stats().tree_repairs, 1u);
+    cx::exit();
+  });
+}
+
+TEST(Sections, ReductionCompletesWhileAMemberMigrates) {
+  run_program(threaded_cfg(3), [] {
+    auto arr = create_array<Cell>({6});
+    auto s = arr.section({1, 3, 5});
+    auto f = make_future<int>();
+    s.broadcast<&Cell::relocate_then_contribute>(2, s, f);
+    EXPECT_EQ(f.get(), 1 + 3 + 5);
+    cx::exit();
+  });
+}
+
+TEST(Sections, WorksOnSimBackend) {
+  run_program(sim_cfg(8), [] {
+    auto arr = create_array<Cell>({32});
+    std::vector<Index> members;
+    for (int i = 0; i < 32; i += 4) members.push_back(Index(i));
+    auto s = arr.section(members);
+    s.broadcast_done<&Cell::hit>().get();
+    auto f = make_future<int>();
+    s.broadcast<&Cell::hit_and_contribute>(s, f);
+    int expect = 0;
+    for (int i = 0; i < 32; i += 4) expect += i;
+    EXPECT_EQ(f.get(), expect);
+    for (int i = 0; i < 32; ++i) {
+      EXPECT_EQ(arr[i].call<&Cell::get_hits>().get(), i % 4 == 0 ? 2 : 0);
+    }
+    cx::exit();
+  });
+}
+
+// ---- sections across an AtSync load-balancing step ------------------------
+
+struct LoadedCell : Chare {
+  int hits = 0;
+  Future<void> done;
+
+  void pup(pup::Er& p) override {
+    p | hits;
+    p | done;
+  }
+
+  void hit() { ++hits; }
+  int get_hits() { return hits; }
+  int where() { return cx::my_pe(); }
+
+  void step(Future<void> barrier) {
+    done = barrier;
+    const double load = this_index()[0] < 2 ? 2e-3 : 1e-5;
+    cx::compute(load);
+    at_sync();
+  }
+
+  void resume_from_sync() override {
+    if (done.valid()) contribute(cb(done));
+  }
+
+  void sect_contribute(SectionProxy<LoadedCell> s, Future<int> f) {
+    contribute(s, this_index()[0], reducer::sum<int>(), cb(f));
+  }
+};
+
+TEST(Sections, SurviveAtSyncLoadBalancing) {
+  cx::RuntimeConfig cfg = sim_cfg(2);
+  cfg.lb_strategy = "greedy";
+  cx::Runtime rt(cfg);
+  rt.run([] {
+    auto arr = create_array<LoadedCell>({4});
+    auto s = arr.section({0, 1, 3});
+
+    s.broadcast_done<&LoadedCell::hit>().get();
+    auto f0 = make_future<int>();
+    s.broadcast<&LoadedCell::sect_contribute>(s, f0);
+    EXPECT_EQ(f0.get(), 0 + 1 + 3);
+
+    // Greedy LB splits the heavy pair {0,1} across the two PEs —
+    // members of the section migrate under the runtime's control.
+    auto barrier = make_future<void>();
+    arr.broadcast<&LoadedCell::step>(barrier);
+    barrier.get();
+
+    s.broadcast_done<&LoadedCell::hit>().get();
+    auto f1 = make_future<int>();
+    s.broadcast<&LoadedCell::sect_contribute>(s, f1);
+    EXPECT_EQ(f1.get(), 0 + 1 + 3);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(arr[i].call<&LoadedCell::get_hits>().get(), i == 2 ? 0 : 2);
+    }
+    cx::exit();
+  });
+  EXPECT_GT(rt.lb_stats().migrations, 0u);
+}
+
+}  // namespace

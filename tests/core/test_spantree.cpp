@@ -1,0 +1,189 @@
+// Shared spanning-tree math (core/spantree.hpp): the binomial
+// dissemination order every broadcast-shaped handler forwards along,
+// and the k-ary SpanningTree sections lay over their members' home PEs.
+// Pure position math — no runtime needed. Also covers the attributable
+// reduction error messages (checked_combine / apply_elementwise).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "core/reduction.hpp"
+#include "core/spantree.hpp"
+#include "pup/pup.hpp"
+
+namespace {
+
+using namespace cx;
+
+// Every PE is reached exactly once when each node forwards to its
+// binomial children, for any root and PE count.
+TEST(SpanTree, BinomialCoversAllPesExactlyOnce) {
+  for (int num_pes : {1, 2, 3, 5, 8, 16, 17, 64}) {
+    for (int root : {0, 1, num_pes / 2, num_pes - 1}) {
+      std::set<int> reached{root};
+      std::vector<int> frontier{root};
+      std::vector<int> kids;
+      while (!frontier.empty()) {
+        const int self = frontier.back();
+        frontier.pop_back();
+        tree::binomial_children(self, root, num_pes, kids);
+        for (const int c : kids) {
+          EXPECT_TRUE(reached.insert(c).second)
+              << "PE " << c << " reached twice (P=" << num_pes
+              << ", root=" << root << ")";
+          frontier.push_back(c);
+        }
+      }
+      EXPECT_EQ(reached.size(), static_cast<std::size_t>(num_pes));
+    }
+  }
+}
+
+TEST(SpanTree, BinomialRootFansOutInPowersOfTwo) {
+  std::vector<int> kids;
+  tree::binomial_children(0, 0, 8, kids);
+  EXPECT_EQ(kids, (std::vector<int>{1, 2, 4}));
+  tree::binomial_children(4, 0, 8, kids);
+  EXPECT_EQ(kids, (std::vector<int>{5, 6}));
+  tree::binomial_children(7, 0, 8, kids);
+  EXPECT_TRUE(kids.empty());
+}
+
+TEST(SpanTree, KaryParentChildRoundTrip) {
+  for (int arity : {1, 2, 3, 4, 7}) {
+    const int n = 30;
+    std::vector<int> kids;
+    for (int pos = 0; pos < n; ++pos) {
+      tree::kary_children(pos, n, arity, kids);
+      EXPECT_LE(static_cast<int>(kids.size()), arity);
+      for (const int c : kids) {
+        EXPECT_EQ(tree::kary_parent(c, arity), pos);
+      }
+    }
+    EXPECT_EQ(tree::kary_parent(0, arity), -1);
+  }
+}
+
+TEST(SpanTree, KarySubtreeSumMatchesManualWalk) {
+  const int n = 13, arity = 3;
+  std::vector<std::uint64_t> weight(n);
+  std::iota(weight.begin(), weight.end(), 1);  // 1..13
+  // Root subtree covers everything.
+  EXPECT_EQ(tree::kary_subtree_sum(0, n, arity, weight),
+            std::accumulate(weight.begin(), weight.end(), std::uint64_t{0}));
+  // A node's subtree = own weight + children's subtrees.
+  std::vector<int> kids;
+  for (int pos = 0; pos < n; ++pos) {
+    std::uint64_t expect = weight[static_cast<std::size_t>(pos)];
+    tree::kary_children(pos, n, arity, kids);
+    for (const int c : kids) {
+      expect += tree::kary_subtree_sum(c, n, arity, weight);
+    }
+    EXPECT_EQ(tree::kary_subtree_sum(pos, n, arity, weight), expect);
+  }
+  // Leaves see only themselves.
+  EXPECT_EQ(tree::kary_subtree_sum(n - 1, n, arity, weight),
+            weight[static_cast<std::size_t>(n - 1)]);
+}
+
+TEST(SpanTree, SpanningTreeOverExplicitPeList) {
+  // Unsorted with duplicates: builder canonicalizes.
+  auto t = tree::make_spanning_tree({9, 2, 5, 2, 13, 9}, 2);
+  EXPECT_EQ(t.pes, (std::vector<int>{2, 5, 9, 13}));
+  EXPECT_EQ(t.root(), 2);
+  EXPECT_EQ(t.pos_of(9), 2);
+  EXPECT_EQ(t.pos_of(7), -1);
+  EXPECT_EQ(t.parent_of(2), -1);
+  EXPECT_EQ(t.parent_of(5), 2);
+  EXPECT_EQ(t.parent_of(13), 5);
+  std::vector<int> kids;
+  t.children_of(2, kids);
+  EXPECT_EQ(kids, (std::vector<int>{5, 9}));
+  t.children_of(5, kids);
+  EXPECT_EQ(kids, (std::vector<int>{13}));
+  t.children_of(13, kids);
+  EXPECT_TRUE(kids.empty());
+  t.children_of(7, kids);  // non-member
+  EXPECT_TRUE(kids.empty());
+}
+
+TEST(SpanTree, SpanningTreeReachesEveryPeOnce) {
+  for (int arity : {1, 2, 4, 8}) {
+    std::vector<int> pes;
+    for (int i = 0; i < 23; ++i) pes.push_back(i * 3 + 1);
+    const auto t = tree::make_spanning_tree(pes, arity);
+    std::set<int> reached{t.root()};
+    std::vector<int> frontier{t.root()};
+    std::vector<int> kids;
+    while (!frontier.empty()) {
+      const int self = frontier.back();
+      frontier.pop_back();
+      t.children_of(self, kids);
+      for (const int c : kids) {
+        EXPECT_TRUE(reached.insert(c).second);
+        frontier.push_back(c);
+      }
+    }
+    EXPECT_EQ(reached.size(), pes.size());
+  }
+}
+
+TEST(SpanTree, SectionArityClampsAndSticks) {
+  const int before = tree::section_arity();
+  tree::set_section_arity(7);
+  EXPECT_EQ(tree::section_arity(), 7);
+  tree::set_section_arity(0);  // clamped to a sane minimum
+  EXPECT_EQ(tree::section_arity(), 1);
+  tree::set_section_arity(before);
+}
+
+// ---- attributable reduction failures --------------------------------------
+
+TEST(ReductionErrors, MismatchedVectorLengthsReportBothSizes) {
+  const CombineId sum = reducer::sum<std::vector<int>>();
+  std::vector<int> a{1, 2, 3};
+  std::vector<int> b{4, 5};
+  const auto pa = pup::to_bytes(a);
+  const auto pb = pup::to_bytes(b);
+  try {
+    CombinerRegistry::instance().get(sum)(pa, pb);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("accumulator has 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("contribution has 2"), std::string::npos) << msg;
+  }
+}
+
+TEST(ReductionErrors, CheckedCombineNamesTheContributor) {
+  const CombineId sum = reducer::sum<std::vector<int>>();
+  std::vector<int> a{1, 2, 3};
+  std::vector<int> b{4};
+  const auto pa = pup::to_bytes(a);
+  const auto pb = pup::to_bytes(b);
+  try {
+    checked_combine(sum, pa, pb, /*coll=*/42, Index(7, 3));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("collection 42"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("contributing element (7,3)"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("accumulator has 3"), std::string::npos) << msg;
+  }
+}
+
+TEST(ReductionErrors, CheckedCombinePassesThroughOnMatch) {
+  const CombineId sum = reducer::sum<std::vector<int>>();
+  std::vector<int> a{1, 2};
+  std::vector<int> b{10, 20};
+  const auto out = checked_combine(sum, pup::to_bytes(a), pup::to_bytes(b),
+                                   0, Index(0));
+  EXPECT_EQ(pup::from_bytes<std::vector<int>>(out),
+            (std::vector<int>{11, 22}));
+}
+
+}  // namespace
