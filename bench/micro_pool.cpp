@@ -105,7 +105,9 @@ void json_case(std::FILE* f, const char* name, const CaseResult& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  cxu::Options opt(argc, argv);
+  // Declared booleans never swallow a following positional, so
+  // `micro_pool --pool-steal 100000` keeps its task count.
+  cxu::Options opt(argc, argv, {"pool-steal", "trace"});
   bench::trace_from_options(opt);
   // Strict validation: a malformed --pool-* or --tasks value aborts with
   // a message instead of silently running a different experiment.

@@ -77,6 +77,11 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (cxm::launched_rank() != 0) {
+    // Under cxrun only rank 0 hosts PE 0, where the driver ran and the
+    // results were gathered; worker ranks have nothing to report.
+    return 0;
+  }
   std::printf("stencil3d %s: %dx%dx%d blocks of %dx%dx%d cells, %d iters\n",
               variant.c_str(), p.geo.bx, p.geo.by, p.geo.bz, p.geo.nx,
               p.geo.ny, p.geo.nz, p.iterations);

@@ -81,7 +81,22 @@ void apply_elementwise(std::vector<U>& a, const std::vector<U>& b, Op op) {
 }
 
 template <typename T, typename Op>
+CombineId arithmetic_combiner();
+
+// Combiner ids travel inside reduction fragments, so every SocketMachine
+// rank must assign identical ids. As with ep_id (registry.hpp), these
+// registrars pin registration to static-init time — ordered by the
+// binary, not by which rank's control flow touches a reducer first.
+template <typename T, typename Op>
+struct CombinerAutoReg {
+  CombinerAutoReg() { (void)arithmetic_combiner<T, Op>(); }
+};
+template <typename T, typename Op>
+inline CombinerAutoReg<T, Op> combiner_auto_reg{};
+
+template <typename T, typename Op>
 CombineId arithmetic_combiner() {
+  (void)&combiner_auto_reg<T, Op>;
   static const CombineId id = add_reducer<T>([](T& a, const T& b) {
     apply_elementwise(a, b, Op{});
   });
@@ -173,10 +188,24 @@ CombineId logical_or() {
   return detail::arithmetic_combiner<T, detail::OrOp>();
 }
 
+template <typename T>
+CombineId gather();
+
+namespace detail {
+template <typename T>
+struct GatherAutoReg {
+  GatherAutoReg() { (void)cx::reducer::gather<T>(); }
+};
+template <typename T>
+inline GatherAutoReg<T> gather_auto_reg{};
+}  // namespace detail
+
 /// Gather: the target receives std::vector<std::pair<Index, T>> sorted by
 /// index (CharmPy's gather returns contributions sorted by element index).
+/// Registered at static init like the arithmetic combiners.
 template <typename T>
 CombineId gather() {
+  (void)&detail::gather_auto_reg<T>;
   using Item = std::pair<Index, T>;
   static const CombineId id =
       add_reducer<std::vector<Item>>([](std::vector<Item>& a,

@@ -165,16 +165,55 @@ FactoryId register_factory() {
 
 }  // namespace detail
 
-/// Stable id for entry method M; registers it on first use.
+template <auto M>
+EpId ep_id();
+template <typename C, typename... CArgs>
+FactoryId factory_id();
+
+namespace detail {
+
+// Registration must happen at static-initialization time, not on first
+// use: the SocketMachine backend runs one copy of the binary per OS
+// process, and entry-method / factory ids travel inside messages, so
+// every rank must assign identical ids. Lazy first-use registration
+// orders ids by control flow (the driver rank touches proxies that
+// worker ranks never do); these registrar objects instead force every
+// instantiated id to register during static init, whose order is fixed
+// by the binary — identical across ranks exec'ing the same executable.
+// The guarded function-local static in ep_id()/factory_id() keeps
+// things correct even for calls that run before a registrar does
+// (e.g. other static initializers).
+template <auto M>
+struct EpAutoReg {
+  EpAutoReg() { (void)cx::ep_id<M>(); }
+};
+template <auto M>
+inline EpAutoReg<M> ep_auto_reg{};
+
+template <typename C, typename... CArgs>
+struct FactoryAutoReg {
+  FactoryAutoReg() { (void)cx::factory_id<C, CArgs...>(); }
+};
+template <typename C, typename... CArgs>
+inline FactoryAutoReg<C, CArgs...> factory_auto_reg{};
+
+}  // namespace detail
+
+/// Stable id for entry method M; registered during static init (the
+/// odr-use of the registrar below pins the registration to program
+/// startup so ids agree across SocketMachine ranks).
 template <auto M>
 EpId ep_id() {
+  (void)&detail::ep_auto_reg<M>;
   static const EpId id = detail::register_ep<M>();
   return id;
 }
 
-/// Stable id for constructing C from (CArgs...); registers on first use.
+/// Stable id for constructing C from (CArgs...); registered during
+/// static init like ep_id().
 template <typename C, typename... CArgs>
 FactoryId factory_id() {
+  (void)&detail::factory_auto_reg<C, CArgs...>;
   static const FactoryId id = detail::register_factory<C, CArgs...>();
   return id;
 }

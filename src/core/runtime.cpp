@@ -17,6 +17,11 @@ Runtime* g_runtime = nullptr;
 Runtime::Impl::Impl(RuntimeConfig c) : cfg(std::move(c)) {
   machine = cxm::make_machine(cfg.machine);
   P = machine->num_pes();
+  // Collection ids are allocated by whichever PE drives create_*; under
+  // the socket backend each rank draws from its own partition so two
+  // ranks can never mint the same id (2^24 collections per rank).
+  next_coll.store(static_cast<CollectionId>(machine->my_rank()) << 24,
+                  std::memory_order_relaxed);
   cx::trace::begin_run(P, machine->is_simulated());
   pes.reserve(static_cast<std::size_t>(P));
   for (int i = 0; i < P; ++i) pes.push_back(std::make_unique<PeState>());
@@ -97,15 +102,22 @@ Runtime::Runtime(RuntimeConfig cfg) : impl_(new Impl(std::move(cfg))) {
 Runtime::~Runtime() { g_runtime = nullptr; }
 
 void Runtime::run(std::function<void()> entry) {
-  LocalEnvelope* env = acquire_envelope();
-  env->kind = LocalEnvelope::Kind::Start;
-  env->fn = std::move(entry);
-  impl_->send_local(0, env);
+  // The entry function runs on PE 0; under the socket backend only the
+  // rank hosting PE 0 seeds it (the Start envelope is a by-reference
+  // local payload and must not cross a process boundary). Other ranks
+  // just run their schedulers until the Stop broadcast arrives.
+  if (impl_->machine->hosts_pe(0)) {
+    LocalEnvelope* env = acquire_envelope();
+    env->kind = LocalEnvelope::Kind::Start;
+    env->fn = std::move(entry);
+    impl_->send_local(0, env);
+  }
   if (impl_->live_cfg.enabled()) {
-    // Seed one heartbeat tick chain per PE. With --ft-heartbeat-ms=0
-    // (the default) this block is never entered: zero liveness traffic,
-    // zero overhead.
+    // Seed one heartbeat tick chain per locally hosted PE. With
+    // --ft-heartbeat-ms=0 (the default) this block is never entered:
+    // zero liveness traffic, zero overhead.
     for (int pe = 0; pe < impl_->P; ++pe) {
+      if (!impl_->machine->hosts_pe(pe)) continue;
       auto m = std::make_unique<Message>();
       m->handler = impl_->h_hb_tick;
       m->dst_pe = pe;
@@ -125,6 +137,10 @@ void Runtime::exit() {
 
 int Runtime::num_pes() const noexcept { return impl_->P; }
 int Runtime::my_pe() const noexcept { return impl_->machine->current_pe(); }
+int Runtime::my_rank() const noexcept { return impl_->machine->my_rank(); }
+int Runtime::num_ranks() const noexcept {
+  return impl_->machine->num_ranks();
+}
 double Runtime::now() const { return impl_->machine->now(); }
 void Runtime::compute(double seconds) { impl_->machine->compute(seconds); }
 void Runtime::charge(double seconds) { impl_->machine->charge(seconds); }

@@ -51,6 +51,10 @@ class Runtime {
 
   [[nodiscard]] int num_pes() const noexcept;
   [[nodiscard]] int my_pe() const noexcept;
+  /// Multi-process locality (SocketMachine backend): this process's
+  /// rank and the job's rank count. 0 of 1 on single-process backends.
+  [[nodiscard]] int my_rank() const noexcept;
+  [[nodiscard]] int num_ranks() const noexcept;
   [[nodiscard]] double now() const;
   void compute(double seconds);
   void charge(double seconds);
@@ -90,6 +94,8 @@ class Runtime {
 // Free-function shorthands (the `charm` module surface of the paper).
 inline int num_pes() { return Runtime::current().num_pes(); }
 inline int my_pe() { return Runtime::current().my_pe(); }
+inline int my_rank() { return Runtime::current().my_rank(); }
+inline int num_ranks() { return Runtime::current().num_ranks(); }
 inline double now() { return Runtime::current().now(); }
 inline void compute(double s) { Runtime::current().compute(s); }
 inline void charge(double s) { Runtime::current().charge(s); }

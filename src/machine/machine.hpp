@@ -14,6 +14,13 @@
 //     model. This is the BigSim-style backend used to regenerate the
 //     paper's supercomputer-scale figures (1k-65k PEs) on a workstation.
 //
+//   * SocketMachine — N OS processes (ranks), each hosting `ppn` worker
+//     PEs plus one nonblocking-TCP/epoll comm thread. Cross-process
+//     messages travel as length-prefixed cx::wire envelopes (src/net/);
+//     within a rank, PEs share the threaded backend's mailbox fast
+//     path. Launched by `cxrun` (or any parent that sets the CXRUN_*
+//     environment — see socket_env_active()).
+//
 // The runtime registers handlers once (before run()) and then communicates
 // exclusively through send(). All handler execution happens on the
 // destination PE's context.
@@ -31,11 +38,26 @@ namespace cxm {
 
 using Handler = std::function<void(MessagePtr)>;
 
-enum class Backend { Threaded, Sim };
+enum class Backend { Threaded, Sim, Socket };
+
+/// Multi-process launch geometry (Backend::Socket). Filled from the
+/// CXRUN_* environment by apply_socket_env(); the launcher (`cxrun`)
+/// runs the root rendezvous the ranks wire up through.
+struct SocketParams {
+  int rank = 0;
+  int nranks = 1;
+  int ppn = 1;  ///< worker PEs per rank; global PE count = nranks * ppn
+  std::string root_host = "127.0.0.1";
+  std::uint16_t root_port = 0;
+};
 
 struct MachineConfig {
   int num_pes = 4;
   Backend backend = Backend::Threaded;
+  /// Socket-backend geometry. Under cxrun the global PE count is
+  /// nranks * ppn (num_pes above is ignored — the launcher owns the
+  /// job shape).
+  SocketParams socket{};
   /// Simulated network (ignored by the threaded backend):
   std::string network = "simple";  ///< "simple" | "torus" | "dragonfly"
   NetworkParams net{};
@@ -87,6 +109,27 @@ class Machine {
   /// True when the machine uses virtual time (SimMachine).
   [[nodiscard]] virtual bool is_simulated() const noexcept = 0;
 
+  // ---- multi-process locality (SocketMachine) ----------------------------
+  // Single-process backends host every PE in rank 0 of 1.
+
+  /// This process's rank in the job.
+  [[nodiscard]] virtual int my_rank() const noexcept { return 0; }
+
+  /// Number of OS processes in the job.
+  [[nodiscard]] virtual int num_ranks() const noexcept { return 1; }
+
+  /// The rank hosting `pe` (block distribution: pe / ppn).
+  [[nodiscard]] virtual int pe_to_rank(int /*pe*/) const noexcept {
+    return 0;
+  }
+
+  /// Whether `pe`'s scheduler thread runs in this process. The runtime
+  /// gates per-PE seeding (the Start envelope, heartbeat timers) on
+  /// this so each rank only drives its own PEs.
+  [[nodiscard]] bool hosts_pe(int pe) const noexcept {
+    return pe_to_rank(pe) == my_rank();
+  }
+
   // ---- fault tolerance (cx::ft) -----------------------------------------
 
   /// Deliver `msg` to msg->dst_pe after `delay_s` seconds of the calling
@@ -130,7 +173,22 @@ class Machine {
   FailureListener failure_listener_;
 };
 
-/// Create a machine from a config.
+/// Create a machine from a config. When the CXRUN_* environment is set
+/// (the process was launched by cxrun) a Threaded request is upgraded
+/// to the Socket backend — Sim runs are never upgraded.
 std::unique_ptr<Machine> make_machine(const MachineConfig& cfg);
+
+/// True when this process was launched by cxrun (CXRUN_RANK et al. are
+/// set) and should join a multi-process socket job.
+bool socket_env_active();
+
+/// Fill cfg.socket from the CXRUN_* environment and select
+/// Backend::Socket. Throws if the environment is malformed.
+void apply_socket_env(MachineConfig& cfg);
+
+/// The rank cxrun assigned this process, or 0 when not under cxrun.
+/// Usable before any Machine exists — examples gate their result
+/// printing on it.
+int launched_rank();
 
 }  // namespace cxm

@@ -102,7 +102,42 @@ struct DynRegistry {
     static DynRegistry r;
     return r;
   }
+
+  /// Register the cx combiners for `name` (both Value and tagged
+  /// flavors). Caller holds `mutex`.
+  void register_combiners(const std::string& name) {
+    const auto it = folds.find(name);
+    if (it == folds.end()) {
+      throw std::out_of_range("unknown reducer: " + name);
+    }
+    if (value_ids.count(name) == 0) {
+      const DynFold fold = it->second;
+      value_ids[name] = cx::add_reducer<Value>(
+          [fold](Value& a, const Value& b) { fold(a, b); });
+    }
+    if (tagged_ids.count(name) == 0) {
+      const DynFold fold = it->second;
+      using Tagged = std::pair<std::string, Value>;
+      tagged_ids[name] = cx::add_reducer<Tagged>(
+          [fold](Tagged& a, const Tagged& b) { fold(a.second, b.second); });
+    }
+  }
 };
+
+// Combiner ids travel in reduction fragments, so SocketMachine ranks
+// must agree on them. Register the built-in folds' combiners eagerly —
+// in a fixed (alphabetical) order, at static init — instead of on first
+// use, where the order would depend on which rank's control flow asked
+// for which reducer first.
+const bool g_builtins_registered = [] {
+  auto& r = DynRegistry::instance();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (const char* name : {"concat", "first", "gather", "max", "min",
+                           "none", "product", "sum"}) {
+    r.register_combiners(name);
+  }
+  return true;
+}();
 
 }  // namespace
 
@@ -110,6 +145,10 @@ void add_dyn_reducer(const std::string& name, DynFold fold) {
   auto& r = DynRegistry::instance();
   std::lock_guard<std::mutex> lock(r.mutex);
   r.folds[name] = std::move(fold);
+  // Eager combiner registration: user reducers are added symmetrically
+  // on every rank (pre-run application code), so registering here keeps
+  // the id assignment identical across processes.
+  r.register_combiners(name);
 }
 
 cx::CombineId value_combiner(const std::string& name) {
@@ -117,15 +156,8 @@ cx::CombineId value_combiner(const std::string& name) {
   std::lock_guard<std::mutex> lock(r.mutex);
   const auto cached = r.value_ids.find(name);
   if (cached != r.value_ids.end()) return cached->second;
-  const auto it = r.folds.find(name);
-  if (it == r.folds.end()) {
-    throw std::out_of_range("unknown reducer: " + name);
-  }
-  const DynFold fold = it->second;
-  const cx::CombineId id = cx::add_reducer<Value>(
-      [fold](Value& a, const Value& b) { fold(a, b); });
-  r.value_ids[name] = id;
-  return id;
+  r.register_combiners(name);
+  return r.value_ids.at(name);
 }
 
 cx::CombineId tagged_combiner(const std::string& name) {
@@ -133,16 +165,8 @@ cx::CombineId tagged_combiner(const std::string& name) {
   std::lock_guard<std::mutex> lock(r.mutex);
   const auto cached = r.tagged_ids.find(name);
   if (cached != r.tagged_ids.end()) return cached->second;
-  const auto it = r.folds.find(name);
-  if (it == r.folds.end()) {
-    throw std::out_of_range("unknown reducer: " + name);
-  }
-  const DynFold fold = it->second;
-  using Tagged = std::pair<std::string, Value>;
-  const cx::CombineId id = cx::add_reducer<Tagged>(
-      [fold](Tagged& a, const Tagged& b) { fold(a.second, b.second); });
-  r.tagged_ids[name] = id;
-  return id;
+  r.register_combiners(name);
+  return r.tagged_ids.at(name);
 }
 
 }  // namespace cpy

@@ -1,0 +1,57 @@
+#pragma once
+// Job wireup: rank rendezvous through a root listener, then an
+// all-to-all TCP mesh.
+//
+// Protocol (all native-endian, guarded by the Handshake):
+//
+//   1. Every rank connects to the root (cxrun, or a test harness) and
+//      sends Handshake + u16 data_port (the ephemeral port its own data
+//      listener is bound to).
+//   2. The root validates all nranks handshakes against each other
+//      (magic/version/ABI/geometry, no duplicate ranks), then replies
+//      to every rank with the endpoint table:
+//        nranks x { u32 ip (host order, from getpeername), u16 port }.
+//   3. Ranks build the mesh: rank r connects to every rank < r
+//      (sending its Handshake first, then reading the peer's), and
+//      accepts from every rank > r (reading the peer's Handshake —
+//      which identifies the connecting rank — then replying with its
+//      own). Sequential accept is safe: the kernel backlog holds
+//      early connectors.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/socket_util.hpp"
+
+namespace cxnet {
+
+struct Endpoint {
+  std::uint32_t ip = 0;  ///< host byte order
+  std::uint16_t port = 0;
+};
+
+/// Root side of step 1-2: accept `nranks` hellos on `listen_fd`,
+/// validate, reply the endpoint table to each. Throws on any protocol
+/// violation (naming the offending rank/host where possible).
+void run_root_exchange(int listen_fd, std::uint32_t nranks, std::uint32_t ppn,
+                       double timeout_s = 30.0);
+
+/// Rank side of step 1-2: rendezvous with the root and return the full
+/// endpoint table (indexed by rank; our own entry included).
+std::vector<Endpoint> client_rendezvous(const std::string& root_host,
+                                        std::uint16_t root_port,
+                                        const Handshake& mine,
+                                        std::uint16_t data_port,
+                                        double timeout_s = 30.0);
+
+/// Step 3: build the mesh. Returns nranks fds (self entry invalid),
+/// each having completed a validated handshake exchange. The fds are
+/// still blocking; the caller flips them nonblocking for the epoll
+/// loop.
+std::vector<Fd> mesh_wireup(const Handshake& mine, int data_listen_fd,
+                            const std::vector<Endpoint>& table,
+                            double timeout_s = 30.0);
+
+}  // namespace cxnet

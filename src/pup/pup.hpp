@@ -18,6 +18,13 @@
 // `void pup(pup::Er&)` member. Contiguous trivially-copyable vectors
 // are packed with a single memcpy (the NumPy-array fast path of the
 // paper's serialization layer builds on this).
+//
+// Wire format caveat: fields are packed host-endian and host-width
+// (raw memcpy, no swapping). Within one process that is invisible; the
+// multi-process SocketMachine backend guards it with a connection
+// handshake (src/net/frame.hpp) that rejects peers whose endianness or
+// primitive widths differ, so mismatched hosts fail loudly at wireup
+// instead of silently mis-decoding payloads.
 
 #include <array>
 #include <cstddef>

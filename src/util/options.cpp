@@ -1,5 +1,6 @@
 #include "util/options.hpp"
 
+#include <cctype>
 #include <cerrno>
 #include <cstdlib>
 #include <stdexcept>
@@ -14,9 +15,42 @@ namespace {
                               ", got '" + v + "'");
 }
 
+std::string lowered(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+/// Is `s` (case-insensitively) one of the accepted boolean literals?
+bool is_bool_literal(const std::string& s) {
+  const std::string v = lowered(s);
+  return v == "1" || v == "true" || v == "yes" || v == "on" || v == "0" ||
+         v == "false" || v == "no" || v == "off";
+}
+
+/// Does `s` parse fully as a number? Distinguishes a negative-number
+/// value ("-3", "-2.5e-6") from a short flag or garbage ("-x").
+bool is_number(const std::string& s) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  (void)std::strtod(s.c_str(), &end);
+  return end != s.c_str() && *end == '\0';
+}
+
 }  // namespace
 
-Options::Options(int argc, char** argv) {
+Options::Options(int argc, char** argv) { parse(argc, argv); }
+
+Options::Options(int argc, char** argv,
+                 std::initializer_list<std::string_view> bool_flags) {
+  for (const auto f : bool_flags) bool_flags_.emplace(f);
+  parse(argc, argv);
+}
+
+void Options::parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
@@ -27,11 +61,34 @@ Options::Options(int argc, char** argv) {
     const auto eq = arg.find('=');
     if (eq != std::string::npos) {
       flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
-    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      flags_[arg] = argv[++i];
-    } else {
-      flags_[arg] = "true";
+      continue;
     }
+    if (bool_flags_.count(arg) != 0) {
+      // A declared boolean never takes a space-separated value, so the
+      // next token stays positional ("prog --steal 100000" keeps its
+      // task count). A bool literal right after it is ambiguous — the
+      // user probably meant a value — so demand the unambiguous form.
+      if (i + 1 < argc && is_bool_literal(argv[i + 1])) {
+        throw std::invalid_argument(
+            "--" + arg + " " + argv[i + 1] + " (argument " +
+            std::to_string(i + 1) + "): ambiguous boolean value; use --" +
+            arg + "=" + argv[i + 1]);
+      }
+      flags_[arg] = "true";
+      continue;
+    }
+    if (i + 1 < argc) {
+      const std::string next = argv[i + 1];
+      // Attach the next token as this flag's value unless it looks like
+      // another flag. Tokens starting with '-' only attach when they are
+      // numbers ("--offset -3"), so "--mode -x" no longer eats "-x".
+      if (next.rfind("--", 0) != 0 &&
+          (next.empty() || next[0] != '-' || is_number(next))) {
+        flags_[arg] = argv[++i];
+        continue;
+      }
+    }
+    flags_[arg] = "true";
   }
 }
 
@@ -99,8 +156,11 @@ double Options::get_prob(const std::string& name, double def) const {
 bool Options::get_bool(const std::string& name, bool def) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return def;
-  const std::string& v = it->second;
-  return v == "1" || v == "true" || v == "yes" || v == "on";
+  const std::string v = lowered(it->second);
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  bad_value(name, it->second,
+            "a boolean (1/0, true/false, yes/no, on/off)");
 }
 
 }  // namespace cxu

@@ -8,13 +8,28 @@
 //
 // Accepted syntax: --name=value, --name value, --flag (bool true).
 //
-// get_int/get_double validate strictly: a present-but-malformed value
-// ("--iters=abc", "--alpha=1.5x") throws std::invalid_argument rather
-// than silently parsing as 0.
+// The space-separated form is ambiguous for boolean flags: in
+// `prog --steal 100000` the 100000 is almost certainly a positional
+// argument, not a value for --steal. Programs with positional arguments
+// can declare their boolean flags up front:
+//
+//   cxu::Options opt(argc, argv, {"steal", "verbose"});
+//
+// A declared boolean never consumes the following token as its value
+// (use --steal=off for an explicit value); a bool literal right after a
+// declared boolean ("--steal off") is rejected with a positioned error
+// instead of being silently mis-parsed.
+//
+// get_int/get_double/get_bool validate strictly: a present-but-malformed
+// value ("--iters=abc", "--alpha=1.5x", "--lb=yse") throws
+// std::invalid_argument rather than silently parsing as 0/false.
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
+#include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace cxu {
@@ -23,6 +38,10 @@ class Options {
  public:
   Options() = default;
   Options(int argc, char** argv);
+  /// `bool_flags` declares =-style boolean flag names (without the
+  /// leading --): they never swallow the next token as a value.
+  Options(int argc, char** argv,
+          std::initializer_list<std::string_view> bool_flags);
 
   [[nodiscard]] bool has(const std::string& name) const;
   [[nodiscard]] std::string get_string(const std::string& name,
@@ -30,6 +49,10 @@ class Options {
   [[nodiscard]] std::int64_t get_int(const std::string& name,
                                      std::int64_t def) const;
   [[nodiscard]] double get_double(const std::string& name, double def) const;
+
+  /// Strict boolean: case-insensitive {1,true,yes,on} -> true,
+  /// {0,false,no,off} -> false, anything else throws
+  /// std::invalid_argument (a typo must not silently disable a feature).
   [[nodiscard]] bool get_bool(const std::string& name, bool def) const;
 
   /// Strict unsigned 64-bit parse for RNG seeds: rejects negatives,
@@ -47,8 +70,11 @@ class Options {
   }
 
  private:
+  void parse(int argc, char** argv);
+
   std::map<std::string, std::string> flags_;
   std::vector<std::string> positional_;
+  std::set<std::string, std::less<>> bool_flags_;
 };
 
 }  // namespace cxu

@@ -10,8 +10,11 @@
 // and the whole batch travels as ONE wire message that the receiver
 // unpacks back into the normal delivery path.
 //
-// Batch wire format (native endianness — batches never leave the
-// machine):
+// Batch wire format (native endianness, like every pup payload: since
+// the SocketMachine backend, batches DO cross process boundaries — the
+// connection handshake in src/net/frame.hpp rejects peers whose byte
+// order or primitive widths differ, so same-ABI is guaranteed by the
+// time a batch hits a socket):
 //
 //   u32 count | count x ( u32 handler | u32 len | len bytes )
 //

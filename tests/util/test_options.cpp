@@ -12,6 +12,13 @@ cxu::Options parse(std::vector<const char*> args) {
                       const_cast<char**>(args.data()));
 }
 
+cxu::Options parse_with_bools(std::vector<const char*> args,
+                              std::initializer_list<std::string_view> bools) {
+  args.insert(args.begin(), "prog");
+  return cxu::Options(static_cast<int>(args.size()),
+                      const_cast<char**>(args.data()), bools);
+}
+
 TEST(Options, EqualsSyntax) {
   auto o = parse({"--pes=8", "--mode=sim"});
   EXPECT_EQ(o.get_int("pes", 0), 8);
@@ -42,13 +49,73 @@ TEST(Options, Defaults) {
 
 TEST(Options, BoolValues) {
   auto o = parse({"--a=1", "--b=true", "--c=yes", "--d=on", "--e=0",
-                  "--f=false"});
+                  "--f=false", "--g=no", "--h=off"});
   EXPECT_TRUE(o.get_bool("a", false));
   EXPECT_TRUE(o.get_bool("b", false));
   EXPECT_TRUE(o.get_bool("c", false));
   EXPECT_TRUE(o.get_bool("d", false));
   EXPECT_FALSE(o.get_bool("e", true));
   EXPECT_FALSE(o.get_bool("f", true));
+  EXPECT_FALSE(o.get_bool("g", true));
+  EXPECT_FALSE(o.get_bool("h", true));
+}
+
+TEST(Options, BoolValuesAreCaseInsensitive) {
+  // --ft-auto-recover=TRUE / On must not silently disable the feature.
+  auto o = parse({"--a=TRUE", "--b=On", "--c=YES", "--d=FALSE", "--e=Off"});
+  EXPECT_TRUE(o.get_bool("a", false));
+  EXPECT_TRUE(o.get_bool("b", false));
+  EXPECT_TRUE(o.get_bool("c", false));
+  EXPECT_FALSE(o.get_bool("d", true));
+  EXPECT_FALSE(o.get_bool("e", true));
+}
+
+TEST(Options, MalformedBoolThrows) {
+  // The historical behavior returned false for any unrecognized value —
+  // a typo like "yse" disabled the feature without a word.
+  auto o = parse({"--a=yse", "--b=2", "--c="});
+  EXPECT_THROW((void)o.get_bool("a", true), std::invalid_argument);
+  EXPECT_THROW((void)o.get_bool("b", true), std::invalid_argument);
+  EXPECT_THROW((void)o.get_bool("c", true), std::invalid_argument);
+}
+
+TEST(Options, DeclaredBoolDoesNotSwallowPositional) {
+  // micro_pool --pool-steal 100000: the count is positional, not a
+  // value for the boolean flag.
+  auto o = parse_with_bools({"--pool-steal", "100000"}, {"pool-steal"});
+  EXPECT_TRUE(o.get_bool("pool-steal", false));
+  ASSERT_EQ(o.positional().size(), 1u);
+  EXPECT_EQ(o.positional()[0], "100000");
+}
+
+TEST(Options, DeclaredBoolStillAcceptsEqualsValue) {
+  auto o = parse_with_bools({"--pool-steal=off", "100000"}, {"pool-steal"});
+  EXPECT_FALSE(o.get_bool("pool-steal", true));
+  ASSERT_EQ(o.positional().size(), 1u);
+}
+
+TEST(Options, DeclaredBoolFollowedByBoolLiteralIsAmbiguous) {
+  // "--pool-steal off" could mean either a value or a positional; the
+  // parser demands the unambiguous --pool-steal=off form.
+  EXPECT_THROW(parse_with_bools({"--pool-steal", "off"}, {"pool-steal"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_with_bools({"--verbose", "TRUE"}, {"verbose"}),
+               std::invalid_argument);
+}
+
+TEST(Options, UndeclaredFlagStillTakesSpaceValue) {
+  auto o = parse_with_bools({"--pes", "16"}, {"pool-steal"});
+  EXPECT_EQ(o.get_int("pes", 0), 16);
+}
+
+TEST(Options, DashValueOnlyAttachesWhenNumeric) {
+  // "--offset -3" keeps working; "--mode -x" no longer eats "-x".
+  auto o = parse({"--offset", "-3", "--alpha", "-2.5e-6", "--mode", "-x"});
+  EXPECT_EQ(o.get_int("offset", 0), -3);
+  EXPECT_DOUBLE_EQ(o.get_double("alpha", 0.0), -2.5e-6);
+  EXPECT_EQ(o.get_string("mode", ""), "true");
+  ASSERT_EQ(o.positional().size(), 1u);
+  EXPECT_EQ(o.positional()[0], "-x");
 }
 
 TEST(Options, Positional) {
